@@ -1,0 +1,483 @@
+package fcma
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fcma/internal/cluster"
+	"fcma/internal/core"
+	"fcma/internal/corr"
+	"fcma/internal/fmri"
+	"fcma/internal/mpi"
+	"fcma/internal/mvpa"
+	"fcma/internal/norm"
+	"fcma/internal/roi"
+	"fcma/internal/rt"
+	"fcma/internal/svm"
+	"fcma/internal/tensor"
+)
+
+// FoldResult is one outer fold of the offline analysis.
+type FoldResult struct {
+	// LeftOutSubject is the subject held out of voxel selection and used
+	// to verify the final classifier.
+	LeftOutSubject int
+	// Selected are the voxels chosen on the training subjects, best
+	// first.
+	Selected []VoxelScore
+	// TestAccuracy is the final classifier's accuracy on the held-out
+	// subject's epochs.
+	TestAccuracy float64
+	// Elapsed is the wall time of the fold.
+	Elapsed time.Duration
+}
+
+// OfflineResult is the outcome of a nested leave-one-subject-out analysis.
+type OfflineResult struct {
+	// Folds holds one entry per subject.
+	Folds []FoldResult
+	// ReliableVoxels are voxels selected in a majority of folds — the
+	// paper's cross-fold statistical comparison for identifying reliable
+	// ROIs (§5.2.1).
+	ReliableVoxels []int
+	// Elapsed is the total wall time.
+	Elapsed time.Duration
+}
+
+// MeanAccuracy returns the average held-out accuracy across folds.
+func (r *OfflineResult) MeanAccuracy() float64 {
+	if len(r.Folds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range r.Folds {
+		sum += f.TestAccuracy
+	}
+	return sum / float64(len(r.Folds))
+}
+
+// OfflineAnalysis runs the paper's offline experiment (§5.2.1): for every
+// subject, select voxels by FCMA on the remaining subjects (inner
+// leave-one-subject-out cross-validation), train a final classifier on the
+// selected voxels' correlation patterns, and verify it on the held-out
+// subject.
+func OfflineAnalysis(d *Data, cfg Config) (*OfflineResult, error) {
+	if d.ds.Subjects < 3 {
+		return nil, fmt.Errorf("fcma: offline analysis needs at least 3 subjects, got %d", d.ds.Subjects)
+	}
+	start := time.Now()
+	res := &OfflineResult{}
+	counts := make(map[int]int)
+	k := cfg.topK(d.Voxels())
+	for s := 0; s < d.ds.Subjects; s++ {
+		foldStart := time.Now()
+		train := d.withoutSubject(s)
+		scores, err := SelectVoxels(train, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fcma: fold %d voxel selection: %w", s, err)
+		}
+		selected := scores[:minInt(k, len(scores))]
+		voxels := make([]int, len(selected))
+		for i, sc := range selected {
+			voxels[i] = sc.Voxel
+			counts[sc.Voxel]++
+		}
+		acc, err := verifyFold(d, voxels, s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fcma: fold %d verification: %w", s, err)
+		}
+		res.Folds = append(res.Folds, FoldResult{
+			LeftOutSubject: s,
+			Selected:       selected,
+			TestAccuracy:   acc,
+			Elapsed:        time.Since(foldStart),
+		})
+	}
+	for v, c := range counts {
+		if c*2 > d.ds.Subjects {
+			res.ReliableVoxels = append(res.ReliableVoxels, v)
+		}
+	}
+	sortInts(res.ReliableVoxels)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// verifyFold trains the final classifier on all subjects but s and tests
+// on s.
+func verifyFold(d *Data, voxels []int, leftOut int, cfg Config) (float64, error) {
+	var trainIdx, testIdx []int
+	for i, e := range d.ds.Epochs {
+		if e.Subject == leftOut {
+			testIdx = append(testIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	clf, err := trainClassifier(d, voxels, trainIdx, cfg)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, i := range testIdx {
+		if pred, _ := clf.Predict(d, i); pred == d.ds.Epochs[i].Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(testIdx)), nil
+}
+
+// OnlineResult is the outcome of single-subject voxel selection for
+// closed-loop feedback (§5.2.2).
+type OnlineResult struct {
+	// Selected are the chosen voxels, best first.
+	Selected []VoxelScore
+	// Classifier is trained on the subject's data over the selected
+	// voxels, ready to label incoming epochs.
+	Classifier *Classifier
+	// Elapsed is the selection + training wall time (the paper's
+	// real-time budget is a few seconds).
+	Elapsed time.Duration
+}
+
+// OnlineAnalysis emulates the closed-loop scenario: voxel selection and
+// classifier training from a single subject's data.
+func OnlineAnalysis(d *Data, cfg Config) (*OnlineResult, error) {
+	if d.ds.Subjects != 1 {
+		return nil, fmt.Errorf("fcma: online analysis takes one subject's data, got %d subjects", d.ds.Subjects)
+	}
+	start := time.Now()
+	scores, err := SelectVoxels(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.topK(d.Voxels())
+	selected := scores[:minInt(k, len(scores))]
+	voxels := make([]int, len(selected))
+	for i, sc := range selected {
+		voxels[i] = sc.Voxel
+	}
+	all := make([]int, len(d.ds.Epochs))
+	for i := range all {
+		all[i] = i
+	}
+	clf, err := trainClassifier(d, voxels, all, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineResult{Selected: selected, Classifier: clf, Elapsed: time.Since(start)}, nil
+}
+
+// Classifier labels epochs from the correlation pattern among a fixed set
+// of selected voxels.
+type Classifier struct {
+	// Voxels are the selected voxel indices the feature space is built
+	// from.
+	Voxels []int
+	feats  *tensor.Matrix // training feature rows (support vectors only)
+	coef   []float64
+	rho    float64
+}
+
+// pairFeatures computes the Fisher-transformed pairwise correlations among
+// the selected voxels for one epoch window — the "correlation pattern of
+// the selected voxels" the paper's final classifier uses.
+func pairFeatures(ds *fmri.Dataset, voxels []int, e fmri.Epoch) []float32 {
+	rows := make([][]float32, len(voxels))
+	for i, v := range voxels {
+		rows[i] = ds.Data.Row(v)[e.Start : e.Start+e.Len]
+	}
+	return pairFeaturesFromRows(rows)
+}
+
+func pairFeaturesFromRows(rows [][]float32) []float32 {
+	k := len(rows)
+	out := make([]float32, 0, k*(k-1)/2)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			out = append(out, norm.FisherZ(float32(corr.Pearson(rows[i], rows[j]))))
+		}
+	}
+	return out
+}
+
+// trainClassifier fits a linear SVM on the pair features of the given
+// training epochs.
+func trainClassifier(d *Data, voxels []int, trainIdx []int, cfg Config) (*Classifier, error) {
+	if len(voxels) < 2 {
+		return nil, fmt.Errorf("fcma: classifier needs at least 2 voxels, got %d", len(voxels))
+	}
+	p := len(voxels) * (len(voxels) - 1) / 2
+	feats := tensor.NewMatrix(len(trainIdx), p)
+	labels := make([]int, len(trainIdx))
+	for i, idx := range trainIdx {
+		copy(feats.Row(i), pairFeatures(d.ds, voxels, d.ds.Epochs[idx]))
+		labels[i] = d.ds.Epochs[idx].Label
+	}
+	K := svm.PrecomputeKernel(feats, nil)
+	all := make([]int, len(trainIdx))
+	for i := range all {
+		all[i] = i
+	}
+	var trainer svm.KernelTrainer
+	if cfg.Engine == Baseline {
+		trainer = svm.LibSVM{Params: svm.Params{C: cfg.SVMCost}}
+	} else {
+		trainer = svm.PhiSVM{Params: svm.Params{C: cfg.SVMCost}}
+	}
+	model, err := trainer.TrainKernel(K, labels, all)
+	if err != nil {
+		return nil, err
+	}
+	// Keep only the support vectors' feature rows.
+	var svRows [][]float32
+	var coef []float64
+	for i, c := range model.Coef {
+		if c != 0 {
+			svRows = append(svRows, feats.Row(i))
+			coef = append(coef, c)
+		}
+	}
+	sv := tensor.NewMatrix(len(svRows), p)
+	for i, r := range svRows {
+		copy(sv.Row(i), r)
+	}
+	return &Classifier{
+		Voxels: append([]int(nil), voxels...),
+		feats:  sv,
+		coef:   coef,
+		rho:    model.Rho,
+	}, nil
+}
+
+// Decide returns the decision value for epoch index e of d (positive means
+// label 1).
+func (c *Classifier) Decide(d *Data, e int) float64 {
+	if e < 0 || e >= len(d.ds.Epochs) {
+		panic(fmt.Sprintf("fcma: epoch %d of %d", e, len(d.ds.Epochs)))
+	}
+	x := pairFeatures(d.ds, c.Voxels, d.ds.Epochs[e])
+	var f float64
+	for i, co := range c.coef {
+		f += co * tensor.Dot(c.feats.Row(i), x)
+	}
+	return f - c.rho
+}
+
+// Predict returns the predicted label (0 or 1) and the decision value for
+// epoch index e of d.
+func (c *Classifier) Predict(d *Data, e int) (int, float64) {
+	f := c.Decide(d, e)
+	if f > 0 {
+		return 1, f
+	}
+	return 0, f
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ActivityScore is a voxel and its activity-MVPA accuracy; see
+// SelectVoxelsByActivity.
+type ActivityScore = mvpa.VoxelScore
+
+// SelectVoxelsByActivity scores every voxel with conventional
+// activity-based MVPA (classification from within-epoch BOLD amplitude)
+// instead of FCMA's correlation patterns. It is the comparator for FCMA's
+// motivating claim: voxels whose interactions are condition-dependent but
+// whose activity levels are not score near chance here while ranking at
+// the top under SelectVoxels.
+func SelectVoxelsByActivity(d *Data, cfg Config) ([]ActivityScore, error) {
+	var trainer svm.KernelTrainer
+	if cfg.Engine == Baseline {
+		trainer = svm.LibSVM{Params: svm.Params{C: cfg.SVMCost}}
+	} else {
+		trainer = svm.PhiSVM{Params: svm.Params{C: cfg.SVMCost}}
+	}
+	return mvpa.SelectVoxels(d.ds, mvpa.Config{Trainer: trainer, Workers: cfg.Workers})
+}
+
+// ROI is a spatially contiguous region of selected voxels.
+type ROI = roi.Region
+
+// FindROIs groups the given voxels (typically the top of a SelectVoxels
+// ranking) into 6-connected regions on the dataset's acquisition grid —
+// the paper's final step of identifying the brain regions constituted by
+// the top voxels. scores may be nil; when given, each region reports its
+// peak voxel. minSize filters specks (a value below 1 means 1).
+func FindROIs(d *Data, voxels []int, scores []VoxelScore, minSize int) ([]ROI, error) {
+	if !d.ds.HasGeometry() {
+		return nil, fmt.Errorf("fcma: dataset %q has no acquisition grid; ROIs need geometry", d.Name())
+	}
+	// Masked datasets (e.g. loaded from NIfTI) carry a voxel→grid map;
+	// clustering happens in grid space and results are translated back to
+	// dataset voxel indices.
+	toGrid := func(v int) int { return v }
+	var fromGrid map[int]int
+	if gi := d.ds.GridIndex; gi != nil {
+		fromGrid = make(map[int]int, len(gi))
+		for v, g := range gi {
+			fromGrid[g] = v
+		}
+		toGrid = func(v int) int { return gi[v] }
+	}
+	gridVoxels := make([]int, len(voxels))
+	for i, v := range voxels {
+		if v < 0 || v >= d.Voxels() {
+			return nil, fmt.Errorf("fcma: voxel %d of %d", v, d.Voxels())
+		}
+		gridVoxels[i] = toGrid(v)
+	}
+	var scoreMap map[int]float64
+	if scores != nil {
+		scoreMap = make(map[int]float64, len(scores))
+		for _, s := range scores {
+			scoreMap[toGrid(s.Voxel)] = s.Accuracy
+		}
+	}
+	regions, err := roi.Clusters(d.ds.Dims, gridVoxels, minSize, scoreMap)
+	if err != nil {
+		return nil, err
+	}
+	if fromGrid != nil {
+		for ri := range regions {
+			for vi, g := range regions[ri].Voxels {
+				regions[ri].Voxels[vi] = fromGrid[g]
+			}
+			regions[ri].PeakVoxel = fromGrid[regions[ri].PeakVoxel]
+		}
+	}
+	return regions, nil
+}
+
+// Grid returns the dataset's 3D acquisition grid dimensions (x, y, z);
+// all zero when no geometry is known.
+func (d *Data) Grid() [3]int { return d.ds.Dims }
+
+// ClassifyWindow labels a raw whole-brain activity window (voxels×T, all
+// brain voxels in dataset order) — the real-time entry point used by the
+// closed-loop feedback layer, which hands over assembled epochs as they
+// complete.
+func (c *Classifier) ClassifyWindow(w *tensor.Matrix) (int, float64) {
+	rows := make([][]float32, len(c.Voxels))
+	for i, v := range c.Voxels {
+		rows[i] = w.Row(v)
+	}
+	x := pairFeaturesFromRows(rows)
+	var f float64
+	for i, co := range c.coef {
+		f += co * tensor.Dot(c.feats.Row(i), x)
+	}
+	f -= c.rho
+	if f > 0 {
+		return 1, f
+	}
+	return 0, f
+}
+
+// Feedback is one real-time prediction from the closed loop; see
+// RunClosedLoop.
+type Feedback = rt.Prediction
+
+// RunClosedLoop emulates the paper's Fig. 1 loop on a prerecorded run: the
+// dataset is streamed one brain volume per tr (0 = as fast as possible),
+// epochs are assembled from the stream as they complete, and the
+// classifier labels each one. The prediction channel closes when the run
+// ends; the error channel carries at most one stream error.
+func RunClosedLoop(d *Data, clf *Classifier, tr time.Duration) (<-chan Feedback, <-chan error) {
+	frames := rt.NewScanner(d.ds, tr).Stream(nil)
+	return rt.RunFeedback(frames, d.ds.Epochs, d.Voxels(), clf)
+}
+
+// SelectVoxelsDistributed runs whole-brain voxel selection through the
+// master–worker cluster runtime with the given number of in-process
+// workers — the single-machine deployment of the paper's §3.1.1 framework
+// (the TCP deployment lives in cmd/fcma-cluster). taskSize voxels go to a
+// worker per assignment; 0 selects the paper's 120.
+func SelectVoxelsDistributed(d *Data, cfg Config, workers, taskSize int) ([]VoxelScore, error) {
+	if workers <= 0 {
+		workers = 2
+	}
+	if taskSize <= 0 {
+		taskSize = 120
+	}
+	stack, err := corr.BuildEpochStack(d.ds, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	var folds []svm.Fold
+	if d.ds.Subjects == 1 {
+		folds = svm.KFolds(stack.M(), minInt(6, stack.M()/2))
+	}
+	comm, err := mpi.NewLocalComm(workers+1, 64)
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w, err := core.NewWorker(cfg.coreConfig(), stack, folds)
+			if err != nil {
+				errs[r-1] = err
+				comm.Rank(r).Close()
+				return
+			}
+			errs[r-1] = cluster.RunWorker(comm.Rank(r), w)
+		}(r)
+	}
+	scores, err := cluster.RunMaster(comm.Rank(0), stack.N, taskSize)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return core.TopVoxels(scores, 0), nil
+}
+
+// StreamingSelector accumulates one subject's epochs as they arrive and
+// re-runs voxel selection on demand — incremental online training for the
+// closed loop (selection quality grows with the session instead of
+// waiting for the full run).
+type StreamingSelector struct {
+	sel *rt.OnlineSelector
+}
+
+// NewStreamingSelector builds a selector for a brain of the given size
+// and fixed epoch length.
+func NewStreamingSelector(cfg Config, brainVoxels, epochLen int) (*StreamingSelector, error) {
+	sel, err := rt.NewOnlineSelector(cfg.coreConfig(), brainVoxels, epochLen)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamingSelector{sel: sel}, nil
+}
+
+// FeedEpoch adds a completed epoch window (voxels×epochLen activity, all
+// brain voxels in dataset order) with its training label.
+func (s *StreamingSelector) FeedEpoch(window *tensor.Matrix, label int) error {
+	return s.sel.Feed(window, label)
+}
+
+// Ready reports whether enough balanced data has arrived to select.
+func (s *StreamingSelector) Ready() bool { return s.sel.Ready() }
+
+// Epochs returns how many epochs have been accumulated.
+func (s *StreamingSelector) Epochs() int { return s.sel.Epochs() }
+
+// Select ranks every voxel over the data received so far, best first.
+func (s *StreamingSelector) Select() ([]VoxelScore, error) {
+	return s.sel.Select()
+}

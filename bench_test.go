@@ -1,0 +1,395 @@
+// Native benchmarks, one per paper table/figure plus the ablations listed
+// in DESIGN.md §5. These run the real kernels on the host CPU at scaled
+// shapes (the per-table simulated-counter reproduction lives in
+// cmd/fcma-bench); absolute numbers differ from the paper's coprocessor,
+// but each benchmark pair preserves the paper's comparison.
+//
+//	go test -bench=. -benchmem
+package fcma
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fcma/internal/blas"
+	"fcma/internal/cluster"
+	"fcma/internal/core"
+	"fcma/internal/corr"
+	"fcma/internal/fmri"
+	"fcma/internal/mpi"
+	"fcma/internal/svm"
+	"fcma/internal/tensor"
+)
+
+// benchShape is the scaled single-worker task used throughout: the paper's
+// time structure (12-point epochs) over a small brain.
+const (
+	benchVoxels   = 1024
+	benchAssigned = 32
+	benchSubjects = 6
+	benchEpochs   = 8 // per subject
+	benchEpochLen = 12
+)
+
+func benchDataset(b *testing.B, name string) *fmri.Dataset {
+	b.Helper()
+	d, err := fmri.Generate(fmri.Spec{
+		Name:             name,
+		Voxels:           benchVoxels,
+		Subjects:         benchSubjects,
+		EpochsPerSubject: benchEpochs,
+		EpochLen:         benchEpochLen,
+		RestLen:          4,
+		SignalVoxels:     benchVoxels / 16,
+		Coupling:         0.8,
+		Seed:             1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func benchStack(b *testing.B) *corr.EpochStack {
+	b.Helper()
+	st, err := corr.BuildEpochStack(benchDataset(b, "bench"), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func randMat(rng *rand.Rand, r, c int) *tensor.Matrix {
+	m := tensor.NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()*2 - 1
+	}
+	return m
+}
+
+// --- Table 1 / Fig. 9: full three-stage task, baseline vs optimized -----
+
+func benchWorkerTask(b *testing.B, cfg core.Config) {
+	st := benchStack(b)
+	w, err := core.NewWorker(cfg, st, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := core.Task{V0: 0, V: benchAssigned}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Process(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineStages(b *testing.B)  { benchWorkerTask(b, core.Baseline()) }
+func BenchmarkOptimizedStages(b *testing.B) { benchWorkerTask(b, core.Optimized()) }
+
+// BenchmarkPipelineOptimizedVsBaseline is the Fig. 9 pair under one name.
+func BenchmarkPipelineOptimizedVsBaseline(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) { benchWorkerTask(b, core.Baseline()) })
+	b.Run("optimized", func(b *testing.B) { benchWorkerTask(b, core.Optimized()) })
+}
+
+// --- Table 5 / Table 6: tall-skinny GEMM and SYRK vs general blocking ---
+
+func benchGemm(b *testing.B, impl blas.Sgemm, m, k, n int) {
+	rng := rand.New(rand.NewSource(2))
+	A, B := randMat(rng, m, k), randMat(rng, k, n)
+	C := tensor.NewMatrix(m, n)
+	b.SetBytes(blas.GemmFlops(m, k, n)) // MB/s column reads as MFLOPS/ms
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		impl.Gemm(C, A, B)
+	}
+}
+
+func BenchmarkGemmTallSkinny(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) { benchGemm(b, blas.Baseline{}, 120, 12, 16384) })
+	b.Run("tallskinny", func(b *testing.B) { benchGemm(b, blas.TallSkinny{}, 120, 12, 16384) })
+	b.Run("naive", func(b *testing.B) { benchGemm(b, blas.Naive{}, 120, 12, 16384) })
+}
+
+func benchSyrk(b *testing.B, impl blas.Ssyrk, m, n int) {
+	rng := rand.New(rand.NewSource(3))
+	A := randMat(rng, m, n)
+	C := tensor.NewMatrix(m, m)
+	b.SetBytes(blas.SyrkFlops(m, n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		impl.Syrk(C, A)
+	}
+}
+
+func BenchmarkSyrk(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) { benchSyrk(b, blas.Baseline{}, 48, 16384) })
+	b.Run("tallskinny", func(b *testing.B) { benchSyrk(b, blas.TallSkinny{}, 48, 16384) })
+}
+
+// Ablation: tall-skinny syrk long-dimension block size (DESIGN.md §5).
+func BenchmarkGemmBlockSizes(b *testing.B) {
+	for _, blk := range []int{16, 32, 96, 256} {
+		b.Run(sizeName(blk), func(b *testing.B) {
+			benchSyrk(b, blas.TallSkinny{SyrkBlock: blk}, 48, 16384)
+		})
+	}
+}
+
+func sizeName(n int) string {
+	return "block" + string(rune('0'+n/100%10)) + string(rune('0'+n/10%10)) + string(rune('0'+n%10))
+}
+
+// --- Table 7: merged vs separated stage 1+2 ------------------------------
+
+func benchPipeline(b *testing.B, merged bool) {
+	st := benchStack(b)
+	p := &corr.Pipeline{Merged: merged}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(st, 0, benchAssigned)
+	}
+}
+
+func BenchmarkMergedVsSeparated(b *testing.B) {
+	b.Run("merged", func(b *testing.B) { benchPipeline(b, true) })
+	b.Run("separated", func(b *testing.B) { benchPipeline(b, false) })
+}
+
+// --- Table 8: SVM solvers -------------------------------------------------
+
+func benchSVMProblem(b *testing.B) (*tensor.Matrix, []int, []svm.Fold) {
+	b.Helper()
+	st := benchStack(b)
+	p := &corr.Pipeline{Merged: true}
+	buf := p.Run(st, 0, 1)
+	K := svm.PrecomputeKernel(buf.View(0, 0, st.M(), st.N), nil)
+	labels := make([]int, st.M())
+	subjects := make([]int, st.M())
+	for i, e := range st.Epochs {
+		labels[i] = e.Label
+		subjects[i] = e.Subject
+	}
+	return K, labels, svm.LeaveOneSubjectOutFolds(subjects)
+}
+
+func benchSVM(b *testing.B, tr svm.KernelTrainer) {
+	K, labels, folds := benchSVMProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svm.CrossValidate(tr, K, labels, folds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVMSolvers(b *testing.B) {
+	b.Run("libsvm", func(b *testing.B) { benchSVM(b, svm.LibSVM{}) })
+	b.Run("optimized", func(b *testing.B) { benchSVM(b, svm.Optimized{}) })
+	b.Run("phisvm", func(b *testing.B) { benchSVM(b, svm.PhiSVM{}) })
+}
+
+// Ablation: working-set-selection heuristics (DESIGN.md §5).
+func BenchmarkWSSHeuristics(b *testing.B) {
+	b.Run("first-order", func(b *testing.B) { benchSVM(b, svm.PhiSVM{Rule: svm.FirstOrder}) })
+	b.Run("second-order", func(b *testing.B) { benchSVM(b, svm.PhiSVM{Rule: svm.SecondOrder}) })
+	b.Run("adaptive", func(b *testing.B) { benchSVM(b, svm.PhiSVM{}) })
+}
+
+// Ablation: float64 node-based vs float32 dense representation.
+func BenchmarkSVMPrecision(b *testing.B) {
+	b.Run("float64-nodes", func(b *testing.B) { benchSVM(b, svm.LibSVM{}) })
+	b.Run("float32-dense", func(b *testing.B) { benchSVM(b, svm.Optimized{}) })
+}
+
+// Ablation: precomputed kernel vs LibSVM with a tiny row cache, which
+// forces Q-row rebuilds (the cost precomputation avoids).
+func BenchmarkKernelPrecompute(b *testing.B) {
+	b.Run("full-cache", func(b *testing.B) { benchSVM(b, svm.LibSVM{}) })
+	b.Run("small-cache", func(b *testing.B) { benchSVM(b, svm.LibSVM{CacheRows: 4}) })
+}
+
+// --- Tables 3/4, Fig. 8: cluster scaling ---------------------------------
+
+func benchCluster(b *testing.B, workers, taskSize int) {
+	st := benchStack(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comm, err := mpi.NewLocalComm(workers+1, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for r := 1; r <= workers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				cfg := core.Optimized()
+				cfg.Workers = 1
+				w, err := core.NewWorker(cfg, st, nil)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := cluster.RunWorker(comm.Rank(r), w); err != nil {
+					b.Error(err)
+				}
+			}(r)
+		}
+		if _, err := cluster.RunMaster(comm.Rank(0), benchVoxels/4, taskSize); err != nil {
+			b.Fatal(err)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkOfflineAnalysis measures the distributed selection pass that
+// dominates Table 3, at 1 and 4 workers.
+func BenchmarkOfflineAnalysis(b *testing.B) {
+	b.Run("workers1", func(b *testing.B) { benchCluster(b, 1, 32) })
+	b.Run("workers4", func(b *testing.B) { benchCluster(b, 4, 32) })
+}
+
+// Ablation: static (huge tasks) vs dynamic (small tasks) assignment.
+func BenchmarkClusterScheduling(b *testing.B) {
+	b.Run("static-2tasks", func(b *testing.B) { benchCluster(b, 2, benchVoxels/8) })
+	b.Run("dynamic-16tasks", func(b *testing.B) { benchCluster(b, 2, benchVoxels/64) })
+}
+
+// BenchmarkOnlineAnalysis measures the single-subject selection loop of
+// Table 4.
+func BenchmarkOnlineAnalysis(b *testing.B) {
+	d, err := Generate(Spec{
+		Name: "bench-online", Voxels: 512, Subjects: 1, EpochsPerSubject: 16,
+		EpochLen: benchEpochLen, RestLen: 4, SignalVoxels: 32, Coupling: 0.8, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	one, err := d.Subject(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OnlineAnalysis(one, Config{TopK: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 10/11 native counterpart: engine comparison via public API --
+
+func BenchmarkSelectVoxels(b *testing.B) {
+	d, err := Generate(Spec{
+		Name: "bench-select", Voxels: 256, Subjects: 4, EpochsPerSubject: 8,
+		EpochLen: benchEpochLen, RestLen: 4, SignalVoxels: 16, Coupling: 0.8, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, eng := range []Engine{Baseline, Optimized} {
+		b.Run(eng.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := SelectVoxels(d, Config{Engine: eng}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Extension benchmarks -------------------------------------------------
+
+// Ablation: LibSVM active-set shrinking (see internal/svm/shrink.go).
+func BenchmarkShrinking(b *testing.B) {
+	b.Run("plain", func(b *testing.B) { benchSVM(b, svm.LibSVM{}) })
+	b.Run("shrinking", func(b *testing.B) { benchSVM(b, svm.LibSVM{Shrinking: true}) })
+}
+
+// Activity-based MVPA vs FCMA on the same dataset (examples/unbiased).
+func BenchmarkActivityMVPA(b *testing.B) {
+	d := benchDataset(b, "bench-mvpa")
+	wrapped := &Data{ds: d}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectVoxelsByActivity(wrapped, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// NIfTI round trip throughput on a paper-shaped frame count.
+func BenchmarkNIfTIRoundTrip(b *testing.B) {
+	d := benchDataset(b, "bench-nii")
+	wrapped := &Data{ds: d}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var vol, eps bytes.Buffer
+		if err := wrapped.SaveNIfTI(&vol, &eps); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := LoadNIfTI(&vol, nil, &eps, "bench", d.Subjects); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Closed-loop throughput: frames per second through scanner → assembler →
+// classifier (must far exceed the scanner's 1/1.5s frame rate).
+func BenchmarkClosedLoop(b *testing.B) {
+	d := benchDataset(b, "bench-loop")
+	wrapped := &Data{ds: d}
+	one := d.SelectSubjects([]int{0})
+	oneWrapped := &Data{ds: one}
+	res, err := OnlineAnalysis(oneWrapped, Config{TopK: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = wrapped
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		preds, errc := RunClosedLoop(oneWrapped, res.Classifier, 0)
+		for range preds {
+		}
+		select {
+		case err := <-errc:
+			b.Fatal(err)
+		default:
+		}
+	}
+}
+
+// The library's namesake: one full N×N correlation matrix.
+func BenchmarkFullCorrelationMatrix(b *testing.B) {
+	st := benchStack(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corr.FullMatrix(st, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Distributed vs local selection through the public API.
+func BenchmarkDistributedSelection(b *testing.B) {
+	d := benchDataset(b, "bench-dist")
+	wrapped := &Data{ds: d}
+	b.Run("local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SelectVoxels(wrapped, Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cluster2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SelectVoxelsDistributed(wrapped, Config{}, 2, 128); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

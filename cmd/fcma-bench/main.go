@@ -1,0 +1,88 @@
+// Command fcma-bench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints the reproduced values next to
+// the paper's published numbers.
+//
+// Usage:
+//
+//	fcma-bench [-scale f] [-svm-calib f] [experiment ...]
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7 table8
+// fig8 fig9 fig10 fig11 native-fig8 native-fig9, or "all" (default: all
+// model-based experiments; the native cross-checks run real kernels on the
+// host CPU and are included only when named).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fcma/internal/perf"
+	"fcma/internal/report"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "trace scale relative to paper-size problems (0 < scale <= 1)")
+	svmCalib := flag.Float64("svm-calib", 0, "SVM iteration-hardness calibration (0 = default, see EXPERIMENTS.md)")
+	nativeScale := flag.Float64("native-scale", 0.02, "dataset scale for the native cross-checks")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fcma-bench [flags] [experiment ...]\n\nexperiments: %s\n\nflags:\n",
+			strings.Join(experimentNames(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	runner := report.New(report.Options{Scale: *scale, SVMCalibration: *svmCalib})
+	experiments := modelExperiments(runner)
+
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = experimentNames()[:15] // model-based set; natives opt-in
+	}
+	for _, name := range names {
+		switch name {
+		case "native-fig9":
+			tb, err := report.NativeSpeedup(report.NativeOptions{Scale: *nativeScale})
+			fail(err)
+			fmt.Println(tb.Render())
+		case "native-fig8":
+			tb, err := report.NativeScaling(report.NativeOptions{Scale: *nativeScale})
+			fail(err)
+			fmt.Println(tb.Render())
+		default:
+			fn, ok := experiments[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fcma-bench: unknown experiment %q (want one of %s)\n",
+					name, strings.Join(experimentNames(), " "))
+				os.Exit(2)
+			}
+			fmt.Println(fn().Render())
+		}
+	}
+}
+
+func modelExperiments(r *report.Runner) map[string]func() *perf.Table {
+	return map[string]func() *perf.Table{
+		"table1": r.Table1, "table2": r.Table2, "table3": r.Table3,
+		"table4": r.Table4, "table5": r.Table5, "table6": r.Table6,
+		"table7": r.Table7, "table8": r.Table8,
+		"fig8": r.Fig8, "fig9": r.Fig9, "fig10": r.Fig10, "fig11": r.Fig11,
+		"knl": r.TableKNL, "ablation": r.TableAblation, "memory": r.TableMemory,
+	}
+}
+
+func experimentNames() []string {
+	return []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"table7", "table8", "fig8", "fig9", "fig10", "fig11", "knl", "ablation", "memory",
+		"native-fig8", "native-fig9",
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fcma-bench:", err)
+		os.Exit(1)
+	}
+}

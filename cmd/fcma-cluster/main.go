@@ -1,0 +1,116 @@
+// Command fcma-cluster runs FCMA's master–worker protocol over TCP,
+// standing in for the paper's MPI deployment. The master partitions the
+// brain into voxel-range tasks and hands them out dynamically; workers run
+// the three-stage pipeline and stream scores back.
+//
+// Every node needs the same dataset files (the paper's master distributes
+// brain data up front; here the shared filesystem plays that role):
+//
+//	fcma-gen -dataset face-scene -scale 0.02 -out fs
+//	fcma-cluster -role master -listen :7700 -workers 2 -data fs.fcma -epochs fs.epochs &
+//	fcma-cluster -role worker -addr host:7700 -data fs.fcma -epochs fs.epochs &
+//	fcma-cluster -role worker -addr host:7700 -data fs.fcma -epochs fs.epochs &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fcma/internal/cluster"
+	"fcma/internal/core"
+	"fcma/internal/corr"
+	"fcma/internal/fmri"
+	"fcma/internal/mpi"
+)
+
+func main() {
+	role := flag.String("role", "", `"master" or "worker"`)
+	listen := flag.String("listen", ":7700", "master: listen address")
+	addr := flag.String("addr", "", "worker: master address")
+	workers := flag.Int("workers", 1, "master: number of workers to wait for")
+	dataPath := flag.String("data", "", "dataset file")
+	epochPath := flag.String("epochs", "", "epoch label file")
+	taskSize := flag.Int("task-size", 120, "voxels per task (the paper assigns 120)")
+	checkpoint := flag.String("checkpoint", "", "master: checkpoint file for resumable analyses")
+	engine := flag.String("engine", "optimized", `worker kernels: "optimized" or "baseline"`)
+	topK := flag.Int("topk", 20, "master: voxels to report")
+	flag.Parse()
+
+	d := loadDataset(*dataPath, *epochPath)
+
+	switch *role {
+	case "master":
+		master, err := mpi.ListenMaster(*listen, *workers+1)
+		fail(err)
+		defer master.Close()
+		fmt.Printf("fcma-cluster: master on %s waiting for %d workers\n", master.Addr(), *workers)
+		fail(master.Accept())
+		var scores []core.VoxelScore
+		if *checkpoint != "" {
+			cp, err := cluster.OpenCheckpoint(*checkpoint)
+			fail(err)
+			defer cp.Close()
+			if cp.Done() > 0 {
+				fmt.Printf("fcma-cluster: resuming from %s (%d voxels done)\n", *checkpoint, cp.Done())
+			}
+			scores, err = cluster.RunMasterCheckpointed(master, d.Voxels(), *taskSize, cp)
+			fail(err)
+		} else {
+			var err error
+			scores, err = cluster.RunMaster(master, d.Voxels(), *taskSize)
+			fail(err)
+		}
+		top := core.TopVoxels(scores, *topK)
+		fmt.Printf("analysis complete: %d voxels scored; top %d:\n", len(scores), len(top))
+		for _, s := range top {
+			fmt.Printf("  voxel %6d  accuracy %.3f\n", s.Voxel, s.Accuracy)
+		}
+	case "worker":
+		if *addr == "" {
+			fail(fmt.Errorf("worker needs -addr"))
+		}
+		stack, err := corr.BuildEpochStack(d, 0)
+		fail(err)
+		cfg := core.Optimized()
+		if *engine == "baseline" {
+			cfg = core.Baseline()
+		}
+		w, err := core.NewWorker(cfg, stack, nil)
+		fail(err)
+		tr, err := mpi.DialWorker(*addr)
+		fail(err)
+		defer tr.Close()
+		fmt.Printf("fcma-cluster: worker rank %d of %d connected to %s\n", tr.Rank(), tr.Size(), *addr)
+		fail(cluster.RunWorker(tr, w))
+		fmt.Println("fcma-cluster: worker done")
+	default:
+		fail(fmt.Errorf("need -role master or -role worker"))
+	}
+}
+
+func loadDataset(dataPath, epochPath string) *fmri.Dataset {
+	if dataPath == "" || epochPath == "" {
+		fail(fmt.Errorf("need -data and -epochs (generate them with fcma-gen)"))
+	}
+	df, err := os.Open(dataPath)
+	fail(err)
+	defer df.Close()
+	d, err := fmri.ReadData(df)
+	fail(err)
+	ef, err := os.Open(epochPath)
+	fail(err)
+	defer ef.Close()
+	eps, err := fmri.ReadEpochs(ef)
+	fail(err)
+	d.Epochs = eps
+	fail(d.Validate())
+	return d
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fcma-cluster:", err)
+		os.Exit(1)
+	}
+}

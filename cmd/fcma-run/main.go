@@ -1,0 +1,231 @@
+// Command fcma-run performs FCMA analyses: whole-brain voxel selection
+// (with optional ROI reporting), the offline nested leave-one-subject-out
+// experiment, the emulated online (single-subject) analysis, or
+// conventional activity-based MVPA for comparison.
+//
+// Input is either the library's binary format (-data/-epochs), a NIfTI-1
+// volume (-nii, with optional -mask), or a synthetic dataset (-synthetic).
+//
+// Usage:
+//
+//	fcma-run -mode select  -data fs.fcma -epochs fs.epochs -out-scores scores.csv
+//	fcma-run -mode select  -nii run.nii -epochs run.epochs -subjects 18 -out-map acc.nii
+//	fcma-run -mode offline -synthetic face-scene -scale 0.02
+//	fcma-run -mode online  -synthetic attention -scale 0.02 -subject 0
+//	fcma-run -mode mvpa    -synthetic face-scene -scale 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fcma"
+)
+
+func main() {
+	mode := flag.String("mode", "select", `analysis: "select", "offline", "online", "mvpa" or "permtest"`)
+	dataPath := flag.String("data", "", "dataset file written by fcma-gen")
+	epochPath := flag.String("epochs", "", "epoch label file")
+	niiPath := flag.String("nii", "", "NIfTI-1 4D time series (alternative to -data)")
+	maskPath := flag.String("mask", "", "NIfTI-1 brain mask for -nii (default: automatic variance mask)")
+	subjects := flag.Int("subjects", 1, "subjects concatenated in the -nii time series")
+	synthetic := flag.String("synthetic", "", `generate instead of loading: "face-scene" or "attention"`)
+	scale := flag.Float64("scale", 0.02, "synthetic dataset scale")
+	engine := flag.String("engine", "optimized", `kernel engine: "optimized" or "baseline"`)
+	topK := flag.Int("topk", 0, "voxels to select (0 = default)")
+	subject := flag.Int("subject", 0, "subject for online mode")
+	workers := flag.Int("workers", 0, "goroutine bound (0 = GOMAXPROCS)")
+	outScores := flag.String("out-scores", "", "write the full voxel ranking as CSV")
+	outMap := flag.String("out-map", "", "write the accuracy map as a NIfTI overlay")
+	roiMinSize := flag.Int("roi-min", 2, "minimum ROI size in voxels for select-mode reporting")
+	permutations := flag.Int("permutations", 99, "permtest: label permutations")
+	seed := flag.Int64("seed", 1, "permtest: permutation seed")
+	flag.Parse()
+
+	d := loadData(*dataPath, *epochPath, *niiPath, *maskPath, *subjects, *synthetic, *scale)
+	cfg := fcma.Config{Workers: *workers, TopK: *topK}
+	switch *engine {
+	case "optimized":
+		cfg.Engine = fcma.Optimized
+	case "baseline":
+		cfg.Engine = fcma.Baseline
+	default:
+		fail(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	switch *mode {
+	case "select":
+		scores, err := fcma.SelectVoxels(d, cfg)
+		fail(err)
+		reportSelection(d, cfg, scores, *topK, *roiMinSize)
+		writeOutputs(d, scores, *outScores, *outMap)
+	case "mvpa":
+		scores, err := fcma.SelectVoxelsByActivity(d, cfg)
+		fail(err)
+		k := clampK(*topK, len(scores))
+		fmt.Printf("top %d of %d voxels by ACTIVITY-MVPA accuracy (%s engine):\n", k, len(scores), cfg.Engine)
+		for _, s := range scores[:k] {
+			fmt.Printf("  voxel %6d  accuracy %.3f\n", s.Voxel, s.Accuracy)
+		}
+	case "permtest":
+		scores, err := fcma.SelectVoxels(d, cfg)
+		fail(err)
+		k := clampK(*topK, len(scores))
+		top := make([]int, k)
+		for i, s := range scores[:k] {
+			top[i] = s.Voxel
+		}
+		res, err := fcma.PermutationTest(d, top, cfg, *permutations, *seed)
+		fail(err)
+		fmt.Printf("permutation test over the top %d voxels (%d permutations):\n", k, *permutations)
+		fmt.Printf("  observed accuracy %.3f\n", res.Observed)
+		var nullMax float64
+		for _, v := range res.Null {
+			if v > nullMax {
+				nullMax = v
+			}
+		}
+		fmt.Printf("  null maximum      %.3f\n", nullMax)
+		fmt.Printf("  p-value           %.4f\n", res.P)
+	case "offline":
+		res, err := fcma.OfflineAnalysis(d, cfg)
+		fail(err)
+		fmt.Printf("offline nested leave-one-subject-out on %s (%d subjects, %s engine)\n",
+			d.Name(), d.Subjects(), cfg.Engine)
+		for _, f := range res.Folds {
+			fmt.Printf("  fold %2d: held-out accuracy %.3f  (%.2fs)\n",
+				f.LeftOutSubject, f.TestAccuracy, f.Elapsed.Seconds())
+		}
+		fmt.Printf("mean accuracy %.3f, %d reliable voxels, total %.2fs\n",
+			res.MeanAccuracy(), len(res.ReliableVoxels), res.Elapsed.Seconds())
+		if rois, err := fcma.FindROIs(d, res.ReliableVoxels, nil, *roiMinSize); err == nil && len(rois) > 0 {
+			fmt.Printf("reliable-voxel ROIs (min size %d):\n", *roiMinSize)
+			for i, r := range rois {
+				fmt.Printf("  ROI %d: %d voxels, center (%.1f, %.1f, %.1f)\n",
+					i, r.Size(), r.Center[0], r.Center[1], r.Center[2])
+			}
+		}
+	case "online":
+		one, err := d.Subject(*subject)
+		fail(err)
+		res, err := fcma.OnlineAnalysis(one, cfg)
+		fail(err)
+		fmt.Printf("online voxel selection on %s subject %d (%s engine): %d voxels in %.2fs\n",
+			d.Name(), *subject, cfg.Engine, len(res.Selected), res.Elapsed.Seconds())
+		for _, s := range res.Selected {
+			fmt.Printf("  voxel %6d  accuracy %.3f\n", s.Voxel, s.Accuracy)
+		}
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func reportSelection(d *fcma.Data, cfg fcma.Config, scores []fcma.VoxelScore, topK, roiMin int) {
+	k := clampK(topK, len(scores))
+	fmt.Printf("top %d of %d voxels by cross-validated accuracy (%s engine):\n", k, len(scores), cfg.Engine)
+	for _, s := range scores[:k] {
+		fmt.Printf("  voxel %6d  accuracy %.3f\n", s.Voxel, s.Accuracy)
+	}
+	top := make([]int, k)
+	for i, s := range scores[:k] {
+		top[i] = s.Voxel
+	}
+	rois, err := fcma.FindROIs(d, top, scores, roiMin)
+	if err != nil || len(rois) == 0 {
+		return
+	}
+	fmt.Printf("ROIs among the top %d (min size %d):\n", k, roiMin)
+	for i, r := range rois {
+		fmt.Printf("  ROI %d: %d voxels, peak voxel %d (%.3f), center (%.1f, %.1f, %.1f)\n",
+			i, r.Size(), r.PeakVoxel, r.PeakScore, r.Center[0], r.Center[1], r.Center[2])
+	}
+}
+
+func writeOutputs(d *fcma.Data, scores []fcma.VoxelScore, outScores, outMap string) {
+	if outScores != "" {
+		f, err := os.Create(outScores)
+		fail(err)
+		fail(fcma.WriteScores(f, scores))
+		fail(f.Close())
+		fmt.Printf("wrote %s\n", outScores)
+	}
+	if outMap != "" {
+		f, err := os.Create(outMap)
+		fail(err)
+		fail(fcma.AccuracyMap(d, scores, f))
+		fail(f.Close())
+		fmt.Printf("wrote %s\n", outMap)
+	}
+}
+
+func clampK(k, n int) int {
+	if k <= 0 || k > n {
+		k = minInt(20, n)
+	}
+	return k
+}
+
+func loadData(dataPath, epochPath, niiPath, maskPath string, subjects int, synthetic string, scale float64) *fcma.Data {
+	switch {
+	case synthetic == "face-scene":
+		d, err := fcma.FaceSceneShaped(scale)
+		fail(err)
+		return d
+	case synthetic == "attention":
+		d, err := fcma.AttentionShaped(scale)
+		fail(err)
+		return d
+	case synthetic != "":
+		fail(fmt.Errorf("unknown synthetic dataset %q", synthetic))
+	case niiPath != "":
+		if epochPath == "" {
+			fail(fmt.Errorf("-nii needs -epochs"))
+		}
+		nf, err := os.Open(niiPath)
+		fail(err)
+		defer nf.Close()
+		ef, err := os.Open(epochPath)
+		fail(err)
+		defer ef.Close()
+		var mask *os.File
+		if maskPath != "" {
+			mask, err = os.Open(maskPath)
+			fail(err)
+			defer mask.Close()
+		}
+		var d *fcma.Data
+		if mask != nil {
+			d, err = fcma.LoadNIfTI(nf, mask, ef, niiPath, subjects)
+		} else {
+			d, err = fcma.LoadNIfTI(nf, nil, ef, niiPath, subjects)
+		}
+		fail(err)
+		return d
+	case dataPath == "" || epochPath == "":
+		fail(fmt.Errorf("need -data and -epochs, -nii and -epochs, or -synthetic"))
+	}
+	df, err := os.Open(dataPath)
+	fail(err)
+	defer df.Close()
+	ef, err := os.Open(epochPath)
+	fail(err)
+	defer ef.Close()
+	d, err := fcma.Load(df, ef)
+	fail(err)
+	return d
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fcma-run:", err)
+		os.Exit(1)
+	}
+}

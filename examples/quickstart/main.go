@@ -1,0 +1,55 @@
+// Quickstart: generate a small synthetic fMRI dataset with planted
+// condition-dependent connectivity, run whole-brain FCMA voxel selection,
+// and check that the planted voxels rise to the top.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fcma"
+)
+
+func main() {
+	// A small brain: 256 voxels, 6 subjects, 10 labeled epochs each.
+	// 32 "signal" voxels couple to a shared latent time series during
+	// condition-1 epochs only — their activity LEVELS are identical across
+	// conditions, so only correlation-based analysis can find them.
+	data, err := fcma.Generate(fcma.Spec{
+		Name:             "quickstart",
+		Voxels:           256,
+		Subjects:         6,
+		EpochsPerSubject: 10,
+		EpochLen:         12,
+		RestLen:          4,
+		SignalVoxels:     32,
+		Coupling:         0.8,
+		Seed:             42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the three-stage FCMA pipeline (correlation → normalization →
+	// per-voxel SVM cross-validation) over every voxel.
+	scores, err := fcma.SelectVoxels(data, fcma.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	planted := make(map[int]bool)
+	for _, v := range data.SignalVoxels() {
+		planted[v] = true
+	}
+	fmt.Println("top 15 voxels by cross-validated classification accuracy:")
+	hits := 0
+	for _, s := range scores[:15] {
+		mark := " "
+		if planted[s.Voxel] {
+			mark = "*"
+			hits++
+		}
+		fmt.Printf("  %s voxel %4d  accuracy %.3f\n", mark, s.Voxel, s.Accuracy)
+	}
+	fmt.Printf("\n%d of the top 15 are planted signal voxels (* = planted ground truth).\n", hits)
+}

@@ -1,0 +1,82 @@
+// Realtime emulates the paper's closed-loop neurofeedback scenario
+// (§5.2.2, Fig. 1): a subject is "scanned" while FCMA selects informative
+// voxels from their data and trains a classifier online; the classifier
+// then labels each incoming epoch as it arrives, and its decision value is
+// the feedback signal that would drive the stimulus in a real experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"fcma"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "dataset scale relative to the paper's attention dataset")
+	topK := flag.Int("topk", 8, "voxels to select for the online classifier")
+	flag.Parse()
+
+	// The full session: the first subject's block is the "training run",
+	// the second subject stands in for the subsequent feedback run (same
+	// planted connectivity, fresh noise).
+	session, err := fcma.AttentionShaped(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainRun, err := session.Subject(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feedbackRun, err := session.Subject(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1 — between runs: select voxels and train the classifier.
+	// The paper's budget for this is a few seconds (Table 4).
+	fmt.Printf("training run complete (%d epochs); selecting voxels...\n", trainRun.Epochs())
+	res, err := fcma.OnlineAnalysis(trainRun, fcma.Config{TopK: *topK})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected %d voxels in %.2fs (paper budget: ~3s on 96 nodes):\n",
+		len(res.Selected), res.Elapsed.Seconds())
+	for _, s := range res.Selected {
+		fmt.Printf("  voxel %5d  accuracy %.3f\n", s.Voxel, s.Accuracy)
+	}
+
+	// Phase 2 — the feedback run: the scanner streams volumes, epochs are
+	// assembled on the fly, and the classifier labels each as soon as its
+	// last volume lands (the closed loop of the paper's Fig. 1).
+	fmt.Printf("\nfeedback run: streaming %d epochs through the closed loop\n", feedbackRun.Epochs())
+	preds, errc := fcma.RunClosedLoop(feedbackRun, res.Classifier, 0)
+	correct := 0
+	var worst time.Duration
+	n := 0
+	for p := range preds {
+		if p.Latency > worst {
+			worst = p.Latency
+		}
+		truth := p.EpochIndex % 2 // labels alternate by construction
+		mark := "✗"
+		if p.Label == truth {
+			mark = "✓"
+			correct++
+		}
+		fmt.Printf("  epoch %2d: predicted %d (decision %+.3f) truth %d %s  [%s]\n",
+			p.EpochIndex, p.Label, p.Decision, truth, mark, p.Latency.Round(time.Microsecond))
+		n++
+	}
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	default:
+	}
+	fmt.Printf("\nfeedback accuracy: %d/%d  worst per-epoch latency: %s\n",
+		correct, n, worst.Round(time.Microsecond))
+	fmt.Println("(an fMRI scanner produces one brain volume every 1–2s; per-epoch")
+	fmt.Println(" classification latency far below that keeps the loop closed)")
+}

@@ -1,0 +1,80 @@
+// Unbiased demonstrates FCMA's motivating claim (paper §1): voxels whose
+// *interactions* differ between conditions can be invisible to
+// conventional activity-based MVPA. The synthetic dataset plants such
+// voxels — their pairwise coupling changes with the condition while their
+// activity statistics do not — and this program scores every voxel twice,
+// once by activity MVPA and once by FCMA, then compares the rankings
+// against the planted ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fcma"
+)
+
+func main() {
+	voxels := flag.Int("voxels", 192, "brain size")
+	flag.Parse()
+
+	data, err := fcma.Generate(fcma.Spec{
+		Name:             "unbiased",
+		Voxels:           *voxels,
+		Subjects:         6,
+		EpochsPerSubject: 12,
+		EpochLen:         12,
+		RestLen:          4,
+		SignalVoxels:     *voxels / 8,
+		Coupling:         0.85,
+		Seed:             7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	planted := map[int]bool{}
+	for _, v := range data.SignalVoxels() {
+		planted[v] = true
+	}
+	k := len(data.SignalVoxels())
+	fmt.Printf("brain of %d voxels; %d voxels have condition-dependent CONNECTIVITY\n", data.Voxels(), k)
+	fmt.Println("(their activity levels are statistically identical across conditions)")
+
+	actScores, err := fcma.SelectVoxelsByActivity(data, fcma.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fcmaScores, err := fcma.SelectVoxels(data, fcma.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	actHits := 0
+	var actTopAcc float64
+	for i := 0; i < k; i++ {
+		if planted[actScores[i].Voxel] {
+			actHits++
+		}
+		if i == 0 {
+			actTopAcc = actScores[i].Accuracy
+		}
+	}
+	fcmaHits := 0
+	var fcmaTopAcc float64
+	for i := 0; i < k; i++ {
+		if planted[fcmaScores[i].Voxel] {
+			fcmaHits++
+		}
+		if i == 0 {
+			fcmaTopAcc = fcmaScores[i].Accuracy
+		}
+	}
+
+	fmt.Printf("\n%-18s %-22s %-14s\n", "method", "planted in top-k", "best accuracy")
+	fmt.Printf("%-18s %2d / %-19d %.3f\n", "activity MVPA", actHits, k, actTopAcc)
+	fmt.Printf("%-18s %2d / %-19d %.3f\n", "FCMA", fcmaHits, k, fcmaTopAcc)
+	fmt.Println("\nactivity MVPA hovers at chance on these voxels; FCMA's exhaustive")
+	fmt.Println("correlation analysis recovers them — the reason to pay for the full")
+	fmt.Println("correlation matrix.")
+}

@@ -1,0 +1,341 @@
+// Package fcma is the public API of this Full Correlation Matrix Analysis
+// (FCMA) library, a reproduction of Wang et al., "Full correlation matrix
+// analysis of fMRI data on Intel® Xeon Phi™ coprocessors" (SC '15).
+//
+// FCMA exhaustively examines voxel-to-voxel interactions in fMRI data: for
+// every voxel it asks how well that voxel's whole-brain correlation
+// patterns, computed per labeled time epoch, distinguish experimental
+// conditions under cross-validated linear SVM classification. High-scoring
+// voxels form regions of interest whose interactions carry task
+// information even when their activity levels do not.
+//
+// The package offers the two analyses of the paper's evaluation:
+//
+//   - OfflineAnalysis: nested leave-one-subject-out cross-validation over
+//     a multi-subject dataset — voxel selection on the inner folds, a
+//     final classifier verified on each outer fold's held-out subject.
+//   - OnlineAnalysis: single-subject voxel selection and classifier
+//     training, the building block of closed-loop real-time fMRI.
+//
+// Both run on either the Baseline engine (general-purpose blocked kernels
+// and a LibSVM-style solver, the paper's comparison point) or the
+// Optimized engine (tall-skinny blocking, fused pipeline stages, PhiSVM).
+//
+// Around the two analyses sit the rest of a working FCMA toolkit:
+// SelectVoxels / SelectVoxelsDistributed (whole-brain ranking, locally or
+// through the master–worker runtime), SelectVoxelsByActivity (the
+// conventional activity-MVPA comparator), FindROIs (spatial clustering of
+// selected voxels), PermutationTest (label-permutation significance),
+// RunClosedLoop (streaming per-epoch feedback), NIfTI-1 and binary dataset
+// I/O, and AccuracyMap overlays for neuroimaging viewers.
+package fcma
+
+import (
+	"fmt"
+	"io"
+
+	"fcma/internal/core"
+	"fcma/internal/corr"
+	"fcma/internal/fmri"
+	"fcma/internal/nifti"
+	"fcma/internal/svm"
+)
+
+// Data is an fMRI dataset ready for analysis.
+type Data struct {
+	ds *fmri.Dataset
+}
+
+// Name returns the dataset's name.
+func (d *Data) Name() string { return d.ds.Name }
+
+// Voxels returns the brain size.
+func (d *Data) Voxels() int { return d.ds.Voxels() }
+
+// Subjects returns the number of subjects.
+func (d *Data) Subjects() int { return d.ds.Subjects }
+
+// Epochs returns the number of labeled epochs.
+func (d *Data) Epochs() int { return len(d.ds.Epochs) }
+
+// SignalVoxels returns the planted ground-truth voxels of a synthetic
+// dataset (nil for data without ground truth).
+func (d *Data) SignalVoxels() []int {
+	return append([]int(nil), d.ds.SignalVoxels...)
+}
+
+// Spec describes a synthetic dataset; see Generate.
+type Spec struct {
+	// Name labels the dataset.
+	Name string
+	// Voxels is the brain size; Subjects the subject count.
+	Voxels, Subjects int
+	// EpochsPerSubject (even) and EpochLen define the task design.
+	EpochsPerSubject, EpochLen int
+	// RestLen is the gap between epochs in time points.
+	RestLen int
+	// SignalVoxels is the number of voxels given condition-dependent
+	// connectivity; Coupling in [0,1) its strength.
+	SignalVoxels int
+	// SignalBlobs, when positive, places the signal voxels as that many
+	// spatially contiguous regions on the acquisition grid (recoverable
+	// by FindROIs) instead of spreading them evenly.
+	SignalBlobs int
+	Coupling    float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Generate builds a synthetic dataset with planted condition-dependent
+// connectivity structure (the ground truth FCMA should recover).
+func Generate(s Spec) (*Data, error) {
+	ds, err := fmri.Generate(fmri.Spec(s))
+	if err != nil {
+		return nil, err
+	}
+	return &Data{ds: ds}, nil
+}
+
+// FaceSceneShaped returns a dataset with the shape of the paper's
+// face-scene dataset (Table 2), scaled by the given factor (1 = paper
+// size, smaller for quick runs).
+func FaceSceneShaped(scale float64) (*Data, error) {
+	ds, err := fmri.Generate(fmri.FaceSceneSpec(scale))
+	if err != nil {
+		return nil, err
+	}
+	return &Data{ds: ds}, nil
+}
+
+// AttentionShaped returns a dataset with the shape of the paper's
+// attention dataset (Table 2), scaled.
+func AttentionShaped(scale float64) (*Data, error) {
+	ds, err := fmri.Generate(fmri.AttentionSpec(scale))
+	if err != nil {
+		return nil, err
+	}
+	return &Data{ds: ds}, nil
+}
+
+// Save writes the dataset (activity data and epoch labels) to the two
+// writers in the library's binary and text formats.
+func (d *Data) Save(data, epochs io.Writer) error {
+	if err := fmri.WriteData(data, d.ds); err != nil {
+		return fmt.Errorf("fcma: saving data: %w", err)
+	}
+	if err := fmri.WriteEpochs(epochs, d.ds.Epochs); err != nil {
+		return fmt.Errorf("fcma: saving epochs: %w", err)
+	}
+	return nil
+}
+
+// Load reads a dataset saved with Save.
+func Load(data, epochs io.Reader) (*Data, error) {
+	ds, err := fmri.ReadData(data)
+	if err != nil {
+		return nil, fmt.Errorf("fcma: loading data: %w", err)
+	}
+	eps, err := fmri.ReadEpochs(epochs)
+	if err != nil {
+		return nil, fmt.Errorf("fcma: loading epochs: %w", err)
+	}
+	ds.Epochs = eps
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("fcma: loaded dataset invalid: %w", err)
+	}
+	return &Data{ds: ds}, nil
+}
+
+// Subject extracts a single subject's data as its own dataset (for online
+// analysis).
+func (d *Data) Subject(s int) (*Data, error) {
+	if s < 0 || s >= d.ds.Subjects {
+		return nil, fmt.Errorf("fcma: subject %d of %d", s, d.ds.Subjects)
+	}
+	return &Data{ds: d.ds.SelectSubjects([]int{s})}, nil
+}
+
+// withoutSubject returns the dataset minus one subject (outer CV folds).
+func (d *Data) withoutSubject(s int) *Data {
+	keep := make([]int, 0, d.ds.Subjects-1)
+	for i := 0; i < d.ds.Subjects; i++ {
+		if i != s {
+			keep = append(keep, i)
+		}
+	}
+	return &Data{ds: d.ds.SelectSubjects(keep)}
+}
+
+// Engine selects the kernel implementations the pipeline runs on.
+type Engine int
+
+const (
+	// Optimized is the paper's contribution: tall-skinny blocked kernels,
+	// fused stage 1+2, PhiSVM.
+	Optimized Engine = iota
+	// Baseline is the paper's comparison point: general-purpose blocked
+	// BLAS and a LibSVM-style solver.
+	Baseline
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	if e == Baseline {
+		return "baseline"
+	}
+	return "optimized"
+}
+
+// Config controls an analysis run.
+type Config struct {
+	// Engine selects Optimized (default) or Baseline kernels.
+	Engine Engine
+	// Workers bounds goroutine parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// TopK is the number of voxels selected for the final classifier;
+	// 0 selects a default of 10% of the brain (capped at 100).
+	TopK int
+	// SVMCost is the SVM box constraint C; 0 selects the default (1).
+	SVMCost float64
+}
+
+func (c Config) topK(voxels int) int {
+	if c.TopK > 0 {
+		return c.TopK
+	}
+	k := voxels / 10
+	if k > 100 {
+		k = 100
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func (c Config) coreConfig() core.Config {
+	var cc core.Config
+	if c.Engine == Baseline {
+		cc = core.Baseline()
+	} else {
+		cc = core.Optimized()
+	}
+	cc.Workers = c.Workers
+	cc.SVMParams = svm.Params{C: c.SVMCost}
+	return cc
+}
+
+// VoxelScore is a voxel and its cross-validated classification accuracy.
+type VoxelScore = core.VoxelScore
+
+// SelectVoxels runs the three-stage FCMA pipeline over the whole brain and
+// returns every voxel's accuracy, sorted descending — the paper's voxel
+// selection step.
+func SelectVoxels(d *Data, cfg Config) ([]VoxelScore, error) {
+	stack, worker, err := buildWorker(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := worker.Process(core.Task{V0: 0, V: stack.N})
+	if err != nil {
+		return nil, err
+	}
+	return core.TopVoxels(scores, 0), nil
+}
+
+func buildWorker(d *Data, cfg Config) (*corr.EpochStack, *core.Worker, error) {
+	stack, err := corr.BuildEpochStack(d.ds, cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	var folds []svm.Fold
+	if d.ds.Subjects == 1 {
+		// Online analysis: leave-one-subject-out degenerates; use k-fold
+		// over epochs instead.
+		folds = svm.KFolds(stack.M(), minInt(6, stack.M()/2))
+	}
+	worker, err := core.NewWorker(cfg.coreConfig(), stack, folds)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stack, worker, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LoadNIfTI reads a 4D NIfTI-1 time series, extracts brain voxels (an
+// automatic temporal-variance mask when maskVol is nil, otherwise the
+// nonzero voxels of the mask volume), and attaches the epoch labels.
+// subjects gives how many subjects' scans are concatenated along time.
+func LoadNIfTI(volume io.Reader, maskVol io.Reader, epochs io.Reader, name string, subjects int) (*Data, error) {
+	vol, err := nifti.Read(volume)
+	if err != nil {
+		return nil, fmt.Errorf("fcma: reading NIfTI: %w", err)
+	}
+	var mask []int
+	if maskVol != nil {
+		mv, err := nifti.Read(maskVol)
+		if err != nil {
+			return nil, fmt.Errorf("fcma: reading mask: %w", err)
+		}
+		if mv.VoxelsPerFrame() != vol.VoxelsPerFrame() {
+			return nil, fmt.Errorf("fcma: mask grid %v does not match data grid %v", mv.Dim, vol.Dim)
+		}
+		if mask, err = nifti.MaskVolume(mv); err != nil {
+			return nil, err
+		}
+	} else {
+		mask = nifti.MaskVariance(vol, 1e-9)
+		if len(mask) == 0 {
+			return nil, fmt.Errorf("fcma: automatic mask selected no voxels (flat volume?)")
+		}
+	}
+	ds, err := nifti.ToDataset(name, vol, mask, subjects)
+	if err != nil {
+		return nil, err
+	}
+	eps, err := fmri.ReadEpochs(epochs)
+	if err != nil {
+		return nil, fmt.Errorf("fcma: loading epochs: %w", err)
+	}
+	ds.Epochs = eps
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("fcma: NIfTI dataset invalid: %w", err)
+	}
+	return &Data{ds: ds}, nil
+}
+
+// SaveNIfTI writes the dataset's activity as a 4D NIfTI-1 volume (zeros
+// outside the brain mask) plus the epoch label text file.
+func (d *Data) SaveNIfTI(volume, epochs io.Writer) error {
+	vol, err := nifti.FromDataset(d.ds)
+	if err != nil {
+		return err
+	}
+	if err := nifti.Write(volume, vol); err != nil {
+		return fmt.Errorf("fcma: writing NIfTI: %w", err)
+	}
+	if err := fmri.WriteEpochs(epochs, d.ds.Epochs); err != nil {
+		return fmt.Errorf("fcma: writing epochs: %w", err)
+	}
+	return nil
+}
+
+// AccuracyMap renders voxel scores as a single-frame NIfTI overlay for
+// visualization in standard neuroimaging viewers.
+func AccuracyMap(d *Data, scores []VoxelScore, w io.Writer) error {
+	m := make(map[int]float64, len(scores))
+	for _, s := range scores {
+		m[s.Voxel] = s.Accuracy
+	}
+	vol, err := nifti.ScoreMap(d.ds, m)
+	if err != nil {
+		return err
+	}
+	return nifti.Write(w, vol)
+}

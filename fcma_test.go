@@ -1,0 +1,613 @@
+package fcma
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name:             "api-test",
+		Voxels:           40,
+		Subjects:         4,
+		EpochsPerSubject: 8,
+		EpochLen:         12,
+		RestLen:          3,
+		SignalVoxels:     10,
+		Coupling:         0.85,
+		Seed:             11,
+	}
+}
+
+func mustGenerate(t testing.TB, s Spec) *Data {
+	t.Helper()
+	d, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateAccessors(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	if d.Name() != "api-test" || d.Voxels() != 40 || d.Subjects() != 4 || d.Epochs() != 32 {
+		t.Fatalf("accessors: %s %d %d %d", d.Name(), d.Voxels(), d.Subjects(), d.Epochs())
+	}
+	if len(d.SignalVoxels()) != 10 {
+		t.Fatalf("signal voxels: %d", len(d.SignalVoxels()))
+	}
+}
+
+func TestGenerateInvalidSpec(t *testing.T) {
+	s := testSpec()
+	s.Voxels = 0
+	if _, err := Generate(s); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestPaperShapedDatasets(t *testing.T) {
+	fs, err := FaceSceneShaped(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := AttentionShaped(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Name() != "face-scene" || at.Name() != "attention" {
+		t.Fatalf("names: %q %q", fs.Name(), at.Name())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	var data, epochs bytes.Buffer
+	if err := d.Save(&data, &epochs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&data, &epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Voxels() != d.Voxels() || got.Epochs() != d.Epochs() || got.Subjects() != d.Subjects() {
+		t.Fatal("round trip metadata mismatch")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk")), bytes.NewReader(nil)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSelectVoxelsRanksSignal(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	scores, err := SelectVoxels(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != d.Voxels() {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	// Sorted descending.
+	for i := 1; i < len(scores); i++ {
+		if scores[i].Accuracy > scores[i-1].Accuracy {
+			t.Fatal("scores not sorted")
+		}
+	}
+	planted := map[int]bool{}
+	for _, v := range d.SignalVoxels() {
+		planted[v] = true
+	}
+	hits := 0
+	for _, s := range scores[:10] {
+		if planted[s.Voxel] {
+			hits++
+		}
+	}
+	if hits < 6 {
+		t.Fatalf("only %d of top 10 are planted voxels", hits)
+	}
+}
+
+func TestOfflineAnalysis(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	res, err := OfflineAnalysis(d, Config{TopK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 4 {
+		t.Fatalf("folds = %d", len(res.Folds))
+	}
+	for _, f := range res.Folds {
+		if len(f.Selected) != 8 {
+			t.Fatalf("fold %d selected %d", f.LeftOutSubject, len(f.Selected))
+		}
+		if f.TestAccuracy < 0 || f.TestAccuracy > 1 {
+			t.Fatalf("accuracy %v", f.TestAccuracy)
+		}
+	}
+	// With strong planted coupling the held-out classification should beat
+	// chance clearly.
+	if res.MeanAccuracy() < 0.7 {
+		t.Fatalf("mean held-out accuracy %v too low", res.MeanAccuracy())
+	}
+	if len(res.ReliableVoxels) == 0 {
+		t.Fatal("no reliable voxels across folds")
+	}
+	planted := map[int]bool{}
+	for _, v := range d.SignalVoxels() {
+		planted[v] = true
+	}
+	for _, v := range res.ReliableVoxels {
+		if !planted[v] {
+			t.Logf("note: non-planted reliable voxel %d", v)
+		}
+	}
+}
+
+func TestOfflineAnalysisNeedsSubjects(t *testing.T) {
+	s := testSpec()
+	s.Subjects = 2
+	d := mustGenerate(t, s)
+	if _, err := OfflineAnalysis(d, Config{}); err == nil {
+		t.Fatal("2 subjects accepted")
+	}
+}
+
+func TestOnlineAnalysis(t *testing.T) {
+	s := testSpec()
+	s.Subjects = 1
+	s.EpochsPerSubject = 16
+	d := mustGenerate(t, s)
+	res, err := OnlineAnalysis(d, Config{TopK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 6 {
+		t.Fatalf("selected = %d", len(res.Selected))
+	}
+	if res.Classifier == nil || len(res.Classifier.Voxels) != 6 {
+		t.Fatal("classifier missing")
+	}
+	// The classifier should label its own training epochs well.
+	correct := 0
+	for e := 0; e < d.Epochs(); e++ {
+		// Labels alternate by construction.
+		if pred, _ := res.Classifier.Predict(d, e); pred == e%2 {
+			correct++
+		}
+	}
+	if correct*4 < d.Epochs()*3 {
+		t.Fatalf("training accuracy %d/%d too low", correct, d.Epochs())
+	}
+}
+
+func TestOnlineAnalysisRejectsMultiSubject(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	if _, err := OnlineAnalysis(d, Config{}); err == nil {
+		t.Fatal("multi-subject accepted")
+	}
+}
+
+func TestOnlineClassifierGeneralizes(t *testing.T) {
+	// Train online on one subject, test on a fresh subject generated with
+	// the same planted structure (different seed portion of the stream).
+	s := testSpec()
+	s.Subjects = 2
+	s.EpochsPerSubject = 16
+	d := mustGenerate(t, s)
+	trainSubj, err := d.Subject(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OnlineAnalysis(trainSubj, Config{TopK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testSubj, err := d.Subject(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for e := 0; e < testSubj.Epochs(); e++ {
+		if pred, _ := res.Classifier.Predict(testSubj, e); pred == e%2 {
+			correct++
+		}
+	}
+	if correct*3 < testSubj.Epochs()*2 {
+		t.Fatalf("cross-subject accuracy %d/%d too low", correct, testSubj.Epochs())
+	}
+}
+
+func TestSubjectExtraction(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	s0, err := d.Subject(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.Subjects() != 1 || s0.Epochs() != 8 {
+		t.Fatalf("subject extract: %d subjects, %d epochs", s0.Subjects(), s0.Epochs())
+	}
+	if _, err := d.Subject(9); err == nil {
+		t.Fatal("bad subject accepted")
+	}
+}
+
+func TestBaselineEngineAgrees(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	opt, err := SelectVoxels(d, Config{Engine: Optimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := SelectVoxels(d, Config{Engine: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topOpt := map[int]bool{}
+	for _, s := range opt[:10] {
+		topOpt[s.Voxel] = true
+	}
+	agree := 0
+	for _, s := range base[:10] {
+		if topOpt[s.Voxel] {
+			agree++
+		}
+	}
+	if agree < 7 {
+		t.Fatalf("engines agree on only %d of top 10", agree)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if Optimized.String() != "optimized" || Baseline.String() != "baseline" {
+		t.Fatal("Engine.String broken")
+	}
+}
+
+func TestConfigTopKDefault(t *testing.T) {
+	if k := (Config{}).topK(40); k != 4 {
+		t.Fatalf("topK(40) = %d", k)
+	}
+	if k := (Config{}).topK(5000); k != 100 {
+		t.Fatalf("topK(5000) = %d", k)
+	}
+	if k := (Config{}).topK(3); k != 1 {
+		t.Fatalf("topK(3) = %d", k)
+	}
+	if k := (Config{TopK: 7}).topK(40); k != 7 {
+		t.Fatalf("explicit topK = %d", k)
+	}
+}
+
+func TestSelectVoxelsByActivityBlindToConnectivity(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	act, err := SelectVoxelsByActivity(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(act) != d.Voxels() {
+		t.Fatalf("scores = %d", len(act))
+	}
+	planted := map[int]bool{}
+	for _, v := range d.SignalVoxels() {
+		planted[v] = true
+	}
+	// Activity MVPA should NOT concentrate planted voxels at the top the
+	// way FCMA does.
+	hits := 0
+	for _, s := range act[:10] {
+		if planted[s.Voxel] {
+			hits++
+		}
+	}
+	if hits > 5 {
+		t.Fatalf("activity MVPA found %d of top 10 planted connectivity voxels — should be near chance", hits)
+	}
+}
+
+func TestFindROIsRecoversBlobs(t *testing.T) {
+	s := testSpec()
+	s.Voxels = 216
+	s.SignalVoxels = 24
+	s.SignalBlobs = 2
+	d := mustGenerate(t, s)
+	scores, err := SelectVoxels(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := make([]int, 0, 24)
+	for _, sc := range scores[:24] {
+		top = append(top, sc.Voxel)
+	}
+	rois, err := FindROIs(d, top, scores, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rois) < 2 {
+		t.Fatalf("want >=2 regions, got %d", len(rois))
+	}
+	// The two largest regions should be mostly planted voxels.
+	planted := map[int]bool{}
+	for _, v := range d.SignalVoxels() {
+		planted[v] = true
+	}
+	for _, r := range rois[:2] {
+		hit := 0
+		for _, v := range r.Voxels {
+			if planted[v] {
+				hit++
+			}
+		}
+		if hit*3 < r.Size()*2 {
+			t.Fatalf("region of %d voxels has only %d planted", r.Size(), hit)
+		}
+	}
+}
+
+func TestFindROIsNeedsGeometry(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	d.ds.Dims = [3]int{}
+	if _, err := FindROIs(d, []int{0, 1}, nil, 1); err == nil {
+		t.Fatal("geometry-less dataset accepted")
+	}
+}
+
+func TestGridExposed(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	g := d.Grid()
+	if g[0]*g[1]*g[2] < d.Voxels() {
+		t.Fatalf("grid %v too small for %d voxels", g, d.Voxels())
+	}
+}
+
+func TestNIfTIRoundTripThroughFacade(t *testing.T) {
+	s := testSpec()
+	d := mustGenerate(t, s)
+	var vol, eps bytes.Buffer
+	if err := d.SaveNIfTI(&vol, &eps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadNIfTI(&vol, nil, &eps, "round-trip", d.Subjects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Voxels() != d.Voxels() || got.Epochs() != d.Epochs() {
+		t.Fatalf("round trip: %d voxels, %d epochs", got.Voxels(), got.Epochs())
+	}
+	// Analyses must work on NIfTI-loaded data and agree with the source.
+	a, err := SelectVoxels(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectVoxels(got, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topA := map[int]bool{}
+	for _, sc := range a[:8] {
+		topA[sc.Voxel] = true
+	}
+	agree := 0
+	for _, sc := range b[:8] {
+		// Voxel ids can shift under masking; compare via grid position.
+		if topA[sc.Voxel] {
+			agree++
+		}
+	}
+	if agree < 6 {
+		t.Fatalf("NIfTI-loaded analysis agrees on only %d of 8", agree)
+	}
+}
+
+func TestAccuracyMapWrites(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	scores, err := SelectVoxels(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := AccuracyMap(d, scores, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 352 {
+		t.Fatalf("overlay too small: %d bytes", buf.Len())
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	s := testSpec()
+	s.Subjects = 1
+	s.EpochsPerSubject = 12
+	d := mustGenerate(t, s)
+	res, err := OnlineAnalysis(d, Config{TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, errc := RunClosedLoop(d, res.Classifier, 0)
+	correct, n := 0, 0
+	for p := range preds {
+		if p.Label == p.EpochIndex%2 {
+			correct++
+		}
+		n++
+	}
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if n != d.Epochs() {
+		t.Fatalf("loop classified %d of %d epochs", n, d.Epochs())
+	}
+	if correct*4 < n*3 {
+		t.Fatalf("closed-loop accuracy %d/%d too low", correct, n)
+	}
+}
+
+func TestScoresCSVRoundTrip(t *testing.T) {
+	scores := []VoxelScore{{Voxel: 12, Accuracy: 0.875}, {Voxel: 3, Accuracy: 0.5}, {Voxel: 991, Accuracy: 1}}
+	var buf bytes.Buffer
+	if err := WriteScores(&buf, scores); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScores(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i := range scores {
+		if got[i].Voxel != scores[i].Voxel || got[i].Accuracy != scores[i].Accuracy {
+			t.Fatalf("row %d: %+v vs %+v", i, got[i], scores[i])
+		}
+	}
+}
+
+func TestReadScoresRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"voxel,accuracy\n",
+		"1\n",
+		"a,b\n",
+		"1,1.5\n",
+		"1,x\n",
+	} {
+		if _, err := ReadScores(bytes.NewReader([]byte(bad))); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestSelectVoxelsDistributedMatchesLocal(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	local, err := SelectVoxels(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := SelectVoxelsDistributed(d, Config{}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != len(local) {
+		t.Fatalf("lengths %d vs %d", len(dist), len(local))
+	}
+	for i := range dist {
+		if dist[i] != local[i] {
+			t.Fatalf("rank %d: %+v vs %+v", i, dist[i], local[i])
+		}
+	}
+}
+
+func TestPermutationTestSignalIsSignificant(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	scores, err := SelectVoxels(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := make([]int, 6)
+	for i := range top {
+		top[i] = scores[i].Voxel
+	}
+	res, err := PermutationTest(d, top, Config{}, 19, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Null) != 19 {
+		t.Fatalf("null draws = %d", len(res.Null))
+	}
+	if res.Observed < 0.8 {
+		t.Fatalf("observed accuracy %v too low for planted signal", res.Observed)
+	}
+	// Best achievable p with 19 permutations is 1/20.
+	if res.P > 0.1 {
+		t.Fatalf("p = %v for strongly planted signal", res.P)
+	}
+}
+
+func TestPermutationTestNoiseIsNot(t *testing.T) {
+	s := testSpec()
+	s.SignalVoxels = 0
+	s.Coupling = 0.5
+	d := mustGenerate(t, s)
+	res, err := PermutationTest(d, []int{1, 5, 9, 13}, Config{}, 19, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.05 {
+		t.Fatalf("p = %v on pure noise (observed %v)", res.P, res.Observed)
+	}
+}
+
+func TestPermutationTestDeterministic(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	a, err := PermutationTest(d, []int{0, 4, 8}, Config{}, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PermutationTest(d, []int{0, 4, 8}, Config{}, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P != b.P || a.Observed != b.Observed {
+		t.Fatal("same seed must reproduce")
+	}
+	for i := range a.Null {
+		if a.Null[i] != b.Null[i] {
+			t.Fatal("null distribution not deterministic")
+		}
+	}
+}
+
+func TestPermutationTestValidation(t *testing.T) {
+	d := mustGenerate(t, testSpec())
+	if _, err := PermutationTest(d, []int{1}, Config{}, 5, 1); err == nil {
+		t.Fatal("single voxel accepted")
+	}
+	if _, err := PermutationTest(d, []int{1, 2}, Config{}, 0, 1); err == nil {
+		t.Fatal("zero permutations accepted")
+	}
+	one, _ := d.Subject(0)
+	if _, err := PermutationTest(one, []int{1, 2}, Config{}, 5, 1); err == nil {
+		t.Fatal("single subject accepted")
+	}
+}
+
+func TestStreamingSelectorThroughFacade(t *testing.T) {
+	s := testSpec()
+	s.Subjects = 1
+	s.EpochsPerSubject = 12
+	d := mustGenerate(t, s)
+	sel, err := NewStreamingSelector(Config{}, d.Voxels(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed epochs via the dataset's own windows.
+	for _, e := range d.ds.Epochs {
+		if err := sel.FeedEpoch(d.ds.EpochData(e).Clone(), e.Label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sel.Ready() || sel.Epochs() != 12 {
+		t.Fatalf("ready=%v epochs=%d", sel.Ready(), sel.Epochs())
+	}
+	scores, err := sel.Select()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := map[int]bool{}
+	for _, v := range d.SignalVoxels() {
+		planted[v] = true
+	}
+	hits := 0
+	for _, sc := range scores[:10] {
+		if planted[sc.Voxel] {
+			hits++
+		}
+	}
+	if hits < 6 {
+		t.Fatalf("streaming facade selection found %d of 10", hits)
+	}
+}

@@ -1,0 +1,3 @@
+module fcma
+
+go 1.22

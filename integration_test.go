@@ -1,0 +1,151 @@
+package fcma
+
+// Integration test: the complete paper workflow end-to-end on one
+// synthetic dataset — generation, file round trips (binary and NIfTI),
+// offline nested cross-validation, ROI identification, significance
+// testing, online selection, and the closed feedback loop. Each stage
+// consumes the previous stage's outputs, as a real study would.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFullPaperWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workflow is slow")
+	}
+	// 1. Acquire: a face-scene-shaped dataset with spatially clustered
+	// informative regions.
+	data, err := Generate(Spec{
+		Name:             "workflow",
+		Voxels:           343,
+		Subjects:         5,
+		EpochsPerSubject: 10,
+		EpochLen:         12,
+		RestLen:          4,
+		SignalVoxels:     24,
+		SignalBlobs:      2,
+		Coupling:         0.85,
+		Seed:             2026,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Archive and reload through both file formats.
+	var bin, binEps, nii, niiEps bytes.Buffer
+	if err := data.Save(&bin, &binEps); err != nil {
+		t.Fatal(err)
+	}
+	if err := data.SaveNIfTI(&nii, &niiEps); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Load(&bin, &binEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromNii, err := LoadNIfTI(&nii, nil, &niiEps, "workflow", data.Subjects())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromBin.Voxels() != data.Voxels() || fromNii.Voxels() != data.Voxels() {
+		t.Fatalf("reload voxel counts: %d / %d / %d", data.Voxels(), fromBin.Voxels(), fromNii.Voxels())
+	}
+
+	// 3. Offline analysis on the reloaded data: nested LOSO with held-out
+	// verification.
+	offline, err := OfflineAnalysis(fromBin, Config{TopK: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.MeanAccuracy() < 0.7 {
+		t.Fatalf("offline mean accuracy %v", offline.MeanAccuracy())
+	}
+	if len(offline.ReliableVoxels) < 4 {
+		t.Fatalf("only %d reliable voxels", len(offline.ReliableVoxels))
+	}
+
+	// 4. The reliable voxels form spatial ROIs that overlap the planted
+	// blobs.
+	rois, err := FindROIs(fromBin, offline.ReliableVoxels, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rois) == 0 {
+		t.Fatal("no ROIs among reliable voxels")
+	}
+	planted := map[int]bool{}
+	for _, v := range data.SignalVoxels() {
+		planted[v] = true
+	}
+	hit := 0
+	for _, r := range rois {
+		for _, v := range r.Voxels {
+			if planted[v] {
+				hit++
+			}
+		}
+	}
+	if hit == 0 {
+		t.Fatal("ROIs miss the planted regions entirely")
+	}
+
+	// 5. Significance: the reliable-voxel classifier beats its label-
+	// permutation null.
+	perm, err := PermutationTest(fromBin, offline.ReliableVoxels[:minInt(8, len(offline.ReliableVoxels))],
+		Config{}, 19, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm.P > 0.1 {
+		t.Fatalf("permutation p = %v (observed %v)", perm.P, perm.Observed)
+	}
+
+	// 6. Online: select on subject 0, then close the loop on subject 1's
+	// stream.
+	train, err := fromBin.Subject(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := OnlineAnalysis(train, Config{TopK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedbackRun, err := fromBin.Subject(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, errc := RunClosedLoop(feedbackRun, online.Classifier, 0)
+	correct, total := 0, 0
+	for p := range preds {
+		if p.Label == p.EpochIndex%2 {
+			correct++
+		}
+		total++
+	}
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if total != feedbackRun.Epochs() {
+		t.Fatalf("loop saw %d of %d epochs", total, feedbackRun.Epochs())
+	}
+	if correct*3 < total*2 {
+		t.Fatalf("closed-loop accuracy %d/%d", correct, total)
+	}
+
+	// 7. The accuracy map renders for visualization.
+	scores, err := SelectVoxels(fromBin, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overlay bytes.Buffer
+	if err := AccuracyMap(fromBin, scores, &overlay); err != nil {
+		t.Fatal(err)
+	}
+	if overlay.Len() == 0 {
+		t.Fatal("empty overlay")
+	}
+}

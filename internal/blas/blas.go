@@ -1,0 +1,67 @@
+// Package blas implements the single-precision matrix kernels FCMA is built
+// on: general matrix multiplication (sgemm) and symmetric rank-k update
+// (ssyrk, C = A·Aᵀ).
+//
+// Three gemm families are provided:
+//
+//   - Naive: textbook triple loop, the correctness reference.
+//   - Baseline: a square-blocked, panel-packing implementation in the style
+//     of a general-purpose BLAS (the paper's MKL baseline). It is cache
+//     conscious for large, nearly-square operands but pays heavy packing
+//     and loop-overhead costs on FCMA's tall-skinny shapes (k of ~12).
+//   - TallSkinny: the paper's optimization idea #1/#3 — block the long
+//     dimension to fit L2, keep the inner loop unit-stride over the wide
+//     operand, and accumulate across the tiny k dimension in registers.
+//
+// Ssyrk likewise comes as a baseline and as the paper's Fig. 7 workflow:
+// threads march down the long dimension in 96-row blocks, stage each block
+// in a local buffer, transpose micro-panels for unit-stride products and
+// merge per-thread partial results under a lock.
+package blas
+
+import (
+	"fmt"
+
+	"fcma/internal/tensor"
+)
+
+// Sgemm computes C = A·B for single-precision dense matrices.
+type Sgemm interface {
+	// Gemm computes C = A·B, overwriting C. Shapes must satisfy
+	// A: m×k, B: k×n, C: m×n (C.Stride may exceed n to interleave output).
+	Gemm(C, A, B *tensor.Matrix)
+}
+
+// Ssyrk computes the symmetric product C = A·Aᵀ.
+type Ssyrk interface {
+	// Syrk computes C = A·Aᵀ, overwriting C. Shapes: A m×n, C m×m.
+	// Implementations compute only one triangle and mirror it.
+	Syrk(C, A *tensor.Matrix)
+}
+
+func checkGemmShapes(C, A, B *tensor.Matrix) {
+	if A.Cols != B.Rows || C.Rows != A.Rows || C.Cols != B.Cols {
+		panic(fmt.Sprintf("blas: gemm shape mismatch C[%dx%d] = A[%dx%d]·B[%dx%d]",
+			C.Rows, C.Cols, A.Rows, A.Cols, B.Rows, B.Cols))
+	}
+}
+
+func checkSyrkShapes(C, A *tensor.Matrix) {
+	if C.Rows != A.Rows || C.Cols != A.Rows {
+		panic(fmt.Sprintf("blas: syrk shape mismatch C[%dx%d] = A[%dx%d]·Aᵀ",
+			C.Rows, C.Cols, A.Rows, A.Cols))
+	}
+}
+
+// GemmFlops returns the floating point operation count of an m×k·k×n
+// product (one multiply and one add per inner element).
+func GemmFlops(m, k, n int) int64 {
+	return 2 * int64(m) * int64(k) * int64(n)
+}
+
+// SyrkFlops returns the floating point operation count of an m×n·n×m
+// symmetric product when only one triangle is computed.
+func SyrkFlops(m, n int) int64 {
+	// m*(m+1)/2 output elements, 2n flops each.
+	return int64(m) * int64(m+1) * int64(n)
+}

@@ -1,0 +1,44 @@
+package blas
+
+import "fcma/internal/tensor"
+
+// Naive is the textbook reference implementation of both kernels. It is the
+// correctness oracle for the optimized paths and deliberately has no
+// blocking, packing or parallelism.
+type Naive struct{}
+
+// Gemm computes C = A·B with a plain i-k-j triple loop.
+func (Naive) Gemm(C, A, B *tensor.Matrix) {
+	checkGemmShapes(C, A, B)
+	m, k, n := A.Rows, A.Cols, B.Cols
+	for i := 0; i < m; i++ {
+		ci := C.Data[i*C.Stride : i*C.Stride+n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		ai := A.Row(i)
+		for p := 0; p < k; p++ {
+			a := ai[p]
+			bp := B.Data[p*B.Stride : p*B.Stride+n]
+			for j, b := range bp {
+				ci[j] += a * b
+			}
+		}
+	}
+	_ = m
+}
+
+// Syrk computes C = A·Aᵀ one dot product at a time, mirroring the lower
+// triangle into the upper one.
+func (Naive) Syrk(C, A *tensor.Matrix) {
+	checkSyrkShapes(C, A)
+	m := A.Rows
+	for i := 0; i < m; i++ {
+		ai := A.Row(i)
+		for j := 0; j <= i; j++ {
+			v := tensor.Dot32(ai, A.Row(j))
+			C.Set(i, j, v)
+			C.Set(j, i, v)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs fn(start, end) over [0, n) split into contiguous chunks
+// across at most workers goroutines. workers <= 0 means GOMAXPROCS. The
+// chunking is static: chunk i covers the i-th of `workers` equal ranges,
+// which matches the static partitioning the paper's kernels use within a
+// coprocessor.
+func parallelFor(n, workers int, fn func(start, end int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// parallelForDynamic runs fn(i) for each i in [0, n) using a shared atomic
+// work queue, the dynamic analogue of parallelFor for workloads with
+// uneven per-item cost (e.g. per-voxel SVM cross-validation).
+func parallelForDynamic(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

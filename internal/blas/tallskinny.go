@@ -1,0 +1,183 @@
+package blas
+
+import (
+	"sync"
+
+	"fcma/internal/tensor"
+)
+
+// DefaultColBlock is the default number of columns of the wide operand
+// processed per block. 4096 float32 columns keep a 12-row B block plus the
+// accumulator strip inside a 512KB L2 slice, the paper's design point.
+const DefaultColBlock = 4096
+
+// DefaultSyrkBlock is the default long-dimension block for the optimized
+// syrk, matching the paper's 96-row staging blocks (an integral multiple of
+// the 16-lane VPU width).
+const DefaultSyrkBlock = 96
+
+// TallSkinny implements the paper's optimized kernels for matrices with one
+// very small dimension (optimization ideas #1 and #3, §4.2 and §4.4).
+//
+// Gemm targets C[m×n] = A[m×k]·B[k×n] with tiny k (an epoch is ~12 time
+// points): the wide dimension is partitioned into L2-sized column blocks;
+// within a block each output row is accumulated in a contiguous register
+// strip with unit-stride streaming over B, so no element of B is touched
+// more than once per assigned row and no packing buffers are written.
+//
+// Syrk targets C[m×m] = A[m×n]·Aᵀ with huge n (Fig. 7): workers march down
+// the long dimension in ColBlock-sized column blocks, stage each block in a
+// transposed thread-local buffer (A_localᵀ) so the rank-1 updates are
+// unit-stride, accumulate into a thread-local C and merge under a lock.
+type TallSkinny struct {
+	// Workers bounds the number of goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// ColBlock is the column-block width for Gemm; 0 means DefaultColBlock.
+	ColBlock int
+	// SyrkBlock is the long-dimension block for Syrk; 0 means
+	// DefaultSyrkBlock (96, the paper's choice).
+	SyrkBlock int
+}
+
+func (t TallSkinny) colBlock() int {
+	if t.ColBlock <= 0 {
+		return DefaultColBlock
+	}
+	return t.ColBlock
+}
+
+func (t TallSkinny) syrkBlock() int {
+	if t.SyrkBlock <= 0 {
+		return DefaultSyrkBlock
+	}
+	return t.SyrkBlock
+}
+
+// Gemm computes C = A·B optimized for tiny inner dimension.
+func (t TallSkinny) Gemm(C, A, B *tensor.Matrix) {
+	checkGemmShapes(C, A, B)
+	m, k, n := A.Rows, A.Cols, B.Cols
+	if m == 0 || n == 0 {
+		return
+	}
+	nb := t.colBlock()
+	nBlocks := (n + nb - 1) / nb
+	parallelFor(nBlocks, t.Workers, func(b0, b1 int) {
+		for b := b0; b < b1; b++ {
+			j0 := b * nb
+			w := min(nb, n-j0)
+			for i := 0; i < m; i++ {
+				ci := C.Data[i*C.Stride+j0 : i*C.Stride+j0+w]
+				gemmRowStrip(ci, A.Row(i), B, j0, w, k)
+			}
+		}
+	})
+}
+
+// gemmRowStrip computes ci = Σ_p a[p]·B[p, j0:j0+w] with the k accumulation
+// pipelined two rows at a time so the inner loop stays unit-stride over B.
+func gemmRowStrip(ci, a []float32, B *tensor.Matrix, j0, w, k int) {
+	if k == 0 {
+		for j := range ci {
+			ci[j] = 0
+		}
+		return
+	}
+	// First row initializes the strip (saves the zero-fill pass).
+	b0 := B.Data[0*B.Stride+j0 : 0*B.Stride+j0+w]
+	a0 := a[0]
+	for j, bv := range b0 {
+		ci[j] = a0 * bv
+	}
+	p := 1
+	for ; p+1 < k; p += 2 {
+		r0 := B.Data[p*B.Stride+j0 : p*B.Stride+j0+w]
+		r1 := B.Data[(p+1)*B.Stride+j0 : (p+1)*B.Stride+j0+w]
+		av0, av1 := a[p], a[p+1]
+		for j := range ci {
+			ci[j] += av0*r0[j] + av1*r1[j]
+		}
+	}
+	for ; p < k; p++ {
+		rp := B.Data[p*B.Stride+j0 : p*B.Stride+j0+w]
+		av := a[p]
+		for j := range ci {
+			ci[j] += av * rp[j]
+		}
+	}
+}
+
+// Syrk computes C = A·Aᵀ via the Fig. 7 workflow.
+func (t TallSkinny) Syrk(C, A *tensor.Matrix) {
+	checkSyrkShapes(C, A)
+	m, n := A.Rows, A.Cols
+	C.Zero()
+	if m == 0 || n == 0 {
+		return
+	}
+	bn := t.syrkBlock()
+	nBlocks := (n + bn - 1) / bn
+	var mu sync.Mutex
+	parallelFor(nBlocks, t.Workers, func(b0, b1 int) {
+		local := tensor.NewMatrix(m, m)
+		var tbuf []float32
+		for b := b0; b < b1; b++ {
+			j0 := b * bn
+			w := min(bn, n-j0)
+			// Stage the block transposed: tbuf[p*m+i] = A[i, j0+p].
+			tbuf = tensor.PackTransposed(tbuf, A, 0, j0, m, w)
+			syrkBlockKernel(local, tbuf, m, w)
+		}
+		// Merge the thread-local partial product into C under a lock,
+		// mirroring the paper's OpenMP-lock merge of C_local into C.
+		mu.Lock()
+		for i := 0; i < m; i++ {
+			dst, src := C.Row(i), local.Row(i)
+			for j := 0; j <= i; j++ {
+				dst[j] += src[j]
+			}
+		}
+		mu.Unlock()
+	})
+	// Mirror the computed lower triangle.
+	for i := 0; i < m; i++ {
+		for j := 0; j < i; j++ {
+			C.Set(j, i, C.At(i, j))
+		}
+	}
+}
+
+// syrkBlockKernel accumulates local[i][j] += Σ_p tbuf[p*m+i]·tbuf[p*m+j]
+// over the lower triangle using 4×4 register blocks.
+func syrkBlockKernel(local *tensor.Matrix, tbuf []float32, m, w int) {
+	const rb = 4
+	for i0 := 0; i0 < m; i0 += rb {
+		ih := min(rb, m-i0)
+		for j0 := 0; j0 <= i0; j0 += rb {
+			jh := min(rb, m-j0)
+			var acc [rb][rb]float32
+			for p := 0; p < w; p++ {
+				row := tbuf[p*m : p*m+m]
+				ai := row[i0 : i0+ih]
+				aj := row[j0 : j0+jh]
+				for x := 0; x < ih; x++ {
+					av := ai[x]
+					for y := 0; y < jh; y++ {
+						acc[x][y] += av * aj[y]
+					}
+				}
+			}
+			for x := 0; x < ih; x++ {
+				dst := local.Row(i0 + x)
+				for y := 0; y < jh; y++ {
+					if j0+y <= i0+x {
+						dst[j0+y] += acc[x][y]
+					}
+				}
+			}
+		}
+	}
+}
+
+var _ Sgemm = TallSkinny{}
+var _ Ssyrk = TallSkinny{}

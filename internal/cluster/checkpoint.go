@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fcma/internal/core"
+	"fcma/internal/mpi"
+)
+
+// Checkpoint persists completed voxel scores so a long analysis (the
+// paper's single-node attention run is 15 hours) survives interruption:
+// results are appended and fsynced as tasks complete, and a restart skips
+// every task whose voxels are already on disk.
+//
+// The format is the library's score CSV ("voxel,accuracy"), so a partial
+// checkpoint is directly inspectable and usable.
+type Checkpoint struct {
+	path string
+	f    *os.File
+	have map[int]float64
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint at path and loads any
+// scores a previous run recorded.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening checkpoint: %w", err)
+	}
+	cp := &Checkpoint{path: path, f: f, have: make(map[int]float64)}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "voxel") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			f.Close()
+			return nil, fmt.Errorf("cluster: checkpoint %s line %d malformed", path, line)
+		}
+		v, err1 := strconv.Atoi(parts[0])
+		acc, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			f.Close()
+			return nil, fmt.Errorf("cluster: checkpoint %s line %d malformed", path, line)
+		}
+		cp.have[v] = acc
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Position at the end for appends.
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return cp, nil
+}
+
+// Done returns how many voxels the checkpoint holds.
+func (c *Checkpoint) Done() int { return len(c.have) }
+
+// Has reports whether voxel v is already scored.
+func (c *Checkpoint) Has(v int) bool {
+	_, ok := c.have[v]
+	return ok
+}
+
+// record appends freshly completed scores and syncs them to disk.
+func (c *Checkpoint) record(scores []core.VoxelScore) error {
+	var b strings.Builder
+	for _, s := range scores {
+		if _, ok := c.have[s.Voxel]; ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%d,%.6f\n", s.Voxel, s.Accuracy)
+		c.have[s.Voxel] = s.Accuracy
+	}
+	if b.Len() == 0 {
+		return nil
+	}
+	if _, err := c.f.WriteString(b.String()); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+// scores returns everything the checkpoint holds.
+func (c *Checkpoint) scores() []core.VoxelScore {
+	out := make([]core.VoxelScore, 0, len(c.have))
+	for v, acc := range c.have {
+		out = append(out, core.VoxelScore{Voxel: v, Accuracy: acc})
+	}
+	return out
+}
+
+// Close releases the file.
+func (c *Checkpoint) Close() error { return c.f.Close() }
+
+// RunMasterCheckpointed is RunMaster with durable progress: tasks fully
+// covered by the checkpoint are skipped, completed tasks are recorded
+// before the next assignment, and the returned scores merge disk and fresh
+// results. If the analysis aborts (e.g. every worker is lost), rerunning
+// with the same checkpoint resumes where it stopped.
+func RunMasterCheckpointed(tr mpi.Transport, totalVoxels, taskSize int, cp *Checkpoint) ([]core.VoxelScore, error) {
+	return runMaster(tr, totalVoxels, taskSize, cp)
+}

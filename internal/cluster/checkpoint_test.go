@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fcma/internal/core"
+	"fcma/internal/mpi"
+)
+
+func TestCheckpointOpenEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.csv")
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if cp.Done() != 0 || cp.Has(0) {
+		t.Fatal("fresh checkpoint not empty")
+	}
+}
+
+func TestCheckpointRecordAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.csv")
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := []core.VoxelScore{{Voxel: 3, Accuracy: 0.75}, {Voxel: 9, Accuracy: 1}}
+	if err := cp.record(scores); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate records are ignored.
+	if err := cp.record(scores); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	re, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Done() != 2 || !re.Has(3) || !re.Has(9) || re.Has(4) {
+		t.Fatalf("reload state: done=%d", re.Done())
+	}
+	got := re.scores()
+	if len(got) != 2 {
+		t.Fatalf("scores = %d", len(got))
+	}
+}
+
+func TestCheckpointRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.csv")
+	if err := os.WriteFile(path, []byte("not,a,checkpoint,line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	if err := os.WriteFile(path, []byte("x,0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path); err == nil {
+		t.Fatal("non-numeric voxel accepted")
+	}
+}
+
+// TestCheckpointedResume aborts an analysis partway (the only worker dies
+// after a few tasks), then resumes from the checkpoint with a healthy
+// worker and verifies the final result is complete and the completed tasks
+// were not recomputed.
+func TestCheckpointedResume(t *testing.T) {
+	st := testStack(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.csv")
+
+	// Phase 1: a worker that completes 2 tasks then crashes.
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := mpi.NewLocalComm(2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tr := comm.Rank(1)
+		w, err := core.NewWorker(core.Optimized(), st, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tr.Send(0, mpi.TagReady, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		for task := 0; task < 2; task++ {
+			msg, err := tr.Recv()
+			if err != nil || msg.Tag != mpi.TagTask {
+				t.Errorf("task %d: %v %v", task, msg.Tag, err)
+				return
+			}
+			var tm struct{ V0, V int }
+			if err := decode(msg.Body, &tm); err != nil {
+				t.Error(err)
+				return
+			}
+			scores, err := w.Process(core.Task{V0: tm.V0, V: tm.V})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, _ := encode(struct {
+				Task   struct{ V0, V int }
+				Scores []core.VoxelScore
+			}{tm, scores})
+			if err := tr.Send(0, mpi.TagResult, body); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		tr.Close() // crash before finishing
+	}()
+	_, err = RunMasterCheckpointed(comm.Rank(0), st.N, 8, cp)
+	wg.Wait()
+	if err == nil {
+		t.Fatal("phase 1 should abort when its only worker dies")
+	}
+	done := cp.Done()
+	cp.Close()
+	if done != 16 {
+		t.Fatalf("checkpoint holds %d voxels after 2 tasks of 8", done)
+	}
+
+	// Phase 2: resume with a healthy worker.
+	cp2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Done() != 16 {
+		t.Fatalf("reloaded checkpoint holds %d", cp2.Done())
+	}
+	comm2, err := mpi.NewLocalComm(2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	processed := 0
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		tr := comm2.Rank(1)
+		w, err := core.NewWorker(core.Optimized(), st, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tr.Send(0, mpi.TagReady, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			msg, err := tr.Recv()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if msg.Tag == mpi.TagStop {
+				return
+			}
+			var tm struct{ V0, V int }
+			if err := decode(msg.Body, &tm); err != nil {
+				t.Error(err)
+				return
+			}
+			processed++
+			scores, err := w.Process(core.Task{V0: tm.V0, V: tm.V})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, _ := encode(struct {
+				Task   struct{ V0, V int }
+				Scores []core.VoxelScore
+			}{tm, scores})
+			if err := tr.Send(0, mpi.TagResult, body); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	scores, err := RunMasterCheckpointed(comm2.Rank(0), st.N, 8, cp2)
+	wg2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != st.N {
+		t.Fatalf("final scores = %d of %d", len(scores), st.N)
+	}
+	for i, s := range scores {
+		if s.Voxel != i {
+			t.Fatalf("missing voxel %d", i)
+		}
+	}
+	// 32 voxels / 8 per task = 4 tasks; 2 were checkpointed.
+	if processed != 2 {
+		t.Fatalf("resume processed %d tasks, want 2 (skip completed)", processed)
+	}
+}

@@ -1,0 +1,246 @@
+// Package cluster implements FCMA's master–worker parallelization (paper
+// §3.1.1): the master partitions the brain's voxels into fixed-size tasks
+// and hands them to workers dynamically — a worker gets a new task the
+// moment it returns a result — then collects and merges all voxel scores.
+//
+// It also provides a deterministic discrete-event scheduler model used to
+// extrapolate measured per-task costs to node counts beyond the host
+// machine (Tables 3–4, Fig. 8).
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"fcma/internal/core"
+	"fcma/internal/mpi"
+)
+
+// taskMsg and resultMsg are the gob payloads of the protocol.
+type taskMsg struct {
+	V0, V int
+}
+
+type resultMsg struct {
+	Task   taskMsg
+	Scores []core.VoxelScore
+}
+
+type errorMsg struct {
+	Task taskMsg
+	Err  string
+}
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// RunMaster drives the task queue over the transport: voxels [0, totalVoxels)
+// are split into tasks of taskSize voxels, distributed dynamically, and the
+// merged scores (sorted by voxel) are returned once every task completes.
+// Workers receive TagStop when the queue drains.
+//
+// The master is resilient to worker loss: transports inject TagDisconnect
+// when a worker's connection drops, and any task outstanding on that worker
+// is requeued for the survivors. Only losing every worker (or a worker
+// reporting a task-processing error, which would fail identically anywhere)
+// aborts the analysis.
+func RunMaster(tr mpi.Transport, totalVoxels, taskSize int) ([]core.VoxelScore, error) {
+	return runMaster(tr, totalVoxels, taskSize, nil)
+}
+
+// runMaster is the shared master loop; cp (optional) provides durable
+// progress.
+func runMaster(tr mpi.Transport, totalVoxels, taskSize int, cp *Checkpoint) ([]core.VoxelScore, error) {
+	if totalVoxels <= 0 || taskSize <= 0 {
+		return nil, fmt.Errorf("cluster: invalid partition %d voxels / %d per task", totalVoxels, taskSize)
+	}
+	var queue []taskMsg
+	for v0 := 0; v0 < totalVoxels; v0 += taskSize {
+		v := taskSize
+		if v0+v > totalVoxels {
+			v = totalVoxels - v0
+		}
+		if cp != nil && taskCovered(cp, v0, v) {
+			continue
+		}
+		queue = append(queue, taskMsg{V0: v0, V: v})
+	}
+	workers := tr.Size() - 1
+	if workers <= 0 {
+		return nil, fmt.Errorf("cluster: no workers in communicator of size %d", tr.Size())
+	}
+
+	const (
+		stateWorking = iota
+		stateStopped
+		stateDead
+	)
+	state := make(map[int]int)           // rank -> state (absent = not yet heard from)
+	outstanding := make(map[int]taskMsg) // rank -> task in flight
+	finished := 0                        // workers that stopped or died
+	scores := make([]core.VoxelScore, 0, totalVoxels)
+	seen := make(map[int]bool, totalVoxels)
+	addScores := func(fresh []core.VoxelScore) {
+		for _, s := range fresh {
+			if s.Voxel >= 0 && s.Voxel < totalVoxels && !seen[s.Voxel] {
+				seen[s.Voxel] = true
+				scores = append(scores, s)
+			}
+		}
+	}
+	if cp != nil {
+		addScores(cp.scores())
+	}
+
+	assign := func(to int) error {
+		if len(queue) > 0 {
+			task := queue[0]
+			queue = queue[1:]
+			body, err := encode(task)
+			if err != nil {
+				return err
+			}
+			if err := tr.Send(to, mpi.TagTask, body); err != nil {
+				// The worker vanished between messages; put the task back
+				// and let its disconnect notice retire it.
+				queue = append([]taskMsg{task}, queue...)
+				return nil
+			}
+			outstanding[to] = task
+			state[to] = stateWorking
+			return nil
+		}
+		state[to] = stateStopped
+		finished++
+		// A send failure here is harmless: the worker is already gone and
+		// its disconnect was or will be observed.
+		_ = tr.Send(to, mpi.TagStop, nil)
+		return nil
+	}
+
+	for finished < workers {
+		msg, err := tr.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: master recv: %w", err)
+		}
+		switch msg.Tag {
+		case mpi.TagReady:
+			if err := assign(msg.From); err != nil {
+				return nil, fmt.Errorf("cluster: assigning to rank %d: %w", msg.From, err)
+			}
+		case mpi.TagResult:
+			var res resultMsg
+			if err := decode(msg.Body, &res); err != nil {
+				return nil, fmt.Errorf("cluster: decoding result from rank %d: %w", msg.From, err)
+			}
+			delete(outstanding, msg.From)
+			if cp != nil {
+				if err := cp.record(res.Scores); err != nil {
+					return nil, fmt.Errorf("cluster: recording checkpoint: %w", err)
+				}
+			}
+			addScores(res.Scores)
+			if err := assign(msg.From); err != nil {
+				return nil, fmt.Errorf("cluster: assigning to rank %d: %w", msg.From, err)
+			}
+		case mpi.TagDisconnect:
+			if st, seen := state[msg.From]; seen && (st == stateStopped || st == stateDead) {
+				state[msg.From] = stateDead
+				continue // clean shutdown after stop, or duplicate notice
+			}
+			if task, ok := outstanding[msg.From]; ok {
+				// Requeue at the front so the work is retried promptly.
+				queue = append([]taskMsg{task}, queue...)
+				delete(outstanding, msg.From)
+			}
+			state[msg.From] = stateDead
+			finished++
+			if finished == workers && (len(queue) > 0 || len(outstanding) > 0) {
+				return nil, fmt.Errorf("cluster: all %d workers lost with %d tasks unfinished", workers, len(queue)+len(outstanding))
+			}
+		case mpi.TagError:
+			var em errorMsg
+			if err := decode(msg.Body, &em); err != nil {
+				return nil, fmt.Errorf("cluster: rank %d failed (undecodable detail: %v)", msg.From, err)
+			}
+			return nil, fmt.Errorf("cluster: rank %d failed on voxels [%d,%d): %s",
+				msg.From, em.Task.V0, em.Task.V0+em.Task.V, em.Err)
+		default:
+			return nil, fmt.Errorf("cluster: master got unexpected %v from rank %d", msg.Tag, msg.From)
+		}
+	}
+	if len(queue) > 0 || len(outstanding) > 0 {
+		return nil, fmt.Errorf("cluster: protocol finished with %d tasks unissued, %d in flight", len(queue), len(outstanding))
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].Voxel < scores[j].Voxel })
+	if len(scores) != totalVoxels {
+		return nil, fmt.Errorf("cluster: collected %d of %d voxel scores", len(scores), totalVoxels)
+	}
+	return scores, nil
+}
+
+// RunWorker serves tasks until TagStop: announce readiness, process each
+// assignment with the given worker, and return results. A task-processing
+// error is reported to the master and ends the loop.
+func RunWorker(tr mpi.Transport, w *core.Worker) error {
+	if err := tr.Send(0, mpi.TagReady, nil); err != nil {
+		return fmt.Errorf("cluster: worker ready: %w", err)
+	}
+	for {
+		msg, err := tr.Recv()
+		if err != nil {
+			return fmt.Errorf("cluster: worker recv: %w", err)
+		}
+		switch msg.Tag {
+		case mpi.TagStop:
+			return nil
+		case mpi.TagTask:
+			var tm taskMsg
+			if err := decode(msg.Body, &tm); err != nil {
+				return fmt.Errorf("cluster: decoding task: %w", err)
+			}
+			scores, perr := w.Process(core.Task{V0: tm.V0, V: tm.V})
+			if perr != nil {
+				body, err := encode(errorMsg{Task: tm, Err: perr.Error()})
+				if err != nil {
+					return err
+				}
+				if err := tr.Send(0, mpi.TagError, body); err != nil {
+					return err
+				}
+				return perr
+			}
+			body, err := encode(resultMsg{Task: tm, Scores: scores})
+			if err != nil {
+				return err
+			}
+			if err := tr.Send(0, mpi.TagResult, body); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("cluster: worker got unexpected %v", msg.Tag)
+		}
+	}
+}
+
+// taskCovered reports whether every voxel of the task is already in the
+// checkpoint.
+func taskCovered(cp *Checkpoint, v0, v int) bool {
+	for i := v0; i < v0+v; i++ {
+		if !cp.Has(i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fcma/internal/core"
+	"fcma/internal/corr"
+	"fcma/internal/fmri"
+	"fcma/internal/mpi"
+)
+
+func testStack(t testing.TB) *corr.EpochStack {
+	t.Helper()
+	d, err := fmri.Generate(fmri.Spec{
+		Name:             "cluster-test",
+		Voxels:           32,
+		Subjects:         3,
+		EpochsPerSubject: 6,
+		EpochLen:         12,
+		RestLen:          2,
+		SignalVoxels:     8,
+		Coupling:         0.8,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := corr.BuildEpochStack(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// runCluster spins up an in-process master with n workers over the stack.
+func runCluster(t *testing.T, st *corr.EpochStack, nWorkers, taskSize int) []core.VoxelScore {
+	t.Helper()
+	comm, err := mpi.NewLocalComm(nWorkers+1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 1; r <= nWorkers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w, err := core.NewWorker(core.Optimized(), st, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := RunWorker(comm.Rank(r), w); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	scores, err := RunMaster(comm.Rank(0), st.N, taskSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	return scores
+}
+
+func TestClusterProducesAllVoxels(t *testing.T) {
+	st := testStack(t)
+	scores := runCluster(t, st, 3, 5)
+	if len(scores) != st.N {
+		t.Fatalf("scores = %d, want %d", len(scores), st.N)
+	}
+	for i, s := range scores {
+		if s.Voxel != i {
+			t.Fatalf("score %d is voxel %d (results must be sorted and complete)", i, s.Voxel)
+		}
+	}
+}
+
+func TestClusterMatchesSingleWorker(t *testing.T) {
+	st := testStack(t)
+	multi := runCluster(t, st, 4, 3)
+	single := runCluster(t, st, 1, 32)
+	if len(multi) != len(single) {
+		t.Fatal("length mismatch")
+	}
+	for i := range multi {
+		if multi[i] != single[i] {
+			t.Fatalf("voxel %d: %+v vs %+v", i, multi[i], single[i])
+		}
+	}
+}
+
+func TestClusterUnevenTaskSizes(t *testing.T) {
+	st := testStack(t)
+	// 32 voxels in tasks of 7 → sizes 7,7,7,7,4.
+	scores := runCluster(t, st, 2, 7)
+	if len(scores) != st.N {
+		t.Fatalf("scores = %d", len(scores))
+	}
+}
+
+func TestRunMasterValidation(t *testing.T) {
+	comm, _ := mpi.NewLocalComm(2, 4)
+	if _, err := RunMaster(comm.Rank(0), 0, 5); err == nil {
+		t.Fatal("0 voxels accepted")
+	}
+	if _, err := RunMaster(comm.Rank(0), 10, 0); err == nil {
+		t.Fatal("task size 0 accepted")
+	}
+	solo, _ := mpi.NewLocalComm(1, 4)
+	if _, err := RunMaster(solo.Rank(0), 10, 5); err == nil {
+		t.Fatal("no-worker communicator accepted")
+	}
+}
+
+func TestWorkerErrorPropagates(t *testing.T) {
+	st := testStack(t)
+	comm, _ := mpi.NewLocalComm(2, 8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w, err := core.NewWorker(core.Optimized(), st, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Worker will fail: master asks for more voxels than the stack has.
+		_ = RunWorker(comm.Rank(1), w)
+	}()
+	// Claim a larger brain than the worker's stack: the task [32, 64) is
+	// out of range on the worker side.
+	_, err := RunMaster(comm.Rank(0), 64, 40)
+	wg.Wait()
+	if err == nil {
+		t.Fatal("master must surface worker errors")
+	}
+}
+
+func TestMakespanSingleWorkerIsSum(t *testing.T) {
+	m := ScheduleModel{TaskCosts: UniformTasks(10, time.Second)}
+	got, err := m.Makespan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10*time.Second {
+		t.Fatalf("makespan = %v", got)
+	}
+}
+
+func TestMakespanPerfectScaling(t *testing.T) {
+	m := ScheduleModel{TaskCosts: UniformTasks(96, time.Second)}
+	t96, _ := m.Makespan(96)
+	if t96 != time.Second {
+		t.Fatalf("96 workers on 96 tasks = %v, want 1s", t96)
+	}
+}
+
+func TestMakespanDispatchLimitsScaling(t *testing.T) {
+	m := ScheduleModel{
+		TaskCosts: UniformTasks(1000, 10*time.Millisecond),
+		Dispatch:  time.Millisecond,
+	}
+	sp, err := m.Speedups([]int{1, 8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[0] != 1 {
+		t.Fatalf("speedup[0] = %v", sp[0])
+	}
+	if sp[1] < 4 || sp[1] > 8 {
+		t.Fatalf("8-node speedup %v implausible", sp[1])
+	}
+	// With 1ms serialized dispatch per 10ms task, speedup saturates near 10.
+	if sp[2] > 12 {
+		t.Fatalf("64-node speedup %v exceeds dispatch bound", sp[2])
+	}
+	if sp[2] < sp[1] {
+		t.Fatalf("speedup not monotone: %v", sp)
+	}
+}
+
+func TestMakespanLoadImbalanceTail(t *testing.T) {
+	// 9 tasks on 8 workers: someone runs two tasks.
+	m := ScheduleModel{TaskCosts: UniformTasks(9, time.Second)}
+	got, _ := m.Makespan(8)
+	if got != 2*time.Second {
+		t.Fatalf("makespan = %v, want 2s", got)
+	}
+}
+
+func TestMakespanStartupSerial(t *testing.T) {
+	m := ScheduleModel{
+		TaskCosts: UniformTasks(4, time.Second),
+		Startup:   3 * time.Second,
+	}
+	got, _ := m.Makespan(4)
+	if got != 4*time.Second {
+		t.Fatalf("makespan = %v, want 4s (3 startup + 1 compute)", got)
+	}
+}
+
+func TestMakespanErrors(t *testing.T) {
+	m := ScheduleModel{TaskCosts: UniformTasks(4, time.Second)}
+	if _, err := m.Makespan(0); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := (ScheduleModel{}).Makespan(2); err == nil {
+		t.Fatal("no tasks accepted")
+	}
+	if _, err := m.Speedups(nil); err == nil {
+		t.Fatal("no node list accepted")
+	}
+}
+
+func TestSpeedupsNearLinearWithoutOverheads(t *testing.T) {
+	// Fig. 8's shape: plentiful equal tasks and no dispatch cost scale
+	// nearly linearly.
+	m := ScheduleModel{TaskCosts: UniformTasks(96*12, 100*time.Millisecond)}
+	nodes := []int{1, 8, 16, 32, 64, 96}
+	sp, err := m.Speedups(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		if sp[i] < 0.95*float64(n) || sp[i] > float64(n)*1.001 {
+			t.Fatalf("speedup at %d nodes = %v, want ≈%d", n, sp[i], n)
+		}
+	}
+}
+
+// flakyWorker takes exactly one task, then dies without replying (its
+// endpoint close injects the disconnect notice). It closes gotTask once a
+// task is in hand so the test can sequence other workers behind it.
+func flakyWorker(t *testing.T, tr mpi.Transport, gotTask chan<- struct{}) {
+	t.Helper()
+	defer close(gotTask)
+	if err := tr.Send(0, mpi.TagReady, nil); err != nil {
+		t.Error(err)
+		return
+	}
+	msg, err := tr.Recv()
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	if msg.Tag != mpi.TagTask {
+		t.Errorf("flaky worker got %v", msg.Tag)
+		return
+	}
+	tr.Close() // crash mid-task
+}
+
+func TestMasterReassignsAfterWorkerDeath(t *testing.T) {
+	st := testStack(t)
+	comm, err := mpi.NewLocalComm(3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	gotTask := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		flakyWorker(t, comm.Rank(1), gotTask)
+	}()
+	go func() {
+		defer wg.Done()
+		// Join only after the flaky worker holds a task, so its crash is
+		// guaranteed to leave work to reassign.
+		<-gotTask
+		w, err := core.NewWorker(core.Optimized(), st, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := RunWorker(comm.Rank(2), w); err != nil {
+			t.Error(err)
+		}
+	}()
+	scores, err := RunMaster(comm.Rank(0), st.N, 8)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != st.N {
+		t.Fatalf("scores = %d of %d after worker death", len(scores), st.N)
+	}
+	for i, s := range scores {
+		if s.Voxel != i {
+			t.Fatalf("missing voxel %d", i)
+		}
+	}
+}
+
+func TestMasterFailsWhenAllWorkersDie(t *testing.T) {
+	st := testStack(t)
+	comm, err := mpi.NewLocalComm(2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flakyWorker(t, comm.Rank(1), make(chan struct{}))
+	}()
+	_, err = RunMaster(comm.Rank(0), st.N, 8)
+	wg.Wait()
+	if err == nil {
+		t.Fatal("master must fail when every worker is lost mid-analysis")
+	}
+}
+
+func TestTCPClusterSurvivesWorkerCrash(t *testing.T) {
+	st := testStack(t)
+	master, err := mpi.ListenMaster("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	results := make(chan error, 2)
+	gotTask := make(chan struct{})
+	go func() {
+		w, err := mpi.DialWorker(master.Addr())
+		if err != nil {
+			close(gotTask)
+			results <- err
+			return
+		}
+		// Crash after the first task arrives.
+		if err := w.Send(0, mpi.TagReady, nil); err != nil {
+			close(gotTask)
+			results <- err
+			return
+		}
+		if _, err := w.Recv(); err != nil {
+			close(gotTask)
+			results <- err
+			return
+		}
+		close(gotTask)
+		w.Close()
+		results <- nil
+	}()
+	go func() {
+		// Dial immediately (Accept needs both connections) but hold the
+		// Ready message until the flaky worker owns a task.
+		w, err := mpi.DialWorker(master.Addr())
+		if err != nil {
+			results <- err
+			return
+		}
+		defer w.Close()
+		worker, err := core.NewWorker(core.Optimized(), st, nil)
+		if err != nil {
+			results <- err
+			return
+		}
+		<-gotTask
+		results <- RunWorker(w, worker)
+	}()
+	if err := master.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := RunMaster(master, st.N, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != st.N {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

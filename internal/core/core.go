@@ -1,0 +1,199 @@
+// Package core implements the FCMA three-stage pipeline for a single
+// worker task (paper §3.1.2): given a range of assigned voxels, compute
+// their whole-brain correlation vectors for every epoch (stage 1),
+// Fisher-transform and z-score within subject (stage 2), then run
+// per-voxel linear SVM cross-validation over precomputed kernel matrices
+// (stage 3) and return an accuracy score per voxel.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fcma/internal/blas"
+	"fcma/internal/corr"
+	"fcma/internal/svm"
+	"fcma/internal/tensor"
+)
+
+// Config selects the kernel implementations and pipeline structure for a
+// worker. The zero value is NOT valid; use Baseline or Optimized (or build
+// a custom one) so every field is set deliberately.
+type Config struct {
+	// Gemm performs the stage-1 correlation products.
+	Gemm blas.Sgemm
+	// Syrk precomputes the stage-3 SVM kernel matrices.
+	Syrk blas.Ssyrk
+	// Trainer runs stage-3 SVM training during cross-validation.
+	Trainer svm.KernelTrainer
+	// Merged fuses stages 1 and 2 (the paper's cache-retaining variant).
+	Merged bool
+	// Workers bounds goroutine parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// BatchKernels precomputes every assigned voxel's kernel matrix in
+	// one batched pass (the paper's §4.4 redesign: accumulate all kernel
+	// matrices before cross-validation so the solver stage never starves)
+	// instead of per voxel inside the CV loop.
+	BatchKernels bool
+	// SVMParams configures the stage-3 solver.
+	SVMParams svm.Params
+	// Name labels the configuration in reports.
+	Name string
+}
+
+// Baseline returns the paper's baseline configuration: general-purpose
+// blocked BLAS (the MKL stand-in), separated pipeline stages, and the
+// LibSVM-style double-precision solver.
+func Baseline() Config {
+	return Config{
+		Name:    "baseline",
+		Gemm:    blas.Baseline{Workers: 1},
+		Syrk:    blas.Baseline{Workers: 1},
+		Trainer: svm.LibSVM{},
+		Merged:  false,
+	}
+}
+
+// Optimized returns the paper's optimized configuration: tall-skinny
+// blocked kernels, merged stage 1+2, and PhiSVM.
+func Optimized() Config {
+	return Config{
+		Name:         "optimized",
+		Gemm:         blas.TallSkinny{Workers: 1},
+		Syrk:         blas.TallSkinny{Workers: 1},
+		Trainer:      svm.PhiSVM{},
+		Merged:       true,
+		BatchKernels: true,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Gemm == nil || c.Syrk == nil || c.Trainer == nil {
+		return fmt.Errorf("core: config %q missing kernels (gemm=%v syrk=%v trainer=%v)",
+			c.Name, c.Gemm != nil, c.Syrk != nil, c.Trainer != nil)
+	}
+	return nil
+}
+
+// Task assigns a contiguous voxel range to a worker, the unit of cluster
+// distribution (§3.1.1).
+type Task struct {
+	// V0 is the first assigned voxel, V the count.
+	V0, V int
+}
+
+// VoxelScore is the cross-validation accuracy FCMA assigns to one voxel.
+type VoxelScore struct {
+	// Voxel is the brain voxel index.
+	Voxel int
+	// Accuracy is the cross-validated classification accuracy of the
+	// voxel's correlation vectors, in [0, 1].
+	Accuracy float64
+}
+
+// Worker processes tasks against one dataset's epoch stack.
+type Worker struct {
+	cfg   Config
+	stack *corr.EpochStack
+	folds []svm.Fold
+}
+
+// NewWorker prepares a worker over a prebuilt epoch stack. folds defines
+// the stage-3 cross-validation split; nil selects leave-one-subject-out
+// over the stack's epochs.
+func NewWorker(cfg Config, stack *corr.EpochStack, folds []svm.Fold) (*Worker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if stack == nil || stack.M() == 0 {
+		return nil, fmt.Errorf("core: empty epoch stack")
+	}
+	if folds == nil {
+		subjects := make([]int, stack.M())
+		for i, e := range stack.Epochs {
+			subjects[i] = e.Subject
+		}
+		folds = svm.LeaveOneSubjectOutFolds(subjects)
+	}
+	return &Worker{cfg: cfg, stack: stack, folds: folds}, nil
+}
+
+// Process runs the full three-stage pipeline for the task and returns one
+// score per assigned voxel.
+func (w *Worker) Process(t Task) ([]VoxelScore, error) {
+	if t.V <= 0 || t.V0 < 0 || t.V0+t.V > w.stack.N {
+		return nil, fmt.Errorf("core: task voxels [%d,%d) outside brain of %d", t.V0, t.V0+t.V, w.stack.N)
+	}
+	// Stages 1+2.
+	p := &corr.Pipeline{
+		Gemm:    w.cfg.Gemm,
+		Workers: w.cfg.Workers,
+		Merged:  w.cfg.Merged,
+	}
+	buf := p.Run(w.stack, t.V0, t.V)
+
+	// Stage 3: per-voxel kernel precompute + cross-validation. The paper
+	// dedicates one thread to one voxel's cross-validation; dynamic
+	// assignment handles uneven SMO convergence times.
+	M := w.stack.M()
+	labels := make([]int, M)
+	for i, e := range w.stack.Epochs {
+		labels[i] = e.Label
+	}
+	scores := make([]VoxelScore, t.V)
+	errs := make([]error, t.V)
+	var kernels []*tensor.Matrix
+	if w.cfg.BatchKernels {
+		// Precompute every voxel's kernel matrix in one batched pass
+		// before any cross-validation starts (§4.4's redesign): the
+		// reduction to M×M kernels frees the memory the correlation data
+		// held and keeps every thread busy during the solver stage.
+		As := make([]*tensor.Matrix, t.V)
+		kernels = make([]*tensor.Matrix, t.V)
+		for v := 0; v < t.V; v++ {
+			As[v] = buf.View(v*M, 0, M, w.stack.N)
+			kernels[v] = tensor.NewMatrix(M, M)
+		}
+		if err := blas.BatchSyrk(kernels, As, blas.DefaultSyrkBlock, w.cfg.Workers); err != nil {
+			return nil, fmt.Errorf("core: batched kernel precompute: %w", err)
+		}
+	}
+	parallelVoxels(t.V, w.cfg.Workers, func(v int) {
+		var K *tensor.Matrix
+		if kernels != nil {
+			K = kernels[v]
+		} else {
+			data := buf.View(v*M, 0, M, w.stack.N)
+			K = svm.PrecomputeKernel(data, w.cfg.Syrk)
+		}
+		acc, err := svm.CrossValidate(w.cfg.Trainer, K, labels, w.folds)
+		if err != nil {
+			errs[v] = fmt.Errorf("core: voxel %d: %w", t.V0+v, err)
+			return
+		}
+		scores[v] = VoxelScore{Voxel: t.V0 + v, Accuracy: acc}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return scores, nil
+}
+
+// TopVoxels returns the k highest-accuracy scores in descending order
+// (ties broken by voxel index for determinism); k <= 0 or k beyond the
+// score count returns all scores sorted.
+func TopVoxels(scores []VoxelScore, k int) []VoxelScore {
+	out := append([]VoxelScore(nil), scores...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Accuracy != out[j].Accuracy {
+			return out[i].Accuracy > out[j].Accuracy
+		}
+		return out[i].Voxel < out[j].Voxel
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

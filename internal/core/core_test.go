@@ -1,0 +1,229 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"fcma/internal/blas"
+	"fcma/internal/corr"
+	"fcma/internal/fmri"
+	"fcma/internal/svm"
+)
+
+func testStack(t testing.TB, voxels, subjects, epochsPerSubject int) (*fmri.Dataset, *corr.EpochStack) {
+	t.Helper()
+	d, err := fmri.Generate(fmri.Spec{
+		Name:             "core-test",
+		Voxels:           voxels,
+		Subjects:         subjects,
+		EpochsPerSubject: epochsPerSubject,
+		EpochLen:         12,
+		RestLen:          2,
+		SignalVoxels:     voxels / 4,
+		Coupling:         0.85,
+		Seed:             99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := corr.BuildEpochStack(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, st
+}
+
+func TestWorkerProcessScoresAllVoxels(t *testing.T) {
+	_, st := testStack(t, 40, 4, 8)
+	w, err := NewWorker(Optimized(), st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := w.Process(Task{V0: 0, V: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 40 {
+		t.Fatalf("scores = %d", len(scores))
+	}
+	for i, s := range scores {
+		if s.Voxel != i {
+			t.Fatalf("score %d for voxel %d", i, s.Voxel)
+		}
+		if s.Accuracy < 0 || s.Accuracy > 1 {
+			t.Fatalf("accuracy %v out of range", s.Accuracy)
+		}
+	}
+}
+
+func TestFCMAFindsPlantedSignalVoxels(t *testing.T) {
+	// The headline scientific behaviour: FCMA's accuracy ranking must
+	// surface the voxels with planted condition-dependent connectivity.
+	d, st := testStack(t, 48, 6, 12)
+	w, err := NewWorker(Optimized(), st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := w.Process(Task{V0: 0, V: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := make(map[int]bool)
+	for _, v := range d.SignalVoxels {
+		planted[v] = true
+	}
+	top := TopVoxels(scores, len(d.SignalVoxels))
+	hits := 0
+	for _, s := range top {
+		if planted[s.Voxel] {
+			hits++
+		}
+	}
+	// Demand a strong majority of the top-k to be planted voxels.
+	if hits*3 < len(top)*2 {
+		t.Fatalf("only %d of top %d voxels are planted signal voxels", hits, len(top))
+	}
+}
+
+func TestBaselineAndOptimizedAgreeOnRanking(t *testing.T) {
+	d, st := testStack(t, 32, 4, 10)
+	tasks := Task{V0: 0, V: 32}
+	wb, err := NewWorker(Baseline(), st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wo, err := NewWorker(Optimized(), st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := wb.Process(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := wo.Process(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two configurations compute the same mathematics via different
+	// kernels; accuracies should match closely per voxel.
+	k := len(d.SignalVoxels)
+	topB := map[int]bool{}
+	for _, s := range TopVoxels(sb, k) {
+		topB[s.Voxel] = true
+	}
+	agree := 0
+	for _, s := range TopVoxels(so, k) {
+		if topB[s.Voxel] {
+			agree++
+		}
+	}
+	if agree*3 < k*2 {
+		t.Fatalf("baseline and optimized top-%d overlap only %d", k, agree)
+	}
+	for i := range sb {
+		diff := sb[i].Accuracy - so[i].Accuracy
+		if diff < -0.25 || diff > 0.25 {
+			t.Fatalf("voxel %d accuracy: baseline %v vs optimized %v", i, sb[i].Accuracy, so[i].Accuracy)
+		}
+	}
+}
+
+func TestWorkerSubrangeTask(t *testing.T) {
+	_, st := testStack(t, 40, 4, 8)
+	w, _ := NewWorker(Optimized(), st, nil)
+	scores, err := w.Process(Task{V0: 10, V: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 5 || scores[0].Voxel != 10 || scores[4].Voxel != 14 {
+		t.Fatalf("subrange scores wrong: %+v", scores)
+	}
+}
+
+func TestWorkerTaskValidation(t *testing.T) {
+	_, st := testStack(t, 20, 2, 4)
+	w, _ := NewWorker(Optimized(), st, nil)
+	for _, task := range []Task{{V0: -1, V: 2}, {V0: 0, V: 0}, {V0: 18, V: 5}} {
+		if _, err := w.Process(task); err == nil {
+			t.Errorf("task %+v accepted", task)
+		}
+	}
+}
+
+func TestNewWorkerValidation(t *testing.T) {
+	_, st := testStack(t, 20, 2, 4)
+	if _, err := NewWorker(Config{}, st, nil); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := Optimized()
+	if _, err := NewWorker(cfg, nil, nil); err == nil {
+		t.Fatal("nil stack accepted")
+	}
+}
+
+func TestWorkerCustomFolds(t *testing.T) {
+	_, st := testStack(t, 24, 4, 6)
+	folds := svm.KFolds(st.M(), 3)
+	w, err := NewWorker(Optimized(), st, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Process(Task{V0: 0, V: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopVoxels(t *testing.T) {
+	scores := []VoxelScore{{0, 0.5}, {1, 0.9}, {2, 0.7}, {3, 0.9}}
+	top := TopVoxels(scores, 2)
+	if len(top) != 2 || top[0].Voxel != 1 || top[1].Voxel != 3 {
+		t.Fatalf("top = %+v", top)
+	}
+	all := TopVoxels(scores, 0)
+	if len(all) != 4 || all[3].Voxel != 0 {
+		t.Fatalf("all = %+v", all)
+	}
+	// Input must not be mutated.
+	if scores[0].Voxel != 0 {
+		t.Fatal("TopVoxels mutated input")
+	}
+}
+
+func TestParallelVoxelsDynamic(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 64} {
+		var mu sync.Mutex
+		seen := map[int]int{}
+		parallelVoxels(23, workers, func(v int) {
+			mu.Lock()
+			seen[v]++
+			mu.Unlock()
+		})
+		if len(seen) != 23 {
+			t.Fatalf("workers=%d: visited %d", workers, len(seen))
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: voxel %d visited %d times", workers, v, c)
+			}
+		}
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	b, o := Baseline(), Optimized()
+	if b.Merged || !o.Merged {
+		t.Fatal("merge flags wrong")
+	}
+	if _, ok := b.Gemm.(blas.Baseline); !ok {
+		t.Fatal("baseline gemm wrong type")
+	}
+	if _, ok := o.Gemm.(blas.TallSkinny); !ok {
+		t.Fatal("optimized gemm wrong type")
+	}
+	if _, ok := b.Trainer.(svm.LibSVM); !ok {
+		t.Fatal("baseline trainer wrong type")
+	}
+	if _, ok := o.Trainer.(svm.PhiSVM); !ok {
+		t.Fatal("optimized trainer wrong type")
+	}
+}

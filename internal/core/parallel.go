@@ -1,0 +1,49 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelVoxels runs fn(v) for v in [0, n) with dynamic work stealing
+// across at most workers goroutines: per-voxel SVM cross-validation has
+// data-dependent cost (SMO iteration counts vary), so static chunking
+// would leave threads idle.
+func parallelVoxels(n, workers int, fn func(v int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			fn(v)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		v := int(next)
+		next++
+		return v
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				v := take()
+				if v >= n {
+					return
+				}
+				fn(v)
+			}
+		}()
+	}
+	wg.Wait()
+}

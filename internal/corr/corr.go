@@ -1,0 +1,144 @@
+// Package corr implements FCMA's first pipeline stage: reducing Pearson
+// correlation over labeled epochs to tall-skinny matrix multiplication
+// (paper §3.1, eqs. 1–3) and producing the voxel-grouped interleaved layout
+// of Fig. 4. It also hosts the fused stage-1+2 pipeline (paper §4.3): the
+// merged variant normalizes each correlation block while it is still cache
+// resident, the separated variant writes all correlations first and
+// normalizes in a second pass.
+package corr
+
+import (
+	"fmt"
+	"math"
+
+	"fcma/internal/fmri"
+	"fcma/internal/tensor"
+)
+
+// Pearson computes the reference Pearson correlation between x and y. It is
+// the correctness oracle for the matmul reduction; hot paths never call it.
+func Pearson(x, y []float32) float64 {
+	if len(x) != len(y) {
+		panic("corr: Pearson over unequal-length vectors")
+	}
+	mx, sx := tensor.MeanStd(x)
+	my, sy := tensor.MeanStd(y)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	var cov float64
+	for i := range x {
+		cov += (float64(x[i]) - mx) * (float64(y[i]) - my)
+	}
+	cov /= float64(len(x))
+	return cov / (sx * sy)
+}
+
+// NormalizeEpochRows applies eq. 2 to every row of the voxels×T epoch
+// window src, writing into dst (same shape): each row is mean-centered and
+// divided by the root sum of squares of the centered vector, so that the
+// inner product of two normalized rows is their Pearson correlation.
+// Zero-variance rows normalize to all zeros (correlation 0 by convention).
+func NormalizeEpochRows(dst, src *tensor.Matrix) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("corr: normalize %dx%d into %dx%d", src.Rows, src.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < src.Rows; i++ {
+		normalizeVector(dst.Row(i), src.Row(i))
+	}
+}
+
+func normalizeVector(dst, src []float32) {
+	mean := float32(tensor.Mean(src))
+	var rss float64
+	for _, v := range src {
+		d := float64(v - mean)
+		rss += d * d
+	}
+	if rss <= 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	inv := float32(1 / math.Sqrt(rss))
+	for j, v := range src {
+		dst[j] = (v - mean) * inv
+	}
+}
+
+// EpochStack holds the normalized data of every epoch in the transposed
+// T×N layout the correlation gemm consumes as its wide B operand. Building
+// it once per task amortizes eq. 2 across all assigned voxels.
+type EpochStack struct {
+	// Epochs are the source epochs, ordered by subject (validated).
+	Epochs []fmri.Epoch
+	// T is the epoch length, N the brain size.
+	T, N int
+	// Subjects is the subject count, E the per-subject epoch count.
+	Subjects, E int
+	// Norm[e] is the T×N normalized activity of epoch e: Norm[e][t][v] is
+	// voxel v's normalized value at epoch-local time t.
+	Norm []*tensor.Matrix
+}
+
+// M returns the total number of epochs.
+func (st *EpochStack) M() int { return len(st.Epochs) }
+
+// BuildEpochStack normalizes every epoch of d per eq. 2 into transposed
+// layout, parallelized over epochs.
+func BuildEpochStack(d *fmri.Dataset, workers int) (*EpochStack, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	e0, err := d.EpochsPerSubject()
+	if err != nil {
+		return nil, err
+	}
+	// The merged pipeline requires epochs grouped contiguously by subject.
+	for i := 1; i < len(d.Epochs); i++ {
+		if d.Epochs[i].Subject < d.Epochs[i-1].Subject {
+			return nil, fmt.Errorf("corr: epochs not ordered by subject at index %d", i)
+		}
+	}
+	st := &EpochStack{
+		Epochs:   d.Epochs,
+		T:        d.Epochs[0].Len,
+		N:        d.Voxels(),
+		Subjects: d.Subjects,
+		E:        e0,
+		Norm:     make([]*tensor.Matrix, len(d.Epochs)),
+	}
+	parallelEpochs(len(d.Epochs), workers, func(e int) {
+		ep := d.Epochs[e]
+		src := d.EpochData(ep) // N×T view
+		out := tensor.NewMatrix(st.T, st.N)
+		row := make([]float32, st.T)
+		for v := 0; v < st.N; v++ {
+			normalizeVector(row, src.Row(v))
+			for t, val := range row {
+				out.Data[t*out.Stride+v] = val
+			}
+		}
+		st.Norm[e] = out
+	})
+	return st, nil
+}
+
+// GatherAssigned fills dst (V×T) with the normalized values of voxels
+// [v0, v0+V) for epoch e — the small A operand of the correlation gemm.
+func (st *EpochStack) GatherAssigned(e, v0, V int, dst *tensor.Matrix) {
+	if dst.Rows != V || dst.Cols != st.T {
+		panic(fmt.Sprintf("corr: gather into %dx%d, want %dx%d", dst.Rows, dst.Cols, V, st.T))
+	}
+	if v0 < 0 || v0+V > st.N {
+		panic(fmt.Sprintf("corr: gather voxels [%d,%d) of %d", v0, v0+V, st.N))
+	}
+	nm := st.Norm[e]
+	for t := 0; t < st.T; t++ {
+		src := nm.Data[t*nm.Stride+v0 : t*nm.Stride+v0+V]
+		for v, val := range src {
+			dst.Data[v*dst.Stride+t] = val
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package corr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fcma/internal/blas"
+	"fcma/internal/fmri"
+	"fcma/internal/norm"
+	"fcma/internal/tensor"
+)
+
+func testDataset(t testing.TB) *fmri.Dataset {
+	t.Helper()
+	d, err := fmri.Generate(fmri.Spec{
+		Name:             "corr-test",
+		Voxels:           48,
+		Subjects:         3,
+		EpochsPerSubject: 4,
+		EpochLen:         12,
+		RestLen:          3,
+		SignalVoxels:     8,
+		Coupling:         0.8,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPearsonReference(t *testing.T) {
+	x := []float32{1, 2, 3, 4}
+	if r := Pearson(x, x); math.Abs(r-1) > 1e-6 {
+		t.Fatalf("self correlation = %v", r)
+	}
+	y := []float32{4, 3, 2, 1}
+	if r := Pearson(x, y); math.Abs(r+1) > 1e-6 {
+		t.Fatalf("anti correlation = %v", r)
+	}
+	c := []float32{5, 5, 5, 5}
+	if r := Pearson(x, c); r != 0 {
+		t.Fatalf("constant vector correlation = %v", r)
+	}
+}
+
+func TestNormalizedDotEqualsPearson(t *testing.T) {
+	// The core reduction (eqs. 2–3): dot of eq.2-normalized vectors equals
+	// Pearson correlation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		src := tensor.NewMatrix(2, n)
+		for i := range src.Data {
+			src.Data[i] = rng.Float32()*10 - 5
+		}
+		dst := tensor.NewMatrix(2, n)
+		NormalizeEpochRows(dst, src)
+		dot := tensor.Dot(dst.Row(0), dst.Row(1))
+		ref := Pearson(src.Row(0), src.Row(1))
+		return math.Abs(dot-ref) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeEpochRowsZeroVariance(t *testing.T) {
+	src := tensor.NewMatrix(1, 5)
+	src.Fill(3)
+	dst := tensor.NewMatrix(1, 5)
+	dst.Fill(99)
+	NormalizeEpochRows(dst, src)
+	for _, v := range dst.Data {
+		if v != 0 {
+			t.Fatal("constant row must normalize to zeros")
+		}
+	}
+}
+
+func TestNormalizeEpochRowsUnitNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := tensor.NewMatrix(4, 10)
+	for i := range src.Data {
+		src.Data[i] = rng.Float32()
+	}
+	dst := tensor.NewMatrix(4, 10)
+	NormalizeEpochRows(dst, src)
+	for i := 0; i < 4; i++ {
+		if n := tensor.Dot(dst.Row(i), dst.Row(i)); math.Abs(n-1) > 1e-5 {
+			t.Fatalf("row %d norm² = %v, want 1", i, n)
+		}
+	}
+}
+
+func TestBuildEpochStack(t *testing.T) {
+	d := testDataset(t)
+	st, err := BuildEpochStack(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.M() != len(d.Epochs) || st.N != d.Voxels() || st.T != 12 || st.E != 4 || st.Subjects != 3 {
+		t.Fatalf("stack shape: M=%d N=%d T=%d E=%d S=%d", st.M(), st.N, st.T, st.E, st.Subjects)
+	}
+	// Spot check: Norm[e][t][v] equals the eq.2 normalization of the raw
+	// epoch vector.
+	e := 5
+	ep := d.Epochs[e]
+	raw := d.Data.Row(7)[ep.Start : ep.Start+ep.Len]
+	want := make([]float32, len(raw))
+	normalizeVector(want, raw)
+	for tt := 0; tt < st.T; tt++ {
+		if got := st.Norm[e].At(tt, 7); got != want[tt] {
+			t.Fatalf("stack value (%d,%d): %v vs %v", tt, 7, got, want[tt])
+		}
+	}
+}
+
+func TestBuildEpochStackRejectsInvalid(t *testing.T) {
+	d := testDataset(t)
+	d.Epochs[0].Label = 5
+	if _, err := BuildEpochStack(d, 1); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestBuildEpochStackRejectsUnorderedSubjects(t *testing.T) {
+	d := testDataset(t)
+	// Swap epochs of subject 0 and subject 2.
+	last := len(d.Epochs) - 1
+	d.Epochs[0], d.Epochs[last] = d.Epochs[last], d.Epochs[0]
+	if _, err := BuildEpochStack(d, 1); err == nil {
+		t.Fatal("expected subject-order error")
+	}
+}
+
+func TestGatherAssigned(t *testing.T) {
+	d := testDataset(t)
+	st, err := BuildEpochStack(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A := tensor.NewMatrix(3, st.T)
+	st.GatherAssigned(2, 10, 3, A)
+	for v := 0; v < 3; v++ {
+		for tt := 0; tt < st.T; tt++ {
+			if A.At(v, tt) != st.Norm[2].At(tt, 10+v) {
+				t.Fatalf("gather mismatch at (%d,%d)", v, tt)
+			}
+		}
+	}
+}
+
+// rawCorrelationOracle computes the interleaved correlation buffer directly
+// from Pearson on the raw data.
+func rawCorrelationOracle(d *fmri.Dataset, v0, V int) *tensor.Matrix {
+	M, N := len(d.Epochs), d.Voxels()
+	out := tensor.NewMatrix(V*M, N)
+	for v := 0; v < V; v++ {
+		for e, ep := range d.Epochs {
+			x := d.Data.Row(v0 + v)[ep.Start : ep.Start+ep.Len]
+			row := out.Row(v*M + e)
+			for j := 0; j < N; j++ {
+				y := d.Data.Row(j)[ep.Start : ep.Start+ep.Len]
+				row[j] = float32(Pearson(x, y))
+			}
+		}
+	}
+	return out
+}
+
+func TestComputeCorrelationsMatchesOracle(t *testing.T) {
+	d := testDataset(t)
+	st, err := BuildEpochStack(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Gemm: blas.TallSkinny{ColBlock: 16, Workers: 1}, Workers: 2}
+	got := p.ComputeCorrelations(st, 5, 4)
+	want := rawCorrelationOracle(d, 5, 4)
+	if !got.EqualApprox(want, 1e-4) {
+		t.Fatalf("correlation buffer mismatch, max diff %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestSelfCorrelationIsOne(t *testing.T) {
+	d := testDataset(t)
+	st, _ := BuildEpochStack(d, 0)
+	p := &Pipeline{}
+	buf := p.ComputeCorrelations(st, 3, 2)
+	M := st.M()
+	for v := 0; v < 2; v++ {
+		for e := 0; e < M; e++ {
+			r := buf.At(v*M+e, 3+v)
+			if math.Abs(float64(r)-1) > 1e-4 {
+				t.Fatalf("self correlation voxel %d epoch %d = %v", 3+v, e, r)
+			}
+		}
+	}
+}
+
+func TestMergedEqualsSeparated(t *testing.T) {
+	d := testDataset(t)
+	st, err := BuildEpochStack(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, colBlock := range []int{0, 7, 16, 1024} {
+		sep := &Pipeline{Workers: 2, Merged: false}
+		mer := &Pipeline{Workers: 2, Merged: true, ColBlock: colBlock}
+		a := sep.Run(st, 4, 6)
+		b := mer.Run(st, 4, 6)
+		if !a.EqualApprox(b, 1e-4) {
+			t.Fatalf("colBlock=%d: merged and separated disagree, max diff %g",
+				colBlock, a.MaxAbsDiff(b))
+		}
+	}
+}
+
+func TestRunNormalizationMoments(t *testing.T) {
+	// After stage 2, each (voxel, subject, brain-voxel) population of E
+	// values must have mean ~0 and std ~1 (or be all zero for degenerate
+	// populations).
+	d := testDataset(t)
+	st, _ := BuildEpochStack(d, 0)
+	p := &Pipeline{Workers: 1}
+	V := 3
+	buf := p.Run(st, 0, V)
+	M, E, N := st.M(), st.E, st.N
+	for v := 0; v < V; v++ {
+		for s := 0; s < st.Subjects; s++ {
+			for j := 0; j < N; j += 17 { // sample columns
+				var sum, sumSq float64
+				for ei := 0; ei < E; ei++ {
+					f := float64(buf.At(v*M+s*E+ei, j))
+					sum += f
+					sumSq += f * f
+				}
+				mean := sum / float64(E)
+				std := math.Sqrt(math.Max(0, sumSq/float64(E)-mean*mean))
+				allZero := sumSq == 0
+				if !allZero && (math.Abs(mean) > 1e-4 || math.Abs(std-1) > 1e-3) {
+					t.Fatalf("voxel %d subject %d col %d: mean %v std %v", v, s, j, mean, std)
+				}
+			}
+		}
+	}
+}
+
+func TestRunMatchesFullyNaiveReference(t *testing.T) {
+	// End-to-end stage 1+2 against a from-scratch reference.
+	d := testDataset(t)
+	st, _ := BuildEpochStack(d, 0)
+	V, v0 := 2, 9
+	p := &Pipeline{Workers: 1}
+	got := p.Run(st, v0, V)
+
+	raw := rawCorrelationOracle(d, v0, V)
+	M, E, N := st.M(), st.E, st.N
+	for v := 0; v < V; v++ {
+		for s := 0; s < st.Subjects; s++ {
+			block := make([]float32, E*N)
+			for ei := 0; ei < E; ei++ {
+				copy(block[ei*N:(ei+1)*N], raw.Row(v*M+s*E+ei))
+			}
+			norm.FisherZSlice(block)
+			norm.ZScoreColumns(block, E, N)
+			for ei := 0; ei < E; ei++ {
+				for j := 0; j < N; j++ {
+					diff := math.Abs(float64(got.At(v*M+s*E+ei, j) - block[ei*N+j]))
+					if diff > 1e-3 {
+						t.Fatalf("reference mismatch at v=%d s=%d e=%d j=%d: diff %g", v, s, ei, j, diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPipelineGemmImplsAgree(t *testing.T) {
+	d := testDataset(t)
+	st, _ := BuildEpochStack(d, 0)
+	impls := []blas.Sgemm{blas.Naive{}, blas.Baseline{}, blas.TallSkinny{}}
+	var ref *tensor.Matrix
+	for i, g := range impls {
+		p := &Pipeline{Gemm: g, Workers: 2}
+		out := p.Run(st, 0, 5)
+		if i == 0 {
+			ref = out
+			continue
+		}
+		if !out.EqualApprox(ref, 1e-3) {
+			t.Fatalf("impl %d disagrees with naive, max diff %g", i, out.MaxAbsDiff(ref))
+		}
+	}
+}
+
+func TestFullMatrixMatchesPearson(t *testing.T) {
+	d := testDataset(t)
+	st, err := BuildEpochStack(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	C, err := FullMatrix(st, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if C.Rows != d.Voxels() || C.Cols != d.Voxels() {
+		t.Fatalf("matrix %dx%d", C.Rows, C.Cols)
+	}
+	ep := d.Epochs[2]
+	// Spot check a grid of entries against the Pearson oracle, symmetry,
+	// and a unit diagonal.
+	for i := 0; i < d.Voxels(); i += 7 {
+		if diff := math.Abs(float64(C.At(i, i)) - 1); diff > 1e-4 {
+			t.Fatalf("diagonal (%d,%d) = %v", i, i, C.At(i, i))
+		}
+		for j := 0; j < d.Voxels(); j += 11 {
+			want := Pearson(
+				d.Data.Row(i)[ep.Start:ep.Start+ep.Len],
+				d.Data.Row(j)[ep.Start:ep.Start+ep.Len])
+			if diff := math.Abs(float64(C.At(i, j)) - want); diff > 1e-4 {
+				t.Fatalf("(%d,%d): %v vs %v", i, j, C.At(i, j), want)
+			}
+			if C.At(i, j) != C.At(j, i) {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFullMatrixEpochRange(t *testing.T) {
+	d := testDataset(t)
+	st, _ := BuildEpochStack(d, 0)
+	if _, err := FullMatrix(st, -1, nil); err == nil {
+		t.Fatal("negative epoch accepted")
+	}
+	if _, err := FullMatrix(st, st.M(), nil); err == nil {
+		t.Fatal("out-of-range epoch accepted")
+	}
+}
+
+func TestMatrixBytesPaperScale(t *testing.T) {
+	// §3.1: one 34,470² single-precision matrix is ~4.75GB; hundreds of
+	// epochs → terabytes.
+	b := MatrixBytes(34470)
+	if b < 4_700_000_000 || b > 4_800_000_000 {
+		t.Fatalf("MatrixBytes(34470) = %d", b)
+	}
+}

@@ -1,0 +1,65 @@
+package corr
+
+import (
+	"fmt"
+
+	"fcma/internal/fmri"
+	"fcma/internal/tensor"
+)
+
+// NewOnlineStack builds an empty epoch stack for a single subject's
+// streaming session — the online scenario where epochs arrive one at a
+// time from the scanner and voxel selection is re-run as data accumulates.
+// brainVoxels is N; epochLen is the fixed epoch length T.
+func NewOnlineStack(brainVoxels, epochLen int) (*EpochStack, error) {
+	if brainVoxels <= 0 || epochLen < 2 {
+		return nil, fmt.Errorf("corr: online stack needs voxels > 0 and epoch length >= 2, got %d/%d", brainVoxels, epochLen)
+	}
+	return &EpochStack{
+		T:        epochLen,
+		N:        brainVoxels,
+		Subjects: 1,
+	}, nil
+}
+
+// AppendEpoch adds one completed epoch window (voxels×T activity, as the
+// real-time assembler emits) with its label to a single-subject stack:
+// the window is eq.2-normalized into the transposed layout and becomes
+// immediately available to the pipeline. The per-subject epoch count E
+// tracks the total (single subject), so within-subject normalization stays
+// consistent at every prefix.
+func (st *EpochStack) AppendEpoch(window *tensor.Matrix, label int) error {
+	if st.Subjects != 1 {
+		return fmt.Errorf("corr: AppendEpoch requires a single-subject stack (online), got %d subjects", st.Subjects)
+	}
+	if window.Rows != st.N || window.Cols != st.T {
+		return fmt.Errorf("corr: epoch window %dx%d, want %dx%d", window.Rows, window.Cols, st.N, st.T)
+	}
+	if label != 0 && label != 1 {
+		return fmt.Errorf("corr: non-binary label %d", label)
+	}
+	out := tensor.NewMatrix(st.T, st.N)
+	row := make([]float32, st.T)
+	for v := 0; v < st.N; v++ {
+		normalizeVector(row, window.Row(v))
+		for t, val := range row {
+			out.Data[t*out.Stride+v] = val
+		}
+	}
+	// Start is a virtual time index: online stacks own no backing scan,
+	// only per-epoch normalized data.
+	st.Epochs = append(st.Epochs, fmri.Epoch{Subject: 0, Label: label, Start: len(st.Epochs) * st.T, Len: st.T})
+	st.Norm = append(st.Norm, out)
+	st.E = len(st.Epochs)
+	return nil
+}
+
+// Balanced reports whether both conditions have at least min epochs — the
+// precondition for running cross-validated selection on a growing stack.
+func (st *EpochStack) Balanced(min int) bool {
+	var counts [2]int
+	for _, e := range st.Epochs {
+		counts[e.Label]++
+	}
+	return counts[0] >= min && counts[1] >= min
+}

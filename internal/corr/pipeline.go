@@ -1,0 +1,236 @@
+package corr
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"fcma/internal/blas"
+	"fcma/internal/norm"
+	"fcma/internal/tensor"
+)
+
+// Pipeline runs stages 1 and 2 of FCMA for a worker task: correlate the
+// assigned voxels against the whole brain over every epoch, Fisher-
+// transform and z-score within subject, and emit the voxel-grouped
+// interleaved buffer of Fig. 4 (voxel v's M correlation vectors are rows
+// [v·M, (v+1)·M) of the output).
+type Pipeline struct {
+	// Gemm is the matrix kernel for the correlation products; nil selects
+	// the paper's tall-skinny kernel.
+	Gemm blas.Sgemm
+	// Workers bounds goroutine parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Merged selects the fused stage-1+2 variant (paper §4.3): each
+	// correlation block is normalized while cache resident instead of in
+	// a second pass over the full buffer.
+	Merged bool
+	// ColBlock is the column-block width of the merged variant; 0 means
+	// blas.DefaultColBlock.
+	ColBlock int
+	// VoxBlock is the number of assigned voxels processed together per
+	// merged block (the B voxels of Fig. 5); 0 means 8. Larger blocks
+	// amortize the stream over the wide operand; smaller blocks keep the
+	// working set cache resident.
+	VoxBlock int
+}
+
+func (p *Pipeline) gemm() blas.Sgemm {
+	if p.Gemm == nil {
+		// Worker parallelism is at the voxel/block level here, so the
+		// kernel itself runs single-threaded.
+		return blas.TallSkinny{Workers: 1}
+	}
+	return p.Gemm
+}
+
+func (p *Pipeline) workers() int {
+	if p.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Workers
+}
+
+// Run computes the normalized correlation buffer for assigned voxels
+// [v0, v0+V): a (V·M)×N matrix in voxel-grouped interleaved layout.
+func (p *Pipeline) Run(st *EpochStack, v0, V int) *tensor.Matrix {
+	if p.Merged {
+		return p.runMerged(st, v0, V)
+	}
+	buf := p.computeCorrelations(st, v0, V)
+	p.normalizeSeparated(st, buf, V)
+	return buf
+}
+
+// computeCorrelations is the pure stage-1 computation (exported for tests
+// and instrumentation via ComputeCorrelations).
+func (p *Pipeline) computeCorrelations(st *EpochStack, v0, V int) *tensor.Matrix {
+	M, N := st.M(), st.N
+	buf := tensor.NewMatrix(V*M, N)
+	g := p.gemm()
+	parallelEpochs(M, p.workers(), func(e int) {
+		A := tensor.NewMatrix(V, st.T)
+		st.GatherAssigned(e, v0, V, A)
+		// Interleave epoch e's V×N product into every M-th row starting
+		// at row e — the cblas ldc trick from §3.2.
+		view := &tensor.Matrix{Rows: V, Cols: N, Stride: M * buf.Stride, Data: buf.Data[e*buf.Stride:]}
+		g.Gemm(view, A, st.Norm[e])
+	})
+	return buf
+}
+
+// ComputeCorrelations exposes stage 1 alone: raw Pearson correlations in
+// interleaved layout, before any normalization.
+func (p *Pipeline) ComputeCorrelations(st *EpochStack, v0, V int) *tensor.Matrix {
+	return p.computeCorrelations(st, v0, V)
+}
+
+// normalizeSeparated is the unfused stage 2: a second full pass over the
+// correlation buffer applying Fisher + within-subject z-scoring.
+func (p *Pipeline) normalizeSeparated(st *EpochStack, buf *tensor.Matrix, V int) {
+	M, N, E := st.M(), st.N, st.E
+	parallelEpochs(V, p.workers(), func(v int) {
+		for s := 0; s < st.Subjects; s++ {
+			block := buf.Data[(v*M+s*E)*buf.Stride : (v*M+s*E+E-1)*buf.Stride+N]
+			normBlockStrided(block, E, N, buf.Stride)
+		}
+	})
+}
+
+// runMerged fuses stages 1 and 2: correlations for a block of voxels are
+// computed into a small per-worker scratch block (voxel block × subject
+// epochs × column block), Fisher-transformed and z-scored while still
+// cache resident, then written to the output buffer exactly once. The
+// wide operand is streamed once per voxel *block*, not per voxel (Fig. 5's
+// B voxels per thread).
+func (p *Pipeline) runMerged(st *EpochStack, v0, V int) *tensor.Matrix {
+	M, N, E, T := st.M(), st.N, st.E, st.T
+	buf := tensor.NewMatrix(V*M, N)
+	cb := p.ColBlock
+	if cb <= 0 {
+		cb = blas.DefaultColBlock
+	}
+	vb := p.VoxBlock
+	if vb <= 0 {
+		vb = 8
+	}
+	if vb > V {
+		vb = V
+	}
+	g := p.gemm()
+	nBlocks := (N + cb - 1) / cb
+	vBlocks := (V + vb - 1) / vb
+	// Work items are (voxel block, column block) pairs; each normalization
+	// population (one subject's E epochs of one voxel) lives entirely
+	// inside one item, so items are independent.
+	parallelEpochs(vBlocks*nBlocks, p.workers(), func(item int) {
+		vblk := item / nBlocks
+		b := item % nBlocks
+		vs := vblk * vb
+		vh := minInt(vb, V-vs)
+		j0 := b * cb
+		w := minInt(cb, N-j0)
+		// local holds vh×E rows of width w, grouped by voxel: row
+		// v·E+e is voxel v's epoch-e correlations within this subject.
+		local := tensor.NewMatrix(vh*E, w)
+		A := tensor.NewMatrix(vh, T)
+		for s := 0; s < st.Subjects; s++ {
+			for ei := 0; ei < E; ei++ {
+				e := s*E + ei
+				st.GatherAssigned(e, v0+vs, vh, A)
+				Bview := st.Norm[e].View(0, j0, T, w)
+				// Interleave this epoch's vh×w product into every E-th
+				// row of the scratch block.
+				cView := &tensor.Matrix{Rows: vh, Cols: w, Stride: E * local.Stride, Data: local.Data[ei*local.Stride:]}
+				g.Gemm(cView, A, Bview)
+			}
+			// Normalize each voxel's E×w sub-block in cache, then write
+			// it out once.
+			for v := 0; v < vh; v++ {
+				norm.FisherThenZScore(local.Data[v*E*local.Stride:(v*E+E-1)*local.Stride+w], E, w)
+				for ei := 0; ei < E; ei++ {
+					dst := buf.Data[((vs+v)*M+s*E+ei)*buf.Stride+j0:]
+					copy(dst[:w], local.Row(v*E+ei))
+				}
+			}
+		}
+	})
+	return buf
+}
+
+// normBlockStrided applies Fisher + z-scoring to an E×N block whose rows
+// are stride apart in data (the separated pass works on the full-width
+// buffer in place).
+func normBlockStrided(data []float32, rows, cols, stride int) {
+	sum := make([]float64, cols)
+	sumSq := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		row := data[i*stride : i*stride+cols]
+		for j, v := range row {
+			z := norm.FisherZ(v)
+			row[j] = z
+			f := float64(z)
+			sum[j] += f
+			sumSq[j] += f * f
+		}
+	}
+	n := float64(rows)
+	scale := make([]float32, cols)
+	shift := make([]float32, cols)
+	for j := range sum {
+		mean := sum[j] / n
+		variance := sumSq[j]/n - mean*mean
+		if variance <= 0 {
+			continue
+		}
+		inv := 1 / math.Sqrt(variance)
+		scale[j] = float32(inv)
+		shift[j] = float32(mean * inv)
+	}
+	for i := 0; i < rows; i++ {
+		row := data[i*stride : i*stride+cols]
+		for j, v := range row {
+			row[j] = v*scale[j] - shift[j]
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// parallelEpochs runs fn(i) for i in [0, n) across at most workers
+// goroutines with static chunking.
+func parallelEpochs(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				fn(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}

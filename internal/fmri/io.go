@@ -1,0 +1,181 @@
+package fmri
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"fcma/internal/tensor"
+)
+
+// Binary dataset format (little endian):
+//
+//	magic   [4]byte  "FCMA"
+//	version uint32   (1 or 2)
+//	voxels  uint32
+//	time    uint32
+//	subjects uint32
+//	dimX, dimY, dimZ uint32   (version >= 2 only; 0,0,0 = no geometry)
+//	nameLen uint32, name bytes
+//	data    voxels*time float32 (row-major)
+//
+// Epoch labels travel separately in the text format the paper describes
+// ("text files specifying the labeled time epochs"), one epoch per line:
+//
+//	<subject> <label> <start> <len>
+//
+// with '#' comments and blank lines ignored.
+
+var magic = [4]byte{'F', 'C', 'M', 'A'}
+
+const formatVersion = 2
+
+// WriteData serializes the activity matrix portion of d to w.
+func WriteData(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []uint32{formatVersion, uint32(d.Voxels()), uint32(d.TimePoints()), uint32(d.Subjects),
+		uint32(d.Dims[0]), uint32(d.Dims[1]), uint32(d.Dims[2]), uint32(len(d.Name))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(d.Name); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for i := 0; i < d.Voxels(); i++ {
+		for _, v := range d.Data.Row(i) {
+			binary.LittleEndian.PutUint32(buf, mathFloat32bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadData deserializes an activity matrix written by WriteData. The
+// returned dataset has no epochs; attach them with ReadEpochs.
+func ReadData(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("fmri: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("fmri: bad magic %q", m)
+	}
+	readWord := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	version, err := readWord()
+	if err != nil {
+		return nil, fmt.Errorf("fmri: reading header: %w", err)
+	}
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("fmri: unsupported format version %d", version)
+	}
+	words := 4 // voxels, time, subjects, nameLen
+	if version >= 2 {
+		words = 7 // + dims
+	}
+	hdr := make([]uint32, words)
+	for i := range hdr {
+		if hdr[i], err = readWord(); err != nil {
+			return nil, fmt.Errorf("fmri: reading header: %w", err)
+		}
+	}
+	voxels, timePoints, subjects := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	var dims [3]int
+	nameLen := int(hdr[3])
+	if version >= 2 {
+		dims = [3]int{int(hdr[3]), int(hdr[4]), int(hdr[5])}
+		nameLen = int(hdr[6])
+	}
+	if voxels <= 0 || timePoints <= 0 || subjects <= 0 {
+		return nil, fmt.Errorf("fmri: invalid dimensions %dx%d, %d subjects", voxels, timePoints, subjects)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("fmri: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("fmri: reading name: %w", err)
+	}
+	d := &Dataset{
+		Name:     string(name),
+		Data:     tensor.NewMatrix(voxels, timePoints),
+		Subjects: subjects,
+		Dims:     dims,
+	}
+	raw := make([]byte, 4*timePoints)
+	for i := 0; i < voxels; i++ {
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("fmri: reading voxel %d: %w", i, err)
+		}
+		row := d.Data.Row(i)
+		for j := range row {
+			row[j] = mathFloat32frombits(binary.LittleEndian.Uint32(raw[4*j:]))
+		}
+	}
+	return d, nil
+}
+
+// WriteEpochs writes the epoch label text file for d to w.
+func WriteEpochs(w io.Writer, epochs []Epoch) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# subject label start len")
+	for _, e := range epochs {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", e.Subject, e.Label, e.Start, e.Len); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEpochs parses an epoch label text file.
+func ReadEpochs(r io.Reader) ([]Epoch, error) {
+	var out []Epoch
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("fmri: epoch file line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		var vals [4]int
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("fmri: epoch file line %d field %d: %w", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, Epoch{Subject: vals[0], Label: vals[1], Start: vals[2], Len: vals[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fmri: epoch file contains no epochs")
+	}
+	return out, nil
+}
+
+func mathFloat32bits(f float32) uint32     { return math.Float32bits(f) }
+func mathFloat32frombits(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,96 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LocalComm is an in-process communicator: Size ranks connected by
+// buffered channels. It is the transport used for single-machine runs and
+// for tests of the cluster protocol.
+type LocalComm struct {
+	inboxes []chan Message
+	closed  []chan struct{}
+	once    []sync.Once
+}
+
+// NewLocalComm builds a communicator with size ranks and the given
+// per-rank inbox capacity (0 selects a sensible default).
+func NewLocalComm(size, capacity int) (*LocalComm, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: communicator size %d", size)
+	}
+	if capacity <= 0 {
+		capacity = 64
+	}
+	c := &LocalComm{
+		inboxes: make([]chan Message, size),
+		closed:  make([]chan struct{}, size),
+		once:    make([]sync.Once, size),
+	}
+	for i := range c.inboxes {
+		c.inboxes[i] = make(chan Message, capacity)
+		c.closed[i] = make(chan struct{})
+	}
+	return c, nil
+}
+
+// Rank returns the endpoint for the given rank.
+func (c *LocalComm) Rank(r int) Transport {
+	if r < 0 || r >= len(c.inboxes) {
+		panic(fmt.Sprintf("mpi: rank %d of %d", r, len(c.inboxes)))
+	}
+	return &localEndpoint{comm: c, rank: r}
+}
+
+type localEndpoint struct {
+	comm *LocalComm
+	rank int
+}
+
+func (e *localEndpoint) Rank() int { return e.rank }
+func (e *localEndpoint) Size() int { return len(e.comm.inboxes) }
+
+func (e *localEndpoint) Send(to int, tag Tag, body []byte) error {
+	if to < 0 || to >= len(e.comm.inboxes) {
+		return fmt.Errorf("mpi: send to rank %d of %d", to, len(e.comm.inboxes))
+	}
+	// Copy the body so senders may reuse buffers.
+	msg := Message{From: e.rank, Tag: tag, Body: append([]byte(nil), body...)}
+	select {
+	case e.comm.inboxes[to] <- msg:
+		return nil
+	case <-e.comm.closed[to]:
+		return fmt.Errorf("mpi: send to closed rank %d", to)
+	}
+}
+
+func (e *localEndpoint) Recv() (Message, error) {
+	select {
+	case msg := <-e.comm.inboxes[e.rank]:
+		return msg, nil
+	case <-e.comm.closed[e.rank]:
+		// Drain anything that raced with close.
+		select {
+		case msg := <-e.comm.inboxes[e.rank]:
+			return msg, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+func (e *localEndpoint) Close() error {
+	e.comm.once[e.rank].Do(func() {
+		close(e.comm.closed[e.rank])
+		if e.rank != 0 {
+			// Best-effort disconnect notice to the master, mirroring the
+			// TCP transport's behaviour on connection loss.
+			select {
+			case e.comm.inboxes[0] <- Message{From: e.rank, Tag: TagDisconnect}:
+			default:
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package mpi provides the minimal message-passing substrate FCMA's
+// master–worker layer runs on, standing in for the Intel MPI runtime of
+// the paper's cluster: ranked endpoints exchanging tagged, length-framed
+// messages over either in-process channels or TCP.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tag classifies a message within the FCMA protocol.
+type Tag uint32
+
+const (
+	// TagReady announces a worker is idle and wants a task.
+	TagReady Tag = iota + 1
+	// TagTask carries a voxel-range assignment from master to worker.
+	TagTask
+	// TagResult carries voxel scores from worker to master.
+	TagResult
+	// TagStop tells a worker to shut down.
+	TagStop
+	// TagData carries a serialized dataset broadcast.
+	TagData
+	// TagError carries a worker-side failure description.
+	TagError
+	// TagDisconnect is injected by transports when a worker's connection
+	// drops, letting the master reassign its outstanding work.
+	TagDisconnect
+)
+
+// String implements fmt.Stringer.
+func (t Tag) String() string {
+	switch t {
+	case TagReady:
+		return "ready"
+	case TagTask:
+		return "task"
+	case TagResult:
+		return "result"
+	case TagStop:
+		return "stop"
+	case TagData:
+		return "data"
+	case TagError:
+		return "error"
+	case TagDisconnect:
+		return "disconnect"
+	default:
+		return fmt.Sprintf("Tag(%d)", uint32(t))
+	}
+}
+
+// Message is one tagged payload between ranks.
+type Message struct {
+	// From is the sender's rank.
+	From int
+	// Tag classifies the payload.
+	Tag Tag
+	// Body is the serialized payload (encoding is the caller's contract).
+	Body []byte
+}
+
+// Transport is a ranked endpoint in a fixed-size communicator. Rank 0 is
+// the master by convention. Send is safe for concurrent use; Recv is not
+// (FCMA's protocol has a single receive loop per rank).
+type Transport interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the communicator size.
+	Size() int
+	// Send delivers msg to rank `to`. The message's From field is set by
+	// the transport.
+	Send(to int, tag Tag, body []byte) error
+	// Recv blocks for the next message from any rank.
+	Recv() (Message, error)
+	// Close releases the endpoint; pending Recv calls return an error.
+	Close() error
+}
+
+// ErrClosed is returned by Recv after the transport closes.
+var ErrClosed = errors.New("mpi: transport closed")

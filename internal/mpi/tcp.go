@@ -1,0 +1,262 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP wire format per message:
+//
+//	from uint32 | tag uint32 | bodyLen uint32 | body bytes
+//
+// all little endian. The master (rank 0) listens; workers dial in and are
+// assigned ranks 1..size-1 in connection order with a one-word handshake
+// telling each worker its rank and the communicator size.
+
+const maxBody = 1 << 30
+
+func writeFrame(w io.Writer, from int, tag Tag, body []byte) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(from))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(tag))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) (Message, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	if n > maxBody {
+		return Message{}, fmt.Errorf("mpi: frame body of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, err
+	}
+	return Message{
+		From: int(binary.LittleEndian.Uint32(hdr[0:])),
+		Tag:  Tag(binary.LittleEndian.Uint32(hdr[4:])),
+		Body: body,
+	}, nil
+}
+
+// TCPMaster is rank 0 of a TCP communicator: it accepts size-1 worker
+// connections and relays the protocol. Workers can only talk to the
+// master (FCMA's protocol is strictly master–worker, as is the paper's).
+type TCPMaster struct {
+	ln      net.Listener
+	size    int
+	conns   []net.Conn
+	writers []*bufio.Writer
+	wmu     []sync.Mutex
+	inbox   chan Message
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// ListenMaster starts a master on addr expecting size-1 workers to join.
+// It returns once the listener is live; call Accept to wait for workers.
+func ListenMaster(addr string, size int) (*TCPMaster, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("mpi: TCP communicator needs size >= 2, got %d", size)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPMaster{
+		ln:      ln,
+		size:    size,
+		conns:   make([]net.Conn, size),
+		writers: make([]*bufio.Writer, size),
+		wmu:     make([]sync.Mutex, size),
+		inbox:   make(chan Message, 256),
+		closed:  make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the listen address (useful with ":0").
+func (m *TCPMaster) Addr() string { return m.ln.Addr().String() }
+
+// Accept blocks until all workers have joined, then starts the receive
+// pumps.
+func (m *TCPMaster) Accept() error {
+	for r := 1; r < m.size; r++ {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("mpi: accepting rank %d: %w", r, err)
+		}
+		// Handshake: tell the worker its rank and the size.
+		var hs [8]byte
+		binary.LittleEndian.PutUint32(hs[0:], uint32(r))
+		binary.LittleEndian.PutUint32(hs[4:], uint32(m.size))
+		if _, err := conn.Write(hs[:]); err != nil {
+			conn.Close()
+			return fmt.Errorf("mpi: handshake with rank %d: %w", r, err)
+		}
+		m.conns[r] = conn
+		m.writers[r] = bufio.NewWriter(conn)
+		go m.pump(r, conn)
+	}
+	return nil
+}
+
+func (m *TCPMaster) pump(rank int, conn net.Conn) {
+	br := bufio.NewReader(conn)
+	defer func() {
+		// Surface the disconnect so the master can reassign outstanding
+		// work instead of hanging.
+		select {
+		case m.inbox <- Message{From: rank, Tag: TagDisconnect}:
+		case <-m.closed:
+		}
+	}()
+	for {
+		msg, err := readFrame(br)
+		if err != nil {
+			return // connection closed or broken
+		}
+		msg.From = rank // trust connection identity, not the frame header
+		select {
+		case m.inbox <- msg:
+		case <-m.closed:
+			return
+		}
+	}
+}
+
+// Rank implements Transport.
+func (m *TCPMaster) Rank() int { return 0 }
+
+// Size implements Transport.
+func (m *TCPMaster) Size() int { return m.size }
+
+// Send implements Transport.
+func (m *TCPMaster) Send(to int, tag Tag, body []byte) error {
+	if to <= 0 || to >= m.size || m.conns[to] == nil {
+		return fmt.Errorf("mpi: master send to invalid rank %d", to)
+	}
+	m.wmu[to].Lock()
+	defer m.wmu[to].Unlock()
+	if err := writeFrame(m.writers[to], 0, tag, body); err != nil {
+		return err
+	}
+	return m.writers[to].Flush()
+}
+
+// Recv implements Transport.
+func (m *TCPMaster) Recv() (Message, error) {
+	select {
+	case msg := <-m.inbox:
+		return msg, nil
+	case <-m.closed:
+		return Message{}, ErrClosed
+	}
+}
+
+// Close implements Transport.
+func (m *TCPMaster) Close() error {
+	m.once.Do(func() {
+		close(m.closed)
+		m.ln.Close()
+		for _, c := range m.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return nil
+}
+
+// TCPWorker is a worker rank connected to a TCP master.
+type TCPWorker struct {
+	conn   net.Conn
+	w      *bufio.Writer
+	r      *bufio.Reader
+	wmu    sync.Mutex
+	rank   int
+	size   int
+	closed chan struct{}
+	once   sync.Once
+}
+
+// DialWorker connects to the master at addr and completes the rank
+// handshake.
+func DialWorker(addr string) (*TCPWorker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var hs [8]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mpi: handshake: %w", err)
+	}
+	return &TCPWorker{
+		conn:   conn,
+		w:      bufio.NewWriter(conn),
+		r:      bufio.NewReader(conn),
+		rank:   int(binary.LittleEndian.Uint32(hs[0:])),
+		size:   int(binary.LittleEndian.Uint32(hs[4:])),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// Rank implements Transport.
+func (t *TCPWorker) Rank() int { return t.rank }
+
+// Size implements Transport.
+func (t *TCPWorker) Size() int { return t.size }
+
+// Send implements Transport. Workers may only send to the master.
+func (t *TCPWorker) Send(to int, tag Tag, body []byte) error {
+	if to != 0 {
+		return fmt.Errorf("mpi: worker can only send to master, not rank %d", to)
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if err := writeFrame(t.w, t.rank, tag, body); err != nil {
+		return err
+	}
+	return t.w.Flush()
+}
+
+// Recv implements Transport.
+func (t *TCPWorker) Recv() (Message, error) {
+	msg, err := readFrame(t.r)
+	if err != nil {
+		select {
+		case <-t.closed:
+			return Message{}, ErrClosed
+		default:
+			return Message{}, err
+		}
+	}
+	msg.From = 0
+	return msg, nil
+}
+
+// Close implements Transport.
+func (t *TCPWorker) Close() error {
+	t.once.Do(func() {
+		close(t.closed)
+		t.conn.Close()
+	})
+	return nil
+}
+
+var (
+	_ Transport = (*TCPMaster)(nil)
+	_ Transport = (*TCPWorker)(nil)
+)

@@ -1,0 +1,142 @@
+package nifti
+
+import (
+	"fmt"
+
+	"fcma/internal/fmri"
+	"fcma/internal/tensor"
+)
+
+// MaskVariance returns the grid indices of voxels whose temporal variance
+// exceeds eps — the automatic "brain vs. empty space" mask for volumes
+// without an explicit mask file. Indices are ascending.
+func MaskVariance(vol *Volume, eps float64) []int {
+	nf := vol.VoxelsPerFrame()
+	nt := vol.NT()
+	var out []int
+	ts := make([]float32, nt)
+	for g := 0; g < nf; g++ {
+		for t := 0; t < nt; t++ {
+			ts[t] = vol.Data[t*nf+g]
+		}
+		if tensor.Variance(ts) > eps {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// MaskVolume returns the grid indices where the 3D mask volume is nonzero.
+// The mask's spatial dimensions must match the data volume it will be
+// applied to.
+func MaskVolume(mask *Volume) ([]int, error) {
+	if mask.NT() != 1 {
+		return nil, fmt.Errorf("nifti: mask volume has %d time points, want 1", mask.NT())
+	}
+	var out []int
+	for g, v := range mask.Data {
+		if v != 0 {
+			out = append(out, g)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("nifti: mask selects no voxels")
+	}
+	return out, nil
+}
+
+// ToDataset flattens a 4D time-series volume into an analysis dataset:
+// row i of the result is the time course of mask[i]. The dataset carries
+// the acquisition grid and the voxel→grid mapping so ROI reporting can
+// translate back to volume coordinates. Epoch labels are attached by the
+// caller (they live in separate files).
+func ToDataset(name string, vol *Volume, mask []int, subjects int) (*fmri.Dataset, error) {
+	if vol.NT() < 2 {
+		return nil, fmt.Errorf("nifti: volume has %d time points; need a 4D time series", vol.NT())
+	}
+	if subjects < 1 {
+		return nil, fmt.Errorf("nifti: subjects = %d", subjects)
+	}
+	nf := vol.VoxelsPerFrame()
+	if len(mask) == 0 {
+		return nil, fmt.Errorf("nifti: empty mask")
+	}
+	for i, g := range mask {
+		if g < 0 || g >= nf {
+			return nil, fmt.Errorf("nifti: mask[%d] = %d outside frame of %d voxels", i, g, nf)
+		}
+		if i > 0 && mask[i] <= mask[i-1] {
+			return nil, fmt.Errorf("nifti: mask must be strictly ascending at %d", i)
+		}
+	}
+	nt := vol.NT()
+	d := &fmri.Dataset{
+		Name:      name,
+		Data:      tensor.NewMatrix(len(mask), nt),
+		Subjects:  subjects,
+		Dims:      [3]int{vol.NX(), vol.NY(), vol.NZ()},
+		GridIndex: append([]int(nil), mask...),
+	}
+	for i, g := range mask {
+		row := d.Data.Row(i)
+		for t := 0; t < nt; t++ {
+			row[t] = vol.Data[t*nf+g]
+		}
+	}
+	return d, nil
+}
+
+// FromDataset packs a dataset back into a 4D volume (zero outside the
+// mask), the inverse of ToDataset — useful for writing analysis results
+// (e.g. accuracy maps) as NIfTI overlays.
+func FromDataset(d *fmri.Dataset) (*Volume, error) {
+	if !d.HasGeometry() {
+		return nil, fmt.Errorf("nifti: dataset %q has no grid", d.Name)
+	}
+	dims := d.Dims
+	nf := dims[0] * dims[1] * dims[2]
+	nt := d.TimePoints()
+	vol := &Volume{
+		Dim:  [4]int{dims[0], dims[1], dims[2], nt},
+		Data: make([]float32, nf*nt),
+	}
+	for i := 0; i < d.Voxels(); i++ {
+		g := i
+		if d.GridIndex != nil {
+			g = d.GridIndex[i]
+		}
+		if g < 0 || g >= nf {
+			return nil, fmt.Errorf("nifti: voxel %d maps to grid %d of %d", i, g, nf)
+		}
+		row := d.Data.Row(i)
+		for t := 0; t < nt; t++ {
+			vol.Data[t*nf+g] = row[t]
+		}
+	}
+	return vol, nil
+}
+
+// ScoreMap renders per-voxel scores as a single-frame volume overlay
+// (zero outside the scored voxels).
+func ScoreMap(d *fmri.Dataset, scores map[int]float64) (*Volume, error) {
+	if !d.HasGeometry() {
+		return nil, fmt.Errorf("nifti: dataset %q has no grid", d.Name)
+	}
+	dims := d.Dims
+	nf := dims[0] * dims[1] * dims[2]
+	vol := &Volume{
+		Dim:  [4]int{dims[0], dims[1], dims[2], 1},
+		Data: make([]float32, nf),
+	}
+	for v, s := range scores {
+		if v < 0 || v >= d.Voxels() {
+			return nil, fmt.Errorf("nifti: scored voxel %d of %d", v, d.Voxels())
+		}
+		g := v
+		if d.GridIndex != nil {
+			g = d.GridIndex[v]
+		}
+		vol.Data[g] = float32(s)
+	}
+	return vol, nil
+}

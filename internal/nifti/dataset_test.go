@@ -1,0 +1,186 @@
+package nifti
+
+import (
+	"math/rand"
+	"testing"
+
+	"fcma/internal/fmri"
+)
+
+// brainVolume builds a 4D volume where only some voxels have temporal
+// signal ("brain") and the rest are constant ("air").
+func brainVolume(rng *rand.Rand, nx, ny, nz, nt int, brain []int) *Volume {
+	vol := &Volume{
+		Dim:    [4]int{nx, ny, nz, nt},
+		Pixdim: [4]float32{3, 3, 3, 1.5},
+		Data:   make([]float32, nx*ny*nz*nt),
+	}
+	nf := nx * ny * nz
+	inBrain := map[int]bool{}
+	for _, g := range brain {
+		inBrain[g] = true
+	}
+	for g := 0; g < nf; g++ {
+		for t := 0; t < nt; t++ {
+			if inBrain[g] {
+				vol.Data[t*nf+g] = rng.Float32()*2 - 1
+			} else {
+				vol.Data[t*nf+g] = 100 // constant: zero variance
+			}
+		}
+	}
+	return vol
+}
+
+func TestMaskVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	brain := []int{1, 3, 7, 12, 20}
+	vol := brainVolume(rng, 3, 3, 3, 10, brain)
+	got := MaskVariance(vol, 1e-6)
+	if len(got) != len(brain) {
+		t.Fatalf("mask = %v, want %v", got, brain)
+	}
+	for i := range got {
+		if got[i] != brain[i] {
+			t.Fatalf("mask = %v, want %v", got, brain)
+		}
+	}
+}
+
+func TestMaskVolume(t *testing.T) {
+	mask := &Volume{Dim: [4]int{2, 2, 1, 1}, Data: []float32{0, 1, 0, 1}}
+	got, err := MaskVolume(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("mask = %v", got)
+	}
+	if _, err := MaskVolume(&Volume{Dim: [4]int{2, 1, 1, 2}, Data: make([]float32, 4)}); err == nil {
+		t.Fatal("4D mask accepted")
+	}
+	if _, err := MaskVolume(&Volume{Dim: [4]int{2, 1, 1, 1}, Data: []float32{0, 0}}); err == nil {
+		t.Fatal("empty mask accepted")
+	}
+}
+
+func TestToDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	brain := []int{2, 5, 9, 11}
+	vol := brainVolume(rng, 3, 2, 2, 8, brain)
+	d, err := ToDataset("nii-test", vol, brain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Voxels() != 4 || d.TimePoints() != 8 {
+		t.Fatalf("dataset %dx%d", d.Voxels(), d.TimePoints())
+	}
+	if d.Dims != [3]int{3, 2, 2} {
+		t.Fatalf("dims %v", d.Dims)
+	}
+	// Row i must be the time course of grid voxel brain[i].
+	nf := 12
+	for i, g := range brain {
+		for tt := 0; tt < 8; tt++ {
+			if d.Data.At(i, tt) != vol.Data[tt*nf+g] {
+				t.Fatalf("time course mismatch voxel %d t %d", i, tt)
+			}
+		}
+	}
+}
+
+func TestToDatasetValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vol := brainVolume(rng, 2, 2, 1, 4, []int{0})
+	if _, err := ToDataset("x", vol, nil, 1); err == nil {
+		t.Fatal("empty mask accepted")
+	}
+	if _, err := ToDataset("x", vol, []int{9}, 1); err == nil {
+		t.Fatal("out-of-range mask accepted")
+	}
+	if _, err := ToDataset("x", vol, []int{2, 1}, 1); err == nil {
+		t.Fatal("descending mask accepted")
+	}
+	if _, err := ToDataset("x", vol, []int{0}, 0); err == nil {
+		t.Fatal("zero subjects accepted")
+	}
+	flat := &Volume{Dim: [4]int{2, 2, 1, 1}, Data: make([]float32, 4)}
+	if _, err := ToDataset("x", flat, []int{0}, 1); err == nil {
+		t.Fatal("3D volume accepted as time series")
+	}
+}
+
+func TestFromDatasetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	brain := []int{1, 4, 6}
+	vol := brainVolume(rng, 2, 2, 2, 5, brain)
+	d, err := ToDataset("rt", vol, brain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromDataset(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := 8
+	for _, g := range brain {
+		for tt := 0; tt < 5; tt++ {
+			if back.Data[tt*nf+g] != vol.Data[tt*nf+g] {
+				t.Fatal("round trip mismatch in brain")
+			}
+		}
+	}
+	// Outside the mask: zero.
+	if back.Data[0] != 0 {
+		t.Fatal("air voxel should be zero after round trip")
+	}
+}
+
+func TestScoreMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	brain := []int{1, 4, 6}
+	vol := brainVolume(rng, 2, 2, 2, 5, brain)
+	d, _ := ToDataset("sm", vol, brain, 1)
+	m, err := ScoreMap(d, map[int]float64{0: 0.9, 2: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Data[1] != 0.9 || m.Data[6] != 0.7 || m.Data[4] != 0 {
+		t.Fatalf("score map %v", m.Data)
+	}
+	if _, err := ScoreMap(d, map[int]float64{9: 1}); err == nil {
+		t.Fatal("out-of-range score accepted")
+	}
+}
+
+// TestEndToEndNIfTIAnalysis writes a synthetic dataset as NIfTI, reads it
+// back through the masking path, and checks the dataset validates with
+// epochs attached.
+func TestEndToEndNIfTIAnalysis(t *testing.T) {
+	src, err := fmri.Generate(fmri.Spec{
+		Name: "nii-e2e", Voxels: 60, Subjects: 2, EpochsPerSubject: 4,
+		EpochLen: 12, RestLen: 2, SignalVoxels: 8, Coupling: 0.8, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := FromDataset(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := MaskVariance(vol, 1e-9)
+	if len(mask) != src.Voxels() {
+		t.Fatalf("mask recovers %d of %d voxels", len(mask), src.Voxels())
+	}
+	d, err := ToDataset("nii-e2e", vol, mask, src.Subjects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Epochs = src.Epochs
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Data.Equal(src.Data) {
+		t.Fatal("NIfTI round trip altered the data")
+	}
+}

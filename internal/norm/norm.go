@@ -1,0 +1,127 @@
+// Package norm implements FCMA's second pipeline stage: the Fisher
+// z-transformation of Pearson correlation coefficients (paper eq. 4) and
+// within-subject z-scoring (eq. 5).
+//
+// The population for z-scoring is the set of E Fisher-transformed values a
+// single correlation pair (assigned voxel, brain voxel) takes over one
+// subject's E epochs — the "vertical black line" of Fig. 4. Z-scoring that
+// population puts different subjects' coefficients on the same scale before
+// cross-subject classification.
+package norm
+
+import "math"
+
+// ClampR bounds a correlation coefficient away from ±1 so the Fisher
+// transform stays finite. Self-correlations are exactly 1 (a voxel with
+// itself) and would otherwise map to +Inf.
+const ClampR = 1 - 1e-6
+
+// FisherZ applies the Fisher transformation z = ½·ln((1+r)/(1−r)) = atanh(r)
+// with |r| clamped to ClampR.
+func FisherZ(r float32) float32 {
+	rf := float64(r)
+	if rf > ClampR {
+		rf = ClampR
+	} else if rf < -ClampR {
+		rf = -ClampR
+	}
+	return float32(math.Atanh(rf))
+}
+
+// FisherZSlice applies FisherZ to every element of xs in place.
+func FisherZSlice(xs []float32) {
+	for i, v := range xs {
+		xs[i] = FisherZ(v)
+	}
+}
+
+// ZScoreColumns z-scores each column of the rows×cols block held row-major
+// in data (stride = cols): for column j, the rows values are shifted to
+// mean 0 and scaled to standard deviation 1. Columns with zero variance
+// become all zeros. It runs in two passes using the one-pass E[X²]−E[X]²
+// moment accumulation the paper describes (§4.3).
+func ZScoreColumns(data []float32, rows, cols int) {
+	if rows == 0 || cols == 0 {
+		return
+	}
+	if len(data) < rows*cols {
+		panic("norm: block shorter than rows*cols")
+	}
+	// Pass 1: accumulate per-column sums. Walking row-major keeps the
+	// accesses unit-stride, the layout property optimization idea #3 is
+	// about; the accumulators play the role of the SIMD register strip.
+	sum := make([]float64, cols)
+	sumSq := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		row := data[i*cols : (i+1)*cols]
+		for j, v := range row {
+			f := float64(v)
+			sum[j] += f
+			sumSq[j] += f * f
+		}
+	}
+	n := float64(rows)
+	scale := make([]float32, cols)
+	shift := make([]float32, cols)
+	for j := range sum {
+		mean := sum[j] / n
+		variance := sumSq[j]/n - mean*mean
+		if variance <= 0 {
+			scale[j], shift[j] = 0, 0
+			continue
+		}
+		inv := 1 / math.Sqrt(variance)
+		scale[j] = float32(inv)
+		shift[j] = float32(mean * inv)
+	}
+	// Pass 2: x' = x·(1/σ) − μ/σ.
+	for i := 0; i < rows; i++ {
+		row := data[i*cols : (i+1)*cols]
+		for j, v := range row {
+			row[j] = v*scale[j] - shift[j]
+		}
+	}
+}
+
+// FisherThenZScore fuses the Fisher transform with column z-scoring over a
+// rows×cols block, the in-cache operation of the merged pipeline: the block
+// is read once for the transform+moments and once for the scaling.
+func FisherThenZScore(data []float32, rows, cols int) {
+	if rows == 0 || cols == 0 {
+		return
+	}
+	if len(data) < rows*cols {
+		panic("norm: block shorter than rows*cols")
+	}
+	sum := make([]float64, cols)
+	sumSq := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		row := data[i*cols : (i+1)*cols]
+		for j, v := range row {
+			z := FisherZ(v)
+			row[j] = z
+			f := float64(z)
+			sum[j] += f
+			sumSq[j] += f * f
+		}
+	}
+	n := float64(rows)
+	scale := make([]float32, cols)
+	shift := make([]float32, cols)
+	for j := range sum {
+		mean := sum[j] / n
+		variance := sumSq[j]/n - mean*mean
+		if variance <= 0 {
+			continue
+		}
+		inv := 1 / math.Sqrt(variance)
+		scale[j] = float32(inv)
+		shift[j] = float32(mean * inv)
+	}
+	for i := 0; i < rows; i++ {
+		row := data[i*cols : (i+1)*cols]
+		for j, v := range row {
+			row[j] = v*scale[j] - shift[j]
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package norm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFisherZKnownValues(t *testing.T) {
+	cases := []struct {
+		r, z float64
+	}{
+		{0, 0},
+		{0.5, 0.5493061443},
+		{-0.5, -0.5493061443},
+		{0.9, 1.4722194896},
+	}
+	for _, c := range cases {
+		got := float64(FisherZ(float32(c.r)))
+		if math.Abs(got-c.z) > 1e-5 {
+			t.Errorf("FisherZ(%v) = %v, want %v", c.r, got, c.z)
+		}
+	}
+}
+
+func TestFisherZClampsAtOne(t *testing.T) {
+	for _, r := range []float32{1, -1, 1.5, -1.5} {
+		z := FisherZ(r)
+		if math.IsInf(float64(z), 0) || math.IsNaN(float64(z)) {
+			t.Fatalf("FisherZ(%v) = %v, must be finite", r, z)
+		}
+	}
+	if FisherZ(1) <= FisherZ(0.99) {
+		t.Fatal("clamped value should still be large")
+	}
+}
+
+func TestFisherZOddFunction(t *testing.T) {
+	f := func(r float64) bool {
+		r = math.Mod(r, 1) // keep in (-1, 1)
+		a := FisherZ(float32(r))
+		b := FisherZ(float32(-r))
+		return math.Abs(float64(a+b)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFisherZMonotone(t *testing.T) {
+	prev := FisherZ(-0.99)
+	for r := float32(-0.98); r < 0.99; r += 0.01 {
+		z := FisherZ(r)
+		if z <= prev {
+			t.Fatalf("FisherZ not monotone at r=%v", r)
+		}
+		prev = z
+	}
+}
+
+func TestFisherZSlice(t *testing.T) {
+	xs := []float32{0, 0.5, -0.5}
+	want := []float32{FisherZ(0), FisherZ(0.5), FisherZ(-0.5)}
+	FisherZSlice(xs)
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("FisherZSlice[%d] = %v", i, xs[i])
+		}
+	}
+}
+
+func columnMoments(data []float32, rows, cols, j int) (mean, std float64) {
+	var sum, sumSq float64
+	for i := 0; i < rows; i++ {
+		f := float64(data[i*cols+j])
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(rows)
+	mean = sum / n
+	v := sumSq/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}
+
+func TestZScoreColumnsMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows, cols := 12, 7
+	data := make([]float32, rows*cols)
+	for i := range data {
+		data[i] = rng.Float32()*4 - 2
+	}
+	ZScoreColumns(data, rows, cols)
+	for j := 0; j < cols; j++ {
+		mean, std := columnMoments(data, rows, cols, j)
+		if math.Abs(mean) > 1e-5 {
+			t.Fatalf("column %d mean %v after z-scoring", j, mean)
+		}
+		if math.Abs(std-1) > 1e-4 {
+			t.Fatalf("column %d std %v after z-scoring", j, std)
+		}
+	}
+}
+
+func TestZScoreColumnsConstantColumn(t *testing.T) {
+	rows, cols := 5, 2
+	data := make([]float32, rows*cols)
+	for i := 0; i < rows; i++ {
+		data[i*cols] = 3.7 // constant column 0
+		data[i*cols+1] = float32(i)
+	}
+	ZScoreColumns(data, rows, cols)
+	for i := 0; i < rows; i++ {
+		if data[i*cols] != 0 {
+			t.Fatalf("constant column must z-score to 0, got %v", data[i*cols])
+		}
+	}
+}
+
+func TestZScoreColumnsEmpty(t *testing.T) {
+	ZScoreColumns(nil, 0, 0) // must not panic
+	ZScoreColumns([]float32{1}, 1, 1)
+}
+
+func TestZScoreColumnsShortBlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ZScoreColumns(make([]float32, 3), 2, 2)
+}
+
+func TestFisherThenZScoreEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(10)
+		cols := 1 + rng.Intn(10)
+		a := make([]float32, rows*cols)
+		for i := range a {
+			a[i] = rng.Float32()*1.8 - 0.9 // correlation-like values
+		}
+		b := append([]float32(nil), a...)
+
+		// Fused path.
+		FisherThenZScore(a, rows, cols)
+		// Separate path.
+		FisherZSlice(b)
+		ZScoreColumns(b, rows, cols)
+
+		for i := range a {
+			if math.Abs(float64(a[i]-b[i])) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFisherThenZScoreSingleRow(t *testing.T) {
+	// One epoch per subject: variance is zero, everything becomes 0.
+	data := []float32{0.3, -0.7, 0.1}
+	FisherThenZScore(data, 1, 3)
+	for i, v := range data {
+		if v != 0 {
+			t.Fatalf("single-row z-score should zero out, got %v at %d", v, i)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package perf formats the reproduction harness's tables and series in the
+// layout the paper reports them.
+package perf
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a simple aligned-column table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Billions formats a count as a "N.NN billion"-style figure.
+func Billions(v uint64) string {
+	return fmt.Sprintf("%.2f billion", float64(v)/1e9)
+}
+
+// Millions formats a count in millions.
+func Millions(v uint64) string {
+	return fmt.Sprintf("%.1f million", float64(v)/1e6)
+}
+
+// Ms formats a duration in integer milliseconds.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%d ms", d.Milliseconds())
+}
+
+// Seconds formats a duration in seconds with sensible precision.
+func Seconds(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f s", s)
+	case s >= 1:
+		return fmt.Sprintf("%.1f s", s)
+	default:
+		return fmt.Sprintf("%.2f s", s)
+	}
+}
+
+// Speedup formats a ratio as "N.NNx".
+func Speedup(v float64) string {
+	return fmt.Sprintf("%.2fx", v)
+}
+
+// Bytes formats a byte count with a binary-unit suffix.
+func Bytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

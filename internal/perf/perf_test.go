@@ -1,0 +1,72 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header line %q", lines[1])
+	}
+	// Columns aligned: "value" column starts at the same offset in every
+	// row.
+	idx := strings.Index(lines[1], "value")
+	if got := strings.Index(lines[3], "1"); got != idx {
+		t.Fatalf("column misaligned: %d vs %d\n%s", got, idx, out)
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tb := &Table{Headers: []string{"a"}}
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.Render(), "\n") {
+		t.Fatal("empty title must not emit a blank line")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[string]string{
+		Billions(34900000000):           "34.90 billion",
+		Millions(708900000):             "708.9 million",
+		Ms(1830 * time.Millisecond):     "1830 ms",
+		Seconds(85 * time.Second):       "85.0 s",
+		Seconds(741 * time.Second):      "741 s",
+		Seconds(300 * time.Millisecond): "0.30 s",
+		Speedup(5.24):                   "5.24x",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[string]string{
+		Bytes(512):      "512 B",
+		Bytes(2048):     "2.0 KiB",
+		Bytes(29785000): "28.4 MiB",
+		Bytes(6 << 30):  "6.0 GiB",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package report
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fcma/internal/cluster"
+	"fcma/internal/core"
+	"fcma/internal/corr"
+	"fcma/internal/fmri"
+	"fcma/internal/mpi"
+	"fcma/internal/perf"
+)
+
+// NativeOptions configures the native (really-executed, host-CPU)
+// cross-check runs, which complement the machine-model tables with
+// measured wall clock on scaled-down data.
+type NativeOptions struct {
+	// Scale shrinks the dataset (default 0.02 of paper size).
+	Scale float64
+	// Workers lists the in-process worker counts for the scaling run.
+	Workers []int
+	// TaskSize is the voxels-per-task partition (default 32).
+	TaskSize int
+}
+
+func (n NativeOptions) scale() float64 {
+	if n.Scale <= 0 || n.Scale > 1 {
+		return 0.02
+	}
+	return n.Scale
+}
+
+func (n NativeOptions) workers() []int {
+	if len(n.Workers) == 0 {
+		return []int{1, 2, 4, 8}
+	}
+	return n.Workers
+}
+
+func (n NativeOptions) taskSize() int {
+	if n.TaskSize <= 0 {
+		return 32
+	}
+	return n.TaskSize
+}
+
+// NativeSpeedup measures the real optimized-vs-baseline pipeline speedup
+// on scaled face-scene and attention shaped datasets — the native
+// counterpart of Fig. 9, run on the host CPU.
+func NativeSpeedup(opt NativeOptions) (*perf.Table, error) {
+	t := &perf.Table{
+		Title:   fmt.Sprintf("Native Fig. 9 cross-check (host CPU, scale=%.3f)", opt.scale()),
+		Headers: []string{"dataset", "baseline", "optimized", "speedup", "paper (coprocessor)"},
+	}
+	paper := map[string]float64{"face-scene": 5.24, "attention": 16.39}
+	for _, spec := range []fmri.Spec{fmri.FaceSceneSpec(opt.scale()), fmri.AttentionSpec(opt.scale())} {
+		d, err := fmri.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		stack, err := corr.BuildEpochStack(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		task := core.Task{V0: 0, V: minInt(120, d.Voxels())}
+		timeOf := func(cfg core.Config) (time.Duration, error) {
+			w, err := core.NewWorker(cfg, stack, nil)
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			if _, err := w.Process(task); err != nil {
+				return 0, err
+			}
+			return time.Since(start), nil
+		}
+		tb, err := timeOf(core.Baseline())
+		if err != nil {
+			return nil, err
+		}
+		to, err := timeOf(core.Optimized())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.Name, perf.Ms(tb), perf.Ms(to),
+			perf.Speedup(float64(tb)/float64(to)),
+			perf.Speedup(paper[spec.Name]))
+	}
+	return t, nil
+}
+
+// NativeScaling measures real master–worker scaling with in-process
+// workers — the native counterpart of Fig. 8 at host scale.
+func NativeScaling(opt NativeOptions) (*perf.Table, error) {
+	d, err := fmri.Generate(fmri.FaceSceneSpec(opt.scale()))
+	if err != nil {
+		return nil, err
+	}
+	stack, err := corr.BuildEpochStack(d, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &perf.Table{
+		Title:   fmt.Sprintf("Native Fig. 8 cross-check: in-process cluster scaling (face-scene shaped, scale=%.3f)", opt.scale()),
+		Headers: []string{"workers", "elapsed", "speedup"},
+	}
+	var t1 time.Duration
+	for _, n := range opt.workers() {
+		elapsed, err := runLocalCluster(stack, n, opt.taskSize())
+		if err != nil {
+			return nil, err
+		}
+		if t1 == 0 {
+			t1 = elapsed
+		}
+		t.AddRow(fmt.Sprintf("%d", n), perf.Ms(elapsed), perf.Speedup(float64(t1)/float64(elapsed)))
+	}
+	return t, nil
+}
+
+func runLocalCluster(stack *corr.EpochStack, workers, taskSize int) (time.Duration, error) {
+	comm, err := mpi.NewLocalComm(workers+1, 64)
+	if err != nil {
+		return 0, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	start := time.Now()
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := core.Optimized()
+			cfg.Workers = 1 // one goroutine per simulated node
+			w, err := core.NewWorker(cfg, stack, nil)
+			if err != nil {
+				errs[r-1] = err
+				return
+			}
+			errs[r-1] = cluster.RunWorker(comm.Rank(r), w)
+		}(r)
+	}
+	_, err = cluster.RunMaster(comm.Rank(0), stack.N, taskSize)
+	wg.Wait()
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return 0, e
+		}
+	}
+	return time.Since(start), nil
+}

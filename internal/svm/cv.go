@@ -1,0 +1,105 @@
+package svm
+
+import (
+	"fmt"
+
+	"fcma/internal/tensor"
+)
+
+// Fold is one cross-validation split over kernel-matrix sample indices.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// LeaveOneSubjectOutFolds builds one fold per subject: the fold's test set
+// is that subject's samples, its training set everyone else's. subjects[i]
+// gives the subject of sample i.
+func LeaveOneSubjectOutFolds(subjects []int) []Fold {
+	bySubject := make(map[int][]int)
+	var order []int
+	for i, s := range subjects {
+		if _, ok := bySubject[s]; !ok {
+			order = append(order, s)
+		}
+		bySubject[s] = append(bySubject[s], i)
+	}
+	folds := make([]Fold, 0, len(order))
+	for _, s := range order {
+		f := Fold{Test: bySubject[s]}
+		for _, other := range order {
+			if other != s {
+				f.Train = append(f.Train, bySubject[other]...)
+			}
+		}
+		folds = append(folds, f)
+	}
+	return folds
+}
+
+// KFolds builds k sequential folds over n samples (for single-subject
+// online analysis, where leave-one-subject-out degenerates).
+func KFolds(n, k int) []Fold {
+	if k <= 1 || k > n {
+		k = minI(n, 2)
+	}
+	folds := make([]Fold, k)
+	for i := 0; i < n; i++ {
+		f := i * k / n
+		folds[f].Test = append(folds[f].Test, i)
+	}
+	for fi := range folds {
+		inTest := make(map[int]bool, len(folds[fi].Test))
+		for _, t := range folds[fi].Test {
+			inTest[t] = true
+		}
+		for i := 0; i < n; i++ {
+			if !inTest[i] {
+				folds[fi].Train = append(folds[fi].Train, i)
+			}
+		}
+	}
+	return folds
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CrossValidate trains on each fold and returns the overall accuracy: the
+// fraction of test samples across all folds whose predicted label matches.
+// Folds whose training set lacks a class are skipped (counted as chance,
+// 50% of their test samples correct), mirroring degenerate-design handling.
+func CrossValidate(tr KernelTrainer, K *tensor.Matrix, labels []int, folds []Fold) (float64, error) {
+	if K.Rows != K.Cols || K.Rows != len(labels) {
+		return 0, fmt.Errorf("svm: kernel %dx%d vs %d labels", K.Rows, K.Cols, len(labels))
+	}
+	if len(folds) == 0 {
+		return 0, fmt.Errorf("svm: no folds")
+	}
+	var correct, total float64
+	for _, f := range folds {
+		if len(f.Test) == 0 {
+			continue
+		}
+		total += float64(len(f.Test))
+		model, err := tr.TrainKernel(K, labels, f.Train)
+		if err != nil {
+			// Degenerate fold (single-class training set): chance level.
+			correct += float64(len(f.Test)) / 2
+			continue
+		}
+		for _, t := range f.Test {
+			if model.Predict(K, t) == labels[t] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("svm: folds contain no test samples")
+	}
+	return correct / total, nil
+}

@@ -1,0 +1,113 @@
+package svm
+
+import (
+	"fmt"
+
+	"fcma/internal/tensor"
+)
+
+// FoldStats is the outcome of one cross-validation fold.
+type FoldStats struct {
+	// Correct and Total count test predictions.
+	Correct, Total int
+	// Confusion[i][j] counts test samples of true label i predicted j.
+	Confusion [2][2]int
+	// Iters is the solver's SMO iteration count; Degenerate marks folds
+	// whose training set lacked a class (scored at chance).
+	Iters      int
+	Degenerate bool
+}
+
+// Accuracy returns the fold's test accuracy.
+func (f FoldStats) Accuracy() float64 {
+	if f.Total == 0 {
+		return 0
+	}
+	return float64(f.Correct) / float64(f.Total)
+}
+
+// CVStats aggregates a detailed cross-validation run.
+type CVStats struct {
+	Folds []FoldStats
+}
+
+// Accuracy returns the pooled accuracy across folds (the quantity FCMA
+// assigns to a voxel).
+func (s CVStats) Accuracy() float64 {
+	var correct, total int
+	for _, f := range s.Folds {
+		correct += f.Correct
+		total += f.Total
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Confusion returns the pooled confusion matrix.
+func (s CVStats) Confusion() [2][2]int {
+	var out [2][2]int
+	for _, f := range s.Folds {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				out[i][j] += f.Confusion[i][j]
+			}
+		}
+	}
+	return out
+}
+
+// TotalIters returns the summed SMO iteration count, a proxy for solver
+// cost (the quantity the adaptive heuristic optimizes).
+func (s CVStats) TotalIters() int {
+	n := 0
+	for _, f := range s.Folds {
+		n += f.Iters
+	}
+	return n
+}
+
+// CrossValidateDetailed is CrossValidate with per-fold statistics:
+// confusion matrices, iteration counts, and degenerate-fold marking.
+func CrossValidateDetailed(tr KernelTrainer, K *tensor.Matrix, labels []int, folds []Fold) (CVStats, error) {
+	if K.Rows != K.Cols || K.Rows != len(labels) {
+		return CVStats{}, fmt.Errorf("svm: kernel %dx%d vs %d labels", K.Rows, K.Cols, len(labels))
+	}
+	if len(folds) == 0 {
+		return CVStats{}, fmt.Errorf("svm: no folds")
+	}
+	stats := CVStats{Folds: make([]FoldStats, 0, len(folds))}
+	anyTest := false
+	for _, f := range folds {
+		if len(f.Test) == 0 {
+			continue
+		}
+		anyTest = true
+		fs := FoldStats{Total: len(f.Test)}
+		model, err := tr.TrainKernel(K, labels, f.Train)
+		if err != nil {
+			// Degenerate fold: chance level, as in CrossValidate.
+			fs.Degenerate = true
+			fs.Correct = len(f.Test) / 2
+			stats.Folds = append(stats.Folds, fs)
+			continue
+		}
+		fs.Iters = model.Iters
+		for _, t := range f.Test {
+			pred := model.Predict(K, t)
+			truth := labels[t]
+			if truth == 0 || truth == 1 {
+				fs.Confusion[truth][pred]++
+			}
+			if pred == truth {
+				fs.Correct++
+			}
+		}
+		stats.Folds = append(stats.Folds, fs)
+	}
+	if !anyTest {
+		return CVStats{}, fmt.Errorf("svm: folds contain no test samples")
+	}
+	return stats, nil
+}

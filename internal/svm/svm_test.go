@@ -1,0 +1,564 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fcma/internal/blas"
+	"fcma/internal/tensor"
+)
+
+// separableProblem builds n 2D points, class by sign of x+y with margin,
+// and returns the linear kernel matrix plus labels.
+func separableProblem(rng *rand.Rand, n int) (*tensor.Matrix, []int) {
+	X := tensor.NewMatrix(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		off := float32(1.0)
+		if label == 0 {
+			off = -1.0
+		}
+		X.Set(i, 0, off+rng.Float32()*0.4-0.2)
+		X.Set(i, 1, off+rng.Float32()*0.4-0.2)
+		labels[i] = label
+	}
+	return PrecomputeKernel(X, nil), labels
+}
+
+// noisyProblem builds a partially separable problem with flipped labels.
+func noisyProblem(rng *rand.Rand, n int, flip float64) (*tensor.Matrix, []int) {
+	K, labels := separableProblem(rng, n)
+	for i := range labels {
+		if rng.Float64() < flip {
+			labels[i] = 1 - labels[i]
+		}
+	}
+	return K, labels
+}
+
+func allIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func trainers() map[string]KernelTrainer {
+	return map[string]KernelTrainer{
+		"libsvm":            LibSVM{},
+		"libsvm-smallcache": LibSVM{CacheRows: 2},
+		"optimized":         Optimized{},
+		"phisvm-adaptive":   PhiSVM{},
+		"phisvm-first":      PhiSVM{Rule: FirstOrder},
+		"phisvm-second":     PhiSVM{Rule: SecondOrder},
+	}
+}
+
+func TestTrainersSeparateTrainingData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	K, labels := separableProblem(rng, 40)
+	idx := allIdx(40)
+	for name, tr := range trainers() {
+		model, err := tr.TrainKernel(K, labels, idx)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range labels {
+			if got := model.Predict(K, i); got != labels[i] {
+				t.Errorf("%s: sample %d predicted %d, want %d", name, i, got, labels[i])
+			}
+		}
+		if model.NumSV() == 0 {
+			t.Errorf("%s: no support vectors", name)
+		}
+	}
+}
+
+func TestTrainersAgreeOnObjective(t *testing.T) {
+	// All solvers optimize the same dual; converged objectives must agree
+	// to within the stopping tolerance.
+	rng := rand.New(rand.NewSource(2))
+	K, labels := noisyProblem(rng, 60, 0.1)
+	idx := allIdx(60)
+	var objs []float64
+	for name, tr := range trainers() {
+		model, err := tr.TrainKernel(K, labels, idx)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		objs = append(objs, model.Objective)
+		_ = name
+	}
+	for i := 1; i < len(objs); i++ {
+		if math.Abs(objs[i]-objs[0]) > 0.05*math.Abs(objs[0])+0.05 {
+			t.Fatalf("objectives diverge: %v", objs)
+		}
+	}
+}
+
+func TestTrainersAgreeOnPredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	K, labels := noisyProblem(rng, 50, 0.05)
+	train := allIdx(40) // hold out 10
+	ref, err := LibSVM{}.TrainKernel(K, labels, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tr := range trainers() {
+		model, err := tr.TrainKernel(K, labels, train)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 40; i < 50; i++ {
+			a, b := ref.Decide(K, i), model.Decide(K, i)
+			// Decisions near the boundary may differ; demand agreement
+			// when the reference is confident.
+			if math.Abs(a) > 0.1 && (a > 0) != (b > 0) {
+				t.Errorf("%s: test sample %d decision %v vs reference %v", name, i, b, a)
+			}
+		}
+	}
+}
+
+func TestKKTConditions(t *testing.T) {
+	// At the solution: α=0 ⇒ y·f(x) ≥ 1−ε; α=C ⇒ y·f(x) ≤ 1+ε;
+	// 0<α<C ⇒ y·f(x) ≈ 1. Decision uses f(x)=Σ coef·K − rho.
+	rng := rand.New(rand.NewSource(4))
+	K, labels := noisyProblem(rng, 50, 0.15)
+	idx := allIdx(50)
+	params := Params{C: 1, Eps: 1e-4}
+	for _, tr := range []KernelTrainer{LibSVM{Params: params}, Optimized{Params: params}, PhiSVM{Params: params}} {
+		model, err := tr.TrainKernel(K, labels, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const slack = 0.02
+		for i, kidx := range model.TrainIdx {
+			y := float64(2*labels[kidx] - 1)
+			yf := y * model.Decide(K, kidx)
+			alpha := model.Coef[i] * y // α = coef·y since coef = α·y
+			switch {
+			case alpha <= 1e-9:
+				if yf < 1-slack-params.Eps*10 {
+					t.Fatalf("KKT violated for α=0 sample %d: y·f=%v", i, yf)
+				}
+			case alpha >= params.C-1e-9:
+				if yf > 1+slack+params.Eps*10 {
+					t.Fatalf("KKT violated for α=C sample %d: y·f=%v", i, yf)
+				}
+			default:
+				if math.Abs(yf-1) > slack {
+					t.Fatalf("KKT violated for free sample %d: y·f=%v", i, yf)
+				}
+			}
+		}
+	}
+}
+
+func TestDualFeasibility(t *testing.T) {
+	// Σ αᵢyᵢ = 0 and 0 ≤ αᵢ ≤ C must hold for any input.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		K, labels := noisyProblem(rng, n, 0.3)
+		model, err := PhiSVM{}.TrainKernel(K, labels, allIdx(n))
+		if err != nil {
+			return true // single-class degenerate draw
+		}
+		var sum float64
+		for i, kidx := range model.TrainIdx {
+			y := float64(2*labels[kidx] - 1)
+			alpha := model.Coef[i] * y
+			if alpha < -1e-9 || alpha > DefaultC+1e-9 {
+				return false
+			}
+			sum += model.Coef[i] // coef = α·y, so Σcoef = Σαy
+		}
+		return math.Abs(sum) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainKernelErrors(t *testing.T) {
+	K := tensor.NewMatrix(4, 4)
+	oneClass := []int{1, 1, 1, 1}
+	if _, err := (LibSVM{}).TrainKernel(K, oneClass, allIdx(4)); err == nil {
+		t.Fatal("expected single-class error")
+	}
+	badLabels := []int{0, 1, 2, 1}
+	if _, err := (Optimized{}).TrainKernel(K, badLabels, allIdx(4)); err == nil {
+		t.Fatal("expected non-binary label error")
+	}
+	if _, err := (PhiSVM{}).TrainKernel(K, []int{0, 1}, []int{0, 5}); err == nil {
+		t.Fatal("expected out-of-range index error")
+	}
+}
+
+func TestMaxIterEnforced(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	K, labels := noisyProblem(rng, 40, 0.3)
+	tr := Optimized{Params: Params{MaxIter: 1, Eps: 1e-12}}
+	if _, err := tr.TrainKernel(K, labels, allIdx(40)); err == nil {
+		t.Fatal("expected non-convergence error with MaxIter=1")
+	}
+}
+
+func TestAdaptiveUsesBothRules(t *testing.T) {
+	// A problem hard enough to run several adaptive phases should probe
+	// both heuristics.
+	rng := rand.New(rand.NewSource(6))
+	n := 200
+	K, labels := noisyProblem(rng, n, 0.4)
+	s, err := newSMO32(K, labels, allIdx(n), Params{C: 10, Eps: 1e-6}, Adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.solve(); err != nil {
+		t.Fatal(err)
+	}
+	if s.selected[FirstOrder] == 0 || s.selected[SecondOrder] == 0 {
+		t.Fatalf("adaptive never probed both rules: %v", s.selected)
+	}
+}
+
+func TestSecondOrderConvergesInFewerIterations(t *testing.T) {
+	// The second-order rule should need no more iterations than first-order
+	// on average — the premise behind LibSVM's default and the adaptive
+	// choice.
+	rng := rand.New(rand.NewSource(7))
+	var it1, it2 int
+	for trial := 0; trial < 5; trial++ {
+		K, labels := noisyProblem(rng, 80, 0.2)
+		m1, err := PhiSVM{Rule: FirstOrder}.TrainKernel(K, labels, allIdx(80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := PhiSVM{Rule: SecondOrder}.TrainKernel(K, labels, allIdx(80))
+		if err != nil {
+			t.Fatal(err)
+		}
+		it1 += m1.Iters
+		it2 += m2.Iters
+	}
+	if it2 > it1*2 {
+		t.Fatalf("second-order used far more iterations (%d) than first-order (%d)", it2, it1)
+	}
+}
+
+func TestHeuristicString(t *testing.T) {
+	if FirstOrder.String() != "first-order" || SecondOrder.String() != "second-order" ||
+		Adaptive.String() != "adaptive" || Heuristic(9).String() == "" {
+		t.Fatal("Heuristic.String broken")
+	}
+}
+
+func TestPrecomputeKernelMatchesDots(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	X := tensor.NewMatrix(7, 30)
+	for i := range X.Data {
+		X.Data[i] = rng.Float32()
+	}
+	K := PrecomputeKernel(X, nil)
+	K2 := PrecomputeKernel(X, blas.Naive{})
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			want := tensor.Dot(X.Row(i), X.Row(j))
+			if math.Abs(float64(K.At(i, j))-want) > 1e-3 {
+				t.Fatalf("kernel (%d,%d) = %v, want %v", i, j, K.At(i, j), want)
+			}
+			if math.Abs(float64(K.At(i, j)-K2.At(i, j))) > 1e-3 {
+				t.Fatalf("syrk impls disagree at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestQCacheEviction(t *testing.T) {
+	builds := 0
+	c := newQCache64(4, 2, func(i int, dst []float64) { builds++ })
+	c.row(0)
+	c.row(1)
+	c.row(0) // hit
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2", builds)
+	}
+	c.row(2) // evicts 0
+	c.row(0) // rebuild
+	if builds != 4 {
+		t.Fatalf("builds = %d, want 4", builds)
+	}
+}
+
+func TestLookupNode(t *testing.T) {
+	row := []node{{0, 1.5}, {1, 2.5}, {2, 3.5}}
+	if lookupNode(row, 1) != 2.5 {
+		t.Fatal("dense lookup failed")
+	}
+	// Sparse-style row where position != index.
+	sparse := []node{{3, 7.0}, {9, 8.0}}
+	if lookupNode(sparse, 9) != 8.0 {
+		t.Fatal("scan lookup failed")
+	}
+	if lookupNode(sparse, 4) != 0 {
+		t.Fatal("missing index should yield 0")
+	}
+}
+
+func TestLeaveOneSubjectOutFolds(t *testing.T) {
+	subjects := []int{0, 0, 1, 1, 2, 2}
+	folds := LeaveOneSubjectOutFolds(subjects)
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	for _, f := range folds {
+		if len(f.Test) != 2 || len(f.Train) != 4 {
+			t.Fatalf("fold sizes: %d test, %d train", len(f.Test), len(f.Train))
+		}
+		s := subjects[f.Test[0]]
+		for _, i := range f.Test {
+			if subjects[i] != s {
+				t.Fatal("test fold mixes subjects")
+			}
+		}
+		for _, i := range f.Train {
+			if subjects[i] == s {
+				t.Fatal("train fold contains test subject")
+			}
+		}
+	}
+}
+
+func TestKFolds(t *testing.T) {
+	folds := KFolds(10, 5)
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]int{}
+	for _, f := range folds {
+		for _, i := range f.Test {
+			seen[i]++
+		}
+		if len(f.Train)+len(f.Test) != 10 {
+			t.Fatal("fold does not partition samples")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("sample %d in %d test folds", i, seen[i])
+		}
+	}
+}
+
+func TestCrossValidateSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	K, labels := separableProblem(rng, 48)
+	subjects := make([]int, 48)
+	for i := range subjects {
+		subjects[i] = i / 8 // 6 subjects, 8 epochs each
+	}
+	folds := LeaveOneSubjectOutFolds(subjects)
+	for name, tr := range trainers() {
+		acc, err := CrossValidate(tr, K, labels, folds)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if acc < 0.95 {
+			t.Errorf("%s: accuracy %v on separable data", name, acc)
+		}
+	}
+}
+
+func TestCrossValidateChanceOnNoise(t *testing.T) {
+	// Pure noise kernel: accuracy should hover near 0.5.
+	rng := rand.New(rand.NewSource(10))
+	n := 64
+	X := tensor.NewMatrix(n, 40)
+	for i := range X.Data {
+		X.Data[i] = rng.Float32()*2 - 1
+	}
+	K := PrecomputeKernel(X, nil)
+	labels := make([]int, n)
+	subjects := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 2
+		subjects[i] = i / 16
+	}
+	acc, err := CrossValidate(PhiSVM{}, K, labels, LeaveOneSubjectOutFolds(subjects))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.2 || acc > 0.8 {
+		t.Fatalf("noise accuracy %v far from chance", acc)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	K := tensor.NewMatrix(4, 4)
+	if _, err := CrossValidate(PhiSVM{}, K, []int{0, 1}, nil); err == nil {
+		t.Fatal("expected label-length error")
+	}
+	if _, err := CrossValidate(PhiSVM{}, K, []int{0, 1, 0, 1}, nil); err == nil {
+		t.Fatal("expected no-folds error")
+	}
+	if _, err := CrossValidate(PhiSVM{}, K, []int{0, 1, 0, 1}, []Fold{{}}); err == nil {
+		t.Fatal("expected empty-test-fold error")
+	}
+}
+
+func TestCrossValidateDegenerateFoldScoresChance(t *testing.T) {
+	// A fold whose training set has only one class counts as chance.
+	K := tensor.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		K.Set(i, i, 1)
+	}
+	labels := []int{1, 1, 1, 0}
+	folds := []Fold{{Train: []int{0, 1, 2}, Test: []int{3}}}
+	acc, err := CrossValidate(PhiSVM{}, K, labels, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 0.5 {
+		t.Fatalf("degenerate fold accuracy %v, want 0.5", acc)
+	}
+}
+
+func TestCrossValidateDetailedMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	K, labels := noisyProblem(rng, 48, 0.15)
+	subjects := make([]int, 48)
+	for i := range subjects {
+		subjects[i] = i / 8
+	}
+	folds := LeaveOneSubjectOutFolds(subjects)
+	plain, err := CrossValidate(PhiSVM{}, K, labels, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detailed, err := CrossValidateDetailed(PhiSVM{}, K, labels, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain-detailed.Accuracy()) > 1e-9 {
+		t.Fatalf("accuracies differ: %v vs %v", plain, detailed.Accuracy())
+	}
+	if len(detailed.Folds) != len(folds) {
+		t.Fatalf("folds = %d", len(detailed.Folds))
+	}
+	// Confusion totals must sum to the test count.
+	conf := detailed.Confusion()
+	total := conf[0][0] + conf[0][1] + conf[1][0] + conf[1][1]
+	if total != 48 {
+		t.Fatalf("confusion sums to %d", total)
+	}
+	// Diagonal of the confusion matrix equals pooled correct count.
+	if conf[0][0]+conf[1][1] != int(detailed.Accuracy()*48+0.5) {
+		t.Fatalf("confusion diagonal inconsistent")
+	}
+	if detailed.TotalIters() <= 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestCrossValidateDetailedDegenerate(t *testing.T) {
+	K := tensor.NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		K.Set(i, i, 1)
+	}
+	labels := []int{1, 1, 1, 0}
+	folds := []Fold{{Train: []int{0, 1, 2}, Test: []int{3}}}
+	stats, err := CrossValidateDetailed(PhiSVM{}, K, labels, folds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Folds[0].Degenerate {
+		t.Fatal("degenerate fold not marked")
+	}
+}
+
+func TestCrossValidateDetailedErrors(t *testing.T) {
+	K := tensor.NewMatrix(4, 4)
+	if _, err := CrossValidateDetailed(PhiSVM{}, K, []int{0, 1}, nil); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := CrossValidateDetailed(PhiSVM{}, K, []int{0, 1, 0, 1}, []Fold{{}}); err == nil {
+		t.Fatal("empty folds accepted")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	var p Params
+	if p.c() != DefaultC || p.eps() != DefaultEps {
+		t.Fatalf("defaults: C=%v eps=%v", p.c(), p.eps())
+	}
+	if p.maxIter(10) != 10000000 {
+		t.Fatalf("small-n maxIter = %d", p.maxIter(10))
+	}
+	if p.maxIter(200000) != 20000000 {
+		t.Fatalf("large-n maxIter = %d", p.maxIter(200000))
+	}
+	p = Params{C: 5, Eps: 1e-5, MaxIter: 7}
+	if p.c() != 5 || p.eps() != 1e-5 || p.maxIter(10) != 7 {
+		t.Fatal("explicit params ignored")
+	}
+}
+
+func TestModelNumSVAndDecide(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	K, labels := separableProblem(rng, 20)
+	model, err := PhiSVM{}.TrainKernel(K, labels, allIdx(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv := model.NumSV(); sv < 2 || sv > 20 {
+		t.Fatalf("NumSV = %d", sv)
+	}
+	// Decide and Predict agree.
+	for i := 0; i < 20; i++ {
+		f := model.Decide(K, i)
+		p := model.Predict(K, i)
+		if (f > 0) != (p == 1) {
+			t.Fatalf("Decide/Predict disagree at %d", i)
+		}
+	}
+}
+
+func TestHeuristicsAgreeOnSolution(t *testing.T) {
+	// First-order and second-order must converge to the same dual optimum.
+	rng := rand.New(rand.NewSource(61))
+	K, labels := noisyProblem(rng, 70, 0.15)
+	idx := allIdx(70)
+	m1, err := PhiSVM{Rule: FirstOrder}.TrainKernel(K, labels, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := PhiSVM{Rule: SecondOrder}.TrainKernel(K, labels, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1.Objective-m2.Objective) > 0.05*math.Abs(m1.Objective)+0.05 {
+		t.Fatalf("objectives %v vs %v", m1.Objective, m2.Objective)
+	}
+}
+
+func TestLeaveOneSubjectOutSingleSubject(t *testing.T) {
+	folds := LeaveOneSubjectOutFolds([]int{0, 0, 0})
+	if len(folds) != 1 || len(folds[0].Train) != 0 {
+		t.Fatalf("degenerate LOSO: %+v", folds)
+	}
+}
+
+func TestKFoldsDegenerate(t *testing.T) {
+	// k > n or k <= 1 clamps to 2.
+	for _, k := range []int{0, 1, 100} {
+		folds := KFolds(6, k)
+		if len(folds) != 2 {
+			t.Fatalf("KFolds(6, %d) = %d folds", k, len(folds))
+		}
+	}
+}

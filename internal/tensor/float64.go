@@ -1,0 +1,68 @@
+package tensor
+
+import "fmt"
+
+// Matrix64 is a dense row-major matrix of float64 values. It exists for the
+// LibSVM-style baseline solver, which the paper observes "uses double
+// precision values in the computationally intensive loops".
+type Matrix64 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// NewMatrix64 allocates a zeroed r×c double-precision matrix.
+func NewMatrix64(r, c int) *Matrix64 {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", r, c))
+	}
+	return &Matrix64{Rows: r, Cols: c, Stride: c, Data: make([]float64, r*c)}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix64) At(i, j int) float64 {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	return m.Data[i*m.Stride+j]
+}
+
+// Set stores v at row i, column j.
+func (m *Matrix64) Set(i, j int, v float64) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+	m.Data[i*m.Stride+j] = v
+}
+
+// Row returns row i as a slice sharing the matrix backing store.
+func (m *Matrix64) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range %d", i, m.Rows))
+	}
+	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
+}
+
+// Widen converts a float32 matrix to float64, allocating fresh storage.
+func Widen(m *Matrix) *Matrix64 {
+	out := NewMatrix64(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src, dst := m.Row(i), out.Row(i)
+		for j, v := range src {
+			dst[j] = float64(v)
+		}
+	}
+	return out
+}
+
+// Narrow converts a float64 matrix to float32, allocating fresh storage.
+func Narrow(m *Matrix64) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src, dst := m.Row(i), out.Row(i)
+		for j, v := range src {
+			dst[j] = float32(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package tensor
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+// Accumulation is in float64 to avoid drift on long vectors.
+func Mean(xs []float32) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += float64(v)
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs using the one-pass
+// E[X²]−E[X]² formulation the paper uses so mean and standard deviation
+// come out of a single sweep (§4.3). Negative results from rounding are
+// clamped to zero.
+func Variance(xs []float32) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range xs {
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	v := sumSq/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// MeanStd returns the mean and population standard deviation of xs in one
+// pass.
+func MeanStd(xs []float32) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum, sumSq float64
+	for _, v := range xs {
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(len(xs))
+	mean = sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}
+
+// Dot returns the float64-accumulated inner product of a and b, which must
+// have equal length.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: dot of unequal-length vectors")
+	}
+	var sum float64
+	for i, v := range a {
+		sum += float64(v) * float64(b[i])
+	}
+	return sum
+}
+
+// Dot32 returns the float32-accumulated inner product of a and b, matching
+// the precision of the single-precision vector kernels.
+func Dot32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("tensor: dot of unequal-length vectors")
+	}
+	var sum float32
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}

@@ -1,0 +1,305 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || m.Stride != 5 {
+		t.Fatalf("got %dx%d stride %d", m.Rows, m.Cols, m.Stride)
+	}
+	if len(m.Data) != 15 {
+		t.Fatalf("backing len = %d, want 15", len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("new matrix not zeroed")
+		}
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative dims")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestFromSliceSharing(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, data)
+	m.Set(1, 2, 42)
+	if data[5] != 42 {
+		t.Fatal("FromSlice must not copy")
+	}
+	if m.At(0, 1) != 2 {
+		t.Fatalf("At(0,1) = %v", m.At(0, 1))
+	}
+}
+
+func TestFromSliceTooShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short slice")
+		}
+	}()
+	FromSlice(2, 3, make([]float32, 5))
+}
+
+func TestAtSetBounds(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic at %v", idx)
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestRowSharesBacking(t *testing.T) {
+	m := NewMatrix(3, 4)
+	r := m.Row(1)
+	r[2] = 7
+	if m.At(1, 2) != 7 {
+		t.Fatal("Row must alias the matrix")
+	}
+	if len(r) != 4 {
+		t.Fatalf("row len = %d", len(r))
+	}
+}
+
+func TestViewAliasing(t *testing.T) {
+	m := NewMatrix(4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, float32(10*i+j))
+		}
+	}
+	v := m.View(1, 2, 2, 3)
+	if v.Rows != 2 || v.Cols != 3 {
+		t.Fatalf("view shape %dx%d", v.Rows, v.Cols)
+	}
+	if v.At(0, 0) != 12 || v.At(1, 2) != 24 {
+		t.Fatalf("view contents wrong: %v %v", v.At(0, 0), v.At(1, 2))
+	}
+	v.Set(0, 0, -1)
+	if m.At(1, 2) != -1 {
+		t.Fatal("view must alias parent")
+	}
+}
+
+func TestViewOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.View(2, 2, 3, 1)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 1, 5)
+	c := m.Clone()
+	c.Set(1, 1, 9)
+	if m.At(1, 1) != 5 {
+		t.Fatal("clone must not alias")
+	}
+	if c.Stride != c.Cols {
+		t.Fatal("clone must be compact")
+	}
+}
+
+func TestCloneOfViewCompacts(t *testing.T) {
+	m := NewMatrix(4, 6)
+	m.Set(1, 2, 3)
+	v := m.View(1, 2, 2, 2)
+	c := v.Clone()
+	if c.Stride != 2 || c.At(0, 0) != 3 {
+		t.Fatalf("clone of view: stride %d, At(0,0)=%v", c.Stride, c.At(0, 0))
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 2).CopyFrom(NewMatrix(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrix(2, 3)
+	k := float32(0)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, k)
+			k++
+		}
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(12), 1+rng.Intn(12)
+		m := NewMatrix(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.Float32()
+		}
+		return m.Transpose().Transpose().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := NewMatrix(1, 3)
+	b := NewMatrix(1, 3)
+	a.Set(0, 0, 1.0)
+	b.Set(0, 0, 1.0+1e-7)
+	if !a.EqualApprox(b, 1e-5) {
+		t.Fatal("should be approx equal")
+	}
+	b.Set(0, 0, 1.1)
+	if a.EqualApprox(b, 1e-5) {
+		t.Fatal("should not be approx equal")
+	}
+	a.Set(0, 1, float32(math.NaN()))
+	b.Set(0, 0, 1.0)
+	b.Set(0, 1, float32(math.NaN()))
+	if !a.EqualApprox(b, 1e-5) {
+		t.Fatal("NaN should compare equal to NaN under EqualApprox")
+	}
+}
+
+func TestEqualApproxRelative(t *testing.T) {
+	a := NewMatrix(1, 1)
+	b := NewMatrix(1, 1)
+	a.Set(0, 0, 1e8)
+	b.Set(0, 0, 1e8*(1+1e-6))
+	if !a.EqualApprox(b, 1e-5) {
+		t.Fatal("relative tolerance should accept large near-equal values")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 2)
+	b.Set(1, 0, 3)
+	b.Set(0, 1, -2)
+	if d := a.MaxAbsDiff(b); d != 3 {
+		t.Fatalf("MaxAbsDiff = %v, want 3", d)
+	}
+}
+
+func TestFillZero(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Fill(2.5)
+	for _, v := range m.Data {
+		if v != 2.5 {
+			t.Fatal("Fill failed")
+		}
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestFillRespectsViews(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.View(1, 1, 1, 1).Fill(9)
+	if m.At(1, 1) != 9 {
+		t.Fatal("view fill missed target")
+	}
+	var sum float32
+	for _, v := range m.Data {
+		sum += v
+	}
+	if sum != 9 {
+		t.Fatalf("view fill leaked outside view: sum=%v", sum)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := NewMatrix(2, 2)
+	if s := small.String(); len(s) == 0 {
+		t.Fatal("empty String")
+	}
+	big := NewMatrix(100, 100)
+	if s := big.String(); s != "Matrix(100x100)" {
+		t.Fatalf("big String = %q", s)
+	}
+}
+
+func TestViewOfViewComposes(t *testing.T) {
+	m := NewMatrix(6, 6)
+	for i := range m.Data {
+		m.Data[i] = float32(i)
+	}
+	v1 := m.View(1, 1, 4, 4)
+	v2 := v1.View(1, 1, 2, 2)
+	if v2.At(0, 0) != m.At(2, 2) || v2.At(1, 1) != m.At(3, 3) {
+		t.Fatal("nested views misaligned")
+	}
+}
+
+func TestCopyFromBetweenViews(t *testing.T) {
+	a := NewMatrix(4, 4)
+	b := NewMatrix(4, 4)
+	for i := range b.Data {
+		b.Data[i] = float32(i)
+	}
+	a.View(1, 1, 2, 2).CopyFrom(b.View(0, 0, 2, 2))
+	if a.At(1, 1) != b.At(0, 0) || a.At(2, 2) != b.At(1, 1) {
+		t.Fatal("view copy wrong")
+	}
+	if a.At(0, 0) != 0 || a.At(3, 3) != 0 {
+		t.Fatal("view copy leaked")
+	}
+}
+
+func TestMaxAbsDiffShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 2).MaxAbsDiff(NewMatrix(3, 3))
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if NewMatrix(2, 2).Equal(NewMatrix(2, 3)) {
+		t.Fatal("different shapes compare equal")
+	}
+	if NewMatrix(2, 2).EqualApprox(NewMatrix(3, 2), 1) {
+		t.Fatal("different shapes compare approx equal")
+	}
+}

@@ -1,0 +1,65 @@
+package fcma
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteScores serializes voxel scores as CSV ("voxel,accuracy", one row
+// per voxel, header included) — the interchange format between the
+// selection and reporting stages of a pipeline.
+func WriteScores(w io.Writer, scores []VoxelScore) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "voxel,accuracy"); err != nil {
+		return err
+	}
+	for _, s := range scores {
+		if _, err := fmt.Fprintf(bw, "%d,%.6f\n", s.Voxel, s.Accuracy); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadScores parses the CSV written by WriteScores.
+func ReadScores(r io.Reader) ([]VoxelScore, error) {
+	sc := bufio.NewScanner(r)
+	var out []VoxelScore
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 && strings.HasPrefix(text, "voxel") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("fcma: scores line %d: want 2 fields, got %d", line, len(parts))
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("fcma: scores line %d: %w", line, err)
+		}
+		acc, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fcma: scores line %d: %w", line, err)
+		}
+		if acc < 0 || acc > 1 {
+			return nil, fmt.Errorf("fcma: scores line %d: accuracy %v out of [0,1]", line, acc)
+		}
+		out = append(out, VoxelScore{Voxel: v, Accuracy: acc})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fcma: scores file contains no rows")
+	}
+	return out, nil
+}
