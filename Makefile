@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is what CI should run: vet, build,
+# and the full test suite (including the chaos soak) under the race
+# detector. `make test-short` is the fast tier — the soak and other slow
+# tests are gated behind -short.
+
+GO ?= go
+
+.PHONY: check vet build test test-short bench
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -3,6 +3,13 @@
 // brain into voxel-range tasks and hands them out dynamically; workers run
 // the three-stage pipeline and stream scores back.
 //
+// The cluster is elastic and fault tolerant: the master keeps accepting
+// connections after the initial quorum, so workers may join late or rejoin
+// after a crash; workers heartbeat and dial with exponential backoff; hung
+// workers have their tasks speculatively re-issued (-deadline); and a
+// worker-side task failure is retried on another worker instead of
+// aborting the run.
+//
 // Every node needs the same dataset files (the paper's master distributes
 // brain data up front; here the shared filesystem plays that role):
 //
@@ -16,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fcma/internal/cluster"
 	"fcma/internal/core"
@@ -28,13 +36,19 @@ func main() {
 	role := flag.String("role", "", `"master" or "worker"`)
 	listen := flag.String("listen", ":7700", "master: listen address")
 	addr := flag.String("addr", "", "worker: master address")
-	workers := flag.Int("workers", 1, "master: number of workers to wait for")
+	workers := flag.Int("workers", 1, "master: number of workers to wait for initially (more may join later)")
 	dataPath := flag.String("data", "", "dataset file")
 	epochPath := flag.String("epochs", "", "epoch label file")
 	taskSize := flag.Int("task-size", 120, "voxels per task (the paper assigns 120)")
 	checkpoint := flag.String("checkpoint", "", "master: checkpoint file for resumable analyses")
 	engine := flag.String("engine", "optimized", `worker kernels: "optimized" or "baseline"`)
 	topK := flag.Int("topk", 20, "master: voxels to report")
+	retry := flag.Int("retry", 5, "worker: dial attempts with exponential backoff; also rejoin attempts after a lost connection")
+	deadline := flag.Duration("deadline", 0, "master: per-task deadline before a slow worker's task is speculatively re-issued (0 disables)")
+	acceptTimeout := flag.Duration("accept-timeout", 0, "master: how long to wait for the initial worker quorum (0 waits forever)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "worker: heartbeat interval (negative disables)")
+	heartbeatTimeout := flag.Duration("heartbeat-timeout", 10*time.Second, "master: silence before a worker is presumed dead (0 disables)")
+	taskRetries := flag.Int("task-retries", 3, "master: failures one task tolerates before the run aborts")
 	flag.Parse()
 
 	d := loadDataset(*dataPath, *epochPath)
@@ -44,9 +58,14 @@ func main() {
 		master, err := mpi.ListenMaster(*listen, *workers+1)
 		fail(err)
 		defer master.Close()
+		master.SetAcceptTimeout(*acceptTimeout)
 		fmt.Printf("fcma-cluster: master on %s waiting for %d workers\n", master.Addr(), *workers)
 		fail(master.Accept())
-		var scores []core.VoxelScore
+		opts := cluster.MasterOptions{
+			TaskDeadline:     *deadline,
+			HeartbeatTimeout: *heartbeatTimeout,
+			TaskRetries:      *taskRetries,
+		}
 		if *checkpoint != "" {
 			cp, err := cluster.OpenCheckpoint(*checkpoint)
 			fail(err)
@@ -54,13 +73,10 @@ func main() {
 			if cp.Done() > 0 {
 				fmt.Printf("fcma-cluster: resuming from %s (%d voxels done)\n", *checkpoint, cp.Done())
 			}
-			scores, err = cluster.RunMasterCheckpointed(master, d.Voxels(), *taskSize, cp)
-			fail(err)
-		} else {
-			var err error
-			scores, err = cluster.RunMaster(master, d.Voxels(), *taskSize)
-			fail(err)
+			opts.Checkpoint = cp
 		}
+		scores, err := cluster.RunMasterOpts(master, d.Voxels(), *taskSize, opts)
+		fail(err)
 		top := core.TopVoxels(scores, *topK)
 		fmt.Printf("analysis complete: %d voxels scored; top %d:\n", len(scores), len(top))
 		for _, s := range top {
@@ -78,11 +94,22 @@ func main() {
 		}
 		w, err := core.NewWorker(cfg, stack, nil)
 		fail(err)
-		tr, err := mpi.DialWorker(*addr)
-		fail(err)
-		defer tr.Close()
-		fmt.Printf("fcma-cluster: worker rank %d of %d connected to %s\n", tr.Rank(), tr.Size(), *addr)
-		fail(cluster.RunWorker(tr, w))
+		// Serve until the master says stop; a lost connection is rejoined
+		// (with a fresh rank) as long as the retry budget lasts.
+		for attempt := 0; ; attempt++ {
+			tr, err := mpi.DialWorkerRetry(*addr, mpi.DialOptions{Attempts: *retry})
+			fail(err)
+			fmt.Printf("fcma-cluster: worker rank %d of %d connected to %s\n", tr.Rank(), tr.Size(), *addr)
+			err = cluster.RunWorkerOpts(tr, w, cluster.WorkerOptions{HeartbeatInterval: *heartbeat})
+			tr.Close()
+			if err == nil {
+				break
+			}
+			if attempt+1 >= *retry {
+				fail(fmt.Errorf("giving up after %d connections: %w", attempt+1, err))
+			}
+			fmt.Fprintf(os.Stderr, "fcma-cluster: connection lost (%v); rejoining\n", err)
+		}
 		fmt.Println("fcma-cluster: worker done")
 	default:
 		fail(fmt.Errorf("need -role master or -role worker"))

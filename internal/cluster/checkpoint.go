@@ -1,8 +1,9 @@
 package cluster
 
 import (
-	"bufio"
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -18,10 +19,17 @@ import (
 //
 // The format is the library's score CSV ("voxel,accuracy"), so a partial
 // checkpoint is directly inspectable and usable.
+//
+// Crash consistency: a crash mid-append can leave a torn final line (no
+// trailing newline). OpenCheckpoint truncates such a tail, warns, and
+// resumes from the last complete record — the voxels of the torn batch are
+// simply recomputed. A malformed line that was fully written (newline
+// present) is real corruption and still refuses to load.
 type Checkpoint struct {
-	path string
-	f    *os.File
-	have map[int]float64
+	path      string
+	f         *os.File
+	have      map[int]float64
+	truncated bool
 }
 
 // OpenCheckpoint opens (or creates) the checkpoint at path and loads any
@@ -32,11 +40,32 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("cluster: opening checkpoint: %w", err)
 	}
 	cp := &Checkpoint{path: path, f: f, have: make(map[int]float64)}
-	sc := bufio.NewScanner(f)
-	line := 0
-	for sc.Scan() {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	off, line := 0, 0
+	end := len(data)
+	for off < end {
 		line++
-		text := strings.TrimSpace(sc.Text())
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// record only ever appends complete newline-terminated lines, so
+			// an unterminated tail is a crash-torn write (even if its prefix
+			// happens to parse). Cut it off and recompute its task.
+			fmt.Fprintf(os.Stderr, "cluster: checkpoint %s line %d torn by an interrupted write; truncating %d bytes and resuming\n",
+				path, line, end-off)
+			if err := f.Truncate(int64(off)); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cluster: truncating torn checkpoint tail: %w", err)
+			}
+			cp.truncated = true
+			end = off
+			break
+		}
+		text := strings.TrimSpace(string(data[off : off+nl]))
+		off += nl + 1
 		if text == "" || strings.HasPrefix(text, "voxel") {
 			continue
 		}
@@ -53,12 +82,8 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		}
 		cp.have[v] = acc
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, err
-	}
-	// Position at the end for appends.
-	if _, err := f.Seek(0, 2); err != nil {
+	// Position at the end (of the possibly truncated file) for appends.
+	if _, err := f.Seek(int64(end), 0); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -67,6 +92,10 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 
 // Done returns how many voxels the checkpoint holds.
 func (c *Checkpoint) Done() int { return len(c.have) }
+
+// Truncated reports whether opening the checkpoint had to discard a torn
+// trailing line left by an interrupted write.
+func (c *Checkpoint) Truncated() bool { return c.truncated }
 
 // Has reports whether voxel v is already scored.
 func (c *Checkpoint) Has(v int) bool {
@@ -111,5 +140,5 @@ func (c *Checkpoint) Close() error { return c.f.Close() }
 // results. If the analysis aborts (e.g. every worker is lost), rerunning
 // with the same checkpoint resumes where it stopped.
 func RunMasterCheckpointed(tr mpi.Transport, totalVoxels, taskSize int, cp *Checkpoint) ([]core.VoxelScore, error) {
-	return runMaster(tr, totalVoxels, taskSize, cp)
+	return RunMasterOpts(tr, totalVoxels, taskSize, MasterOptions{Checkpoint: cp})
 }

@@ -68,6 +68,82 @@ func TestCheckpointRejectsCorrupt(t *testing.T) {
 	}
 }
 
+// TestCheckpointToleratesTornTail: a crash mid-append leaves a final line
+// without its newline; the checkpoint must truncate it and resume from the
+// last complete record rather than refusing to load.
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.csv")
+	if err := os.WriteFile(path, []byte("0,0.500000\n1,0.250000\n2,0.7"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if !cp.Truncated() {
+		t.Fatal("truncation not reported")
+	}
+	if cp.Done() != 2 || !cp.Has(0) || !cp.Has(1) || cp.Has(2) {
+		t.Fatalf("recovered %d voxels; torn voxel 2 must be dropped", cp.Done())
+	}
+	// Appends after recovery must start cleanly where the tear was cut.
+	if err := cp.record([]core.VoxelScore{{Voxel: 2, Accuracy: 0.75}}); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	re, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Truncated() {
+		t.Fatal("clean reopen reported truncation")
+	}
+	if re.Done() != 3 || !re.Has(2) {
+		t.Fatalf("reload after recovery: done=%d", re.Done())
+	}
+}
+
+// A torn tail whose prefix still parses is equally suspect (the value may
+// itself be cut short) and must also be truncated, or later appends would
+// concatenate onto it.
+func TestCheckpointTruncatesParseableTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.csv")
+	if err := os.WriteFile(path, []byte("5,0.500000\n6,0.45"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if !cp.Truncated() || cp.Done() != 1 || cp.Has(6) {
+		t.Fatalf("truncated=%v done=%d", cp.Truncated(), cp.Done())
+	}
+	if err := cp.record([]core.VoxelScore{{Voxel: 6, Accuracy: 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "5,0.500000\n6,0.900000\n" {
+		t.Fatalf("file after recovery+append: %q", data)
+	}
+}
+
+// Corruption in the middle of the file (a fully written malformed line) is
+// not a torn write and still refuses to load.
+func TestCheckpointRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.csv")
+	if err := os.WriteFile(path, []byte("0,0.5\ngarbage\n1,0.25\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
 // TestCheckpointedResume aborts an analysis partway (the only worker dies
 // after a few tasks), then resumes from the checkpoint with a healthy
 // worker and verifies the final result is complete and the completed tasks

@@ -3,6 +3,23 @@
 // and hands them to workers dynamically — a worker gets a new task the
 // moment it returns a result — then collects and merges all voxel scores.
 //
+// The layer is built to survive single-worker failure modes without human
+// intervention, because a paper-scale run (96 coprocessors, 15 hours) will
+// see them:
+//
+//   - liveness: workers heartbeat; a silent worker is marked dead and its
+//     task requeued, and a task held past its deadline is speculatively
+//     re-issued to an idle worker (duplicate results are deduplicated).
+//   - error containment: a worker-side task failure no longer aborts the
+//     run; the task is retried on a different worker within a retry
+//     budget, and workers that fail repeatedly are quarantined.
+//   - elastic membership: ranks may join late or rejoin after a crash
+//     (the TCP transport admits connections for the lifetime of the run);
+//     the master tracks whoever speaks, not a fixed census.
+//
+// The run aborts only on deterministic failure: a task exhausting its
+// retry budget, or no live workers remaining.
+//
 // It also provides a deterministic discrete-event scheduler model used to
 // extrapolate measured per-task costs to node counts beyond the host
 // machine (Tables 3–4, Fig. 8).
@@ -13,6 +30,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"time"
 
 	"fcma/internal/core"
 	"fcma/internal/mpi"
@@ -45,27 +63,101 @@ func decode(b []byte, v any) error {
 	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
 }
 
-// RunMaster drives the task queue over the transport: voxels [0, totalVoxels)
-// are split into tasks of taskSize voxels, distributed dynamically, and the
-// merged scores (sorted by voxel) are returned once every task completes.
-// Workers receive TagStop when the queue drains.
-//
-// The master is resilient to worker loss: transports inject TagDisconnect
-// when a worker's connection drops, and any task outstanding on that worker
-// is requeued for the survivors. Only losing every worker (or a worker
-// reporting a task-processing error, which would fail identically anywhere)
-// aborts the analysis.
-func RunMaster(tr mpi.Transport, totalVoxels, taskSize int) ([]core.VoxelScore, error) {
-	return runMaster(tr, totalVoxels, taskSize, nil)
+// TaskProcessor computes voxel scores for one task. *core.Worker is the
+// production implementation; tests substitute fault-injecting ones.
+type TaskProcessor interface {
+	Process(core.Task) ([]core.VoxelScore, error)
 }
 
-// runMaster is the shared master loop; cp (optional) provides durable
-// progress.
-func runMaster(tr mpi.Transport, totalVoxels, taskSize int, cp *Checkpoint) ([]core.VoxelScore, error) {
+// MasterOptions tune the master's fault tolerance. The zero value keeps
+// the liveness machinery off (no heartbeat tracking, no task deadlines)
+// and uses default retry budgets.
+type MasterOptions struct {
+	// Checkpoint, when non-nil, provides durable progress: completed tasks
+	// are recorded before the next assignment and covered tasks are
+	// skipped on resume.
+	Checkpoint *Checkpoint
+	// TaskDeadline is how long a task may stay outstanding on one worker
+	// before a speculative copy is issued to an idle worker. Zero disables
+	// speculation.
+	TaskDeadline time.Duration
+	// HeartbeatTimeout is how long a worker may stay silent before it is
+	// presumed dead and its task requeued. Zero disables liveness
+	// tracking. Set it to a few multiples of the workers' heartbeat
+	// interval.
+	HeartbeatTimeout time.Duration
+	// TaskRetries is how many worker-reported failures one task tolerates
+	// before the run aborts (a task that fails everywhere is a
+	// deterministic failure). Defaults to 3.
+	TaskRetries int
+	// WorkerErrorLimit is how many failures one worker may report before
+	// it is quarantined (sent TagStop and excluded from assignment).
+	// Defaults to 3.
+	WorkerErrorLimit int
+}
+
+// RunMaster drives the task queue over the transport: voxels [0, totalVoxels)
+// are split into tasks of taskSize voxels, distributed dynamically, and the
+// merged scores (sorted by voxel) are returned once every voxel is scored.
+// Workers receive TagStop when the analysis completes or aborts.
+func RunMaster(tr mpi.Transport, totalVoxels, taskSize int) ([]core.VoxelScore, error) {
+	return RunMasterOpts(tr, totalVoxels, taskSize, MasterOptions{})
+}
+
+// worker lifecycle states as the master tracks them.
+const (
+	wsIdle        = iota // announced itself, no task in hand
+	wsWorking            // has an outstanding task
+	wsDead               // disconnected or heartbeat-silent; resurrects if it speaks again
+	wsQuarantined        // failed too many tasks; stopped and excluded
+)
+
+type workerInfo struct {
+	state     int
+	task      taskMsg   // outstanding task when wsWorking
+	since     time.Time // when task was assigned or last speculated
+	lastHeard time.Time // last message of any kind
+	errors    int       // task failures reported by this worker
+}
+
+type master struct {
+	tr          mpi.Transport
+	totalVoxels int
+	opts        MasterOptions
+
+	queue     []taskMsg
+	workers   map[int]*workerInfo
+	scores    []core.VoxelScore
+	seen      map[int]bool
+	taskFails map[int]int          // task V0 -> failures so far
+	taskAvoid map[int]map[int]bool // task V0 -> ranks that failed it
+}
+
+// RunMasterOpts is RunMaster with explicit fault-tolerance options.
+func RunMasterOpts(tr mpi.Transport, totalVoxels, taskSize int, opts MasterOptions) ([]core.VoxelScore, error) {
 	if totalVoxels <= 0 || taskSize <= 0 {
 		return nil, fmt.Errorf("cluster: invalid partition %d voxels / %d per task", totalVoxels, taskSize)
 	}
-	var queue []taskMsg
+	if tr.Size() < 2 {
+		return nil, fmt.Errorf("cluster: no workers in communicator of size %d", tr.Size())
+	}
+	if opts.TaskRetries <= 0 {
+		opts.TaskRetries = 3
+	}
+	if opts.WorkerErrorLimit <= 0 {
+		opts.WorkerErrorLimit = 3
+	}
+	m := &master{
+		tr:          tr,
+		totalVoxels: totalVoxels,
+		opts:        opts,
+		workers:     make(map[int]*workerInfo),
+		scores:      make([]core.VoxelScore, 0, totalVoxels),
+		seen:        make(map[int]bool, totalVoxels),
+		taskFails:   make(map[int]int),
+		taskAvoid:   make(map[int]map[int]bool),
+	}
+	cp := opts.Checkpoint
 	for v0 := 0; v0 < totalVoxels; v0 += taskSize {
 		v := taskSize
 		if v0+v > totalVoxels {
@@ -74,128 +166,445 @@ func runMaster(tr mpi.Transport, totalVoxels, taskSize int, cp *Checkpoint) ([]c
 		if cp != nil && taskCovered(cp, v0, v) {
 			continue
 		}
-		queue = append(queue, taskMsg{V0: v0, V: v})
-	}
-	workers := tr.Size() - 1
-	if workers <= 0 {
-		return nil, fmt.Errorf("cluster: no workers in communicator of size %d", tr.Size())
-	}
-
-	const (
-		stateWorking = iota
-		stateStopped
-		stateDead
-	)
-	state := make(map[int]int)           // rank -> state (absent = not yet heard from)
-	outstanding := make(map[int]taskMsg) // rank -> task in flight
-	finished := 0                        // workers that stopped or died
-	scores := make([]core.VoxelScore, 0, totalVoxels)
-	seen := make(map[int]bool, totalVoxels)
-	addScores := func(fresh []core.VoxelScore) {
-		for _, s := range fresh {
-			if s.Voxel >= 0 && s.Voxel < totalVoxels && !seen[s.Voxel] {
-				seen[s.Voxel] = true
-				scores = append(scores, s)
-			}
-		}
+		m.queue = append(m.queue, taskMsg{V0: v0, V: v})
 	}
 	if cp != nil {
-		addScores(cp.scores())
+		m.addScores(cp.scores())
 	}
+	return m.run()
+}
 
-	assign := func(to int) error {
-		if len(queue) > 0 {
-			task := queue[0]
-			queue = queue[1:]
-			body, err := encode(task)
+func (m *master) run() ([]core.VoxelScore, error) {
+	// A dedicated receive pump lets the master loop also react to time
+	// (task deadlines, heartbeat timeouts) instead of blocking in Recv.
+	msgs := make(chan mpi.Message)
+	recvErr := make(chan error, 1)
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() {
+		for {
+			msg, err := m.tr.Recv()
 			if err != nil {
-				return err
+				select {
+				case recvErr <- err:
+				case <-quit:
+				}
+				return
 			}
-			if err := tr.Send(to, mpi.TagTask, body); err != nil {
-				// The worker vanished between messages; put the task back
-				// and let its disconnect notice retire it.
-				queue = append([]taskMsg{task}, queue...)
-				return nil
+			select {
+			case msgs <- msg:
+			case <-quit:
+				return
 			}
-			outstanding[to] = task
-			state[to] = stateWorking
-			return nil
 		}
-		state[to] = stateStopped
-		finished++
-		// A send failure here is harmless: the worker is already gone and
-		// its disconnect was or will be observed.
-		_ = tr.Send(to, mpi.TagStop, nil)
-		return nil
+	}()
+
+	var tick <-chan time.Time
+	if g := m.tickGranularity(); g > 0 {
+		t := time.NewTicker(g)
+		defer t.Stop()
+		tick = t.C
 	}
 
-	for finished < workers {
-		msg, err := tr.Recv()
+	for !m.complete() {
+		var err error
+		select {
+		case rerr := <-recvErr:
+			return nil, fmt.Errorf("cluster: master recv: %w", rerr)
+		case now := <-tick:
+			err = m.onTick(now)
+		case msg := <-msgs:
+			err = m.handle(msg)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("cluster: master recv: %w", err)
-		}
-		switch msg.Tag {
-		case mpi.TagReady:
-			if err := assign(msg.From); err != nil {
-				return nil, fmt.Errorf("cluster: assigning to rank %d: %w", msg.From, err)
-			}
-		case mpi.TagResult:
-			var res resultMsg
-			if err := decode(msg.Body, &res); err != nil {
-				return nil, fmt.Errorf("cluster: decoding result from rank %d: %w", msg.From, err)
-			}
-			delete(outstanding, msg.From)
-			if cp != nil {
-				if err := cp.record(res.Scores); err != nil {
-					return nil, fmt.Errorf("cluster: recording checkpoint: %w", err)
-				}
-			}
-			addScores(res.Scores)
-			if err := assign(msg.From); err != nil {
-				return nil, fmt.Errorf("cluster: assigning to rank %d: %w", msg.From, err)
-			}
-		case mpi.TagDisconnect:
-			if st, seen := state[msg.From]; seen && (st == stateStopped || st == stateDead) {
-				state[msg.From] = stateDead
-				continue // clean shutdown after stop, or duplicate notice
-			}
-			if task, ok := outstanding[msg.From]; ok {
-				// Requeue at the front so the work is retried promptly.
-				queue = append([]taskMsg{task}, queue...)
-				delete(outstanding, msg.From)
-			}
-			state[msg.From] = stateDead
-			finished++
-			if finished == workers && (len(queue) > 0 || len(outstanding) > 0) {
-				return nil, fmt.Errorf("cluster: all %d workers lost with %d tasks unfinished", workers, len(queue)+len(outstanding))
-			}
-		case mpi.TagError:
-			var em errorMsg
-			if err := decode(msg.Body, &em); err != nil {
-				return nil, fmt.Errorf("cluster: rank %d failed (undecodable detail: %v)", msg.From, err)
-			}
-			return nil, fmt.Errorf("cluster: rank %d failed on voxels [%d,%d): %s",
-				msg.From, em.Task.V0, em.Task.V0+em.Task.V, em.Err)
-		default:
-			return nil, fmt.Errorf("cluster: master got unexpected %v from rank %d", msg.Tag, msg.From)
+			m.broadcastStop()
+			return nil, err
 		}
 	}
-	if len(queue) > 0 || len(outstanding) > 0 {
-		return nil, fmt.Errorf("cluster: protocol finished with %d tasks unissued, %d in flight", len(queue), len(outstanding))
+	m.broadcastStop()
+	sort.Slice(m.scores, func(i, j int) bool { return m.scores[i].Voxel < m.scores[j].Voxel })
+	if len(m.scores) != m.totalVoxels {
+		return nil, fmt.Errorf("cluster: collected %d of %d voxel scores", len(m.scores), m.totalVoxels)
 	}
-	sort.Slice(scores, func(i, j int) bool { return scores[i].Voxel < scores[j].Voxel })
-	if len(scores) != totalVoxels {
-		return nil, fmt.Errorf("cluster: collected %d of %d voxel scores", len(scores), totalVoxels)
+	return m.scores, nil
+}
+
+// tickGranularity picks the timer period from the enabled timeouts.
+func (m *master) tickGranularity() time.Duration {
+	g := time.Duration(0)
+	for _, d := range []time.Duration{m.opts.TaskDeadline, m.opts.HeartbeatTimeout} {
+		if d > 0 && (g == 0 || d < g) {
+			g = d
+		}
 	}
-	return scores, nil
+	if g == 0 {
+		return 0
+	}
+	if g /= 4; g < 5*time.Millisecond {
+		g = 5 * time.Millisecond
+	}
+	if g > time.Second {
+		g = time.Second
+	}
+	return g
+}
+
+func (m *master) complete() bool { return len(m.seen) >= m.totalVoxels }
+
+func (m *master) addScores(fresh []core.VoxelScore) {
+	for _, s := range fresh {
+		if s.Voxel >= 0 && s.Voxel < m.totalVoxels && !m.seen[s.Voxel] {
+			m.seen[s.Voxel] = true
+			m.scores = append(m.scores, s)
+		}
+	}
+}
+
+// covered reports whether every voxel of the task has already been scored.
+func (m *master) covered(t taskMsg) bool {
+	for v := t.V0; v < t.V0+t.V; v++ {
+		if !m.seen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *master) live() int {
+	n := 0
+	for _, w := range m.workers {
+		if w.state == wsIdle || w.state == wsWorking {
+			n++
+		}
+	}
+	return n
+}
+
+// checkLive aborts the run once every worker of the expected census has
+// been heard from and all of them are dead or quarantined while work
+// remains: nobody else is guaranteed to show up. While fewer ranks have
+// spoken than the communicator expects, the master keeps waiting for the
+// stragglers to join.
+func (m *master) checkLive() error {
+	if len(m.workers) >= m.tr.Size()-1 && m.live() == 0 && !m.complete() {
+		return fmt.Errorf("cluster: no live workers remain with %d of %d voxels unscored",
+			m.totalVoxels-len(m.seen), m.totalVoxels)
+	}
+	return nil
+}
+
+// touch registers rank as alive now. A presumed-dead worker that speaks is
+// resurrected; quarantine is permanent.
+func (m *master) touch(rank int, now time.Time) *workerInfo {
+	w := m.workers[rank]
+	if w == nil {
+		w = &workerInfo{state: wsIdle}
+		m.workers[rank] = w
+	}
+	if w.state == wsDead {
+		w.state = wsIdle
+		w.task = taskMsg{}
+	}
+	w.lastHeard = now
+	return w
+}
+
+func (m *master) handle(msg mpi.Message) error {
+	now := time.Now()
+	if msg.Tag == mpi.TagDisconnect {
+		// No touch: a disconnect must not resurrect the rank.
+		m.markDead(msg.From)
+		return m.checkLive()
+	}
+	w := m.touch(msg.From, now)
+	switch msg.Tag {
+	case mpi.TagHeartbeat:
+		return nil
+	case mpi.TagReady:
+		switch w.state {
+		case wsQuarantined:
+			_ = m.tr.Send(msg.From, mpi.TagStop, nil) // stay stopped
+		case wsIdle:
+			m.assign(msg.From, now)
+		}
+		return nil
+	case mpi.TagResult:
+		var res resultMsg
+		if err := decode(msg.Body, &res); err != nil {
+			// A corrupt result is contained like any worker failure.
+			return m.recordWorkerError(msg.From, w.task, fmt.Sprintf("undecodable result: %v", err), now)
+		}
+		if cp := m.opts.Checkpoint; cp != nil {
+			if err := cp.record(res.Scores); err != nil {
+				return fmt.Errorf("cluster: recording checkpoint: %w", err)
+			}
+		}
+		m.addScores(res.Scores)
+		if w.state == wsWorking {
+			w.state = wsIdle
+			w.task = taskMsg{}
+		}
+		if w.state == wsIdle {
+			m.assign(msg.From, now)
+		}
+		return nil
+	case mpi.TagError:
+		var em errorMsg
+		if err := decode(msg.Body, &em); err != nil {
+			return m.recordWorkerError(msg.From, w.task, fmt.Sprintf("undecodable error report: %v", err), now)
+		}
+		return m.recordWorkerError(msg.From, em.Task, em.Err, now)
+	default:
+		return fmt.Errorf("cluster: master got unexpected %v from rank %d", msg.Tag, msg.From)
+	}
+}
+
+// onTick runs the time-based recovery paths: heartbeat liveness, task
+// deadlines, and draining the queue to any idle workers.
+func (m *master) onTick(now time.Time) error {
+	if hb := m.opts.HeartbeatTimeout; hb > 0 {
+		for rank, w := range m.workers {
+			if (w.state == wsIdle || w.state == wsWorking) && now.Sub(w.lastHeard) > hb {
+				m.markDead(rank)
+			}
+		}
+	}
+	if dl := m.opts.TaskDeadline; dl > 0 {
+		for rank, w := range m.workers {
+			if w.state == wsWorking && now.Sub(w.since) > dl {
+				m.speculate(rank, w, now)
+			}
+		}
+	}
+	m.assignIdle(now)
+	return m.checkLive()
+}
+
+// speculate re-issues a slow rank's task to an idle worker; the existing
+// voxel-level dedup makes the duplicate result harmless, and whichever copy
+// finishes first wins.
+func (m *master) speculate(slow int, w *workerInfo, now time.Time) {
+	if m.covered(w.task) {
+		return
+	}
+	for rank, cand := range m.workers {
+		if rank == slow || cand.state != wsIdle || m.taskAvoid[w.task.V0][rank] {
+			continue
+		}
+		if m.sendTask(rank, cand, w.task, now) {
+			w.since = now // back off before speculating the same task again
+			return
+		}
+	}
+}
+
+// markDead requeues the rank's outstanding task and excludes it from
+// assignment until it speaks again (TCP rejoin arrives as a fresh rank).
+func (m *master) markDead(rank int) {
+	w := m.workers[rank]
+	if w == nil {
+		w = &workerInfo{}
+		m.workers[rank] = w
+	}
+	if w.state == wsDead || w.state == wsQuarantined {
+		w.state = wsDead
+		return
+	}
+	if w.state == wsWorking {
+		m.requeue(w.task)
+	}
+	w.state = wsDead
+	w.task = taskMsg{}
+	m.assignIdle(time.Now())
+}
+
+// requeue puts a task back at the head of the queue unless it is already
+// queued or its voxels have since been scored.
+func (m *master) requeue(t taskMsg) {
+	if t.V <= 0 || m.covered(t) {
+		return
+	}
+	for _, q := range m.queue {
+		if q.V0 == t.V0 {
+			return
+		}
+	}
+	m.queue = append([]taskMsg{t}, m.queue...)
+}
+
+// recordWorkerError books a task failure: the task is retried elsewhere
+// within its budget, and the worker is quarantined after repeated failures.
+// Only an exhausted task budget aborts the run.
+func (m *master) recordWorkerError(rank int, task taskMsg, detail string, now time.Time) error {
+	w := m.workers[rank]
+	w.errors++
+	if w.state == wsWorking {
+		w.state = wsIdle
+		w.task = taskMsg{}
+	}
+	if task.V > 0 && !m.covered(task) {
+		m.taskFails[task.V0]++
+		if m.taskAvoid[task.V0] == nil {
+			m.taskAvoid[task.V0] = make(map[int]bool)
+		}
+		m.taskAvoid[task.V0][rank] = true
+		if m.taskFails[task.V0] > m.opts.TaskRetries {
+			return fmt.Errorf("cluster: task voxels [%d,%d) failed %d times (budget %d), last on rank %d: %s",
+				task.V0, task.V0+task.V, m.taskFails[task.V0], m.opts.TaskRetries, rank, detail)
+		}
+		m.requeue(task)
+	}
+	if w.errors >= m.opts.WorkerErrorLimit {
+		m.quarantine(rank)
+	} else if w.state == wsIdle {
+		m.assign(rank, now)
+	}
+	m.assignIdle(now)
+	return m.checkLive()
+}
+
+// quarantine stops a repeatedly failing worker and excludes it for the
+// rest of the run.
+func (m *master) quarantine(rank int) {
+	w := m.workers[rank]
+	if w.state == wsWorking {
+		m.requeue(w.task)
+	}
+	w.state = wsQuarantined
+	w.task = taskMsg{}
+	_ = m.tr.Send(rank, mpi.TagStop, nil)
+}
+
+// otherEligible reports whether some live worker other than rank has not
+// yet failed the task at v0.
+func (m *master) otherEligible(v0, rank int) bool {
+	for r, w := range m.workers {
+		if r != rank && (w.state == wsIdle || w.state == wsWorking) && !m.taskAvoid[v0][r] {
+			return true
+		}
+	}
+	return false
+}
+
+// assign hands rank the first queued task it is eligible for. Tasks whose
+// voxels are already scored are discarded; a task a worker has failed is
+// only given back to it when no other live worker could take it instead
+// (the retry budget still bounds how often that can happen).
+func (m *master) assign(rank int, now time.Time) {
+	w := m.workers[rank]
+	for i := 0; i < len(m.queue); i++ {
+		t := m.queue[i]
+		if m.covered(t) {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			i--
+			continue
+		}
+		if m.taskAvoid[t.V0][rank] && m.otherEligible(t.V0, rank) {
+			continue
+		}
+		m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		if !m.sendTask(rank, w, t, now) {
+			// The worker vanished between messages; keep the task and let
+			// the disconnect notice retire the rank.
+			m.requeue(t)
+		}
+		return
+	}
+	// Nothing eligible: stay idle. Idle workers are the targets for
+	// speculative re-issues and retries, so they are not stopped until the
+	// run completes.
+}
+
+// sendTask ships t to rank and books it as outstanding there.
+func (m *master) sendTask(rank int, w *workerInfo, t taskMsg, now time.Time) bool {
+	body, err := encode(t)
+	if err != nil {
+		// Encoding a trivial struct cannot fail at runtime; treat it as a
+		// dead send for uniformity.
+		return false
+	}
+	if err := m.tr.Send(rank, mpi.TagTask, body); err != nil {
+		return false
+	}
+	w.state = wsWorking
+	w.task = t
+	w.since = now
+	return true
+}
+
+// assignIdle drains the queue to every idle worker (used after requeues and
+// on ticks, so a dropped Ready cannot strand queued work).
+func (m *master) assignIdle(now time.Time) {
+	for rank, w := range m.workers {
+		if len(m.queue) == 0 {
+			return
+		}
+		if w.state == wsIdle {
+			m.assign(rank, now)
+		}
+	}
+}
+
+// broadcastStop tells every rank the master knows about to shut down,
+// best-effort.
+func (m *master) broadcastStop() {
+	stopped := make(map[int]bool)
+	for rank, w := range m.workers {
+		if w.state != wsDead {
+			_ = m.tr.Send(rank, mpi.TagStop, nil)
+		}
+		stopped[rank] = true
+	}
+	// Also cover ranks admitted by the transport that never spoke.
+	for rank := 1; rank < m.tr.Size(); rank++ {
+		if !stopped[rank] {
+			_ = m.tr.Send(rank, mpi.TagStop, nil)
+		}
+	}
+}
+
+// WorkerOptions tune a worker's protocol behaviour.
+type WorkerOptions struct {
+	// HeartbeatInterval between liveness beacons to the master. Zero
+	// selects 1s; negative disables heartbeats.
+	HeartbeatInterval time.Duration
 }
 
 // RunWorker serves tasks until TagStop: announce readiness, process each
-// assignment with the given worker, and return results. A task-processing
-// error is reported to the master and ends the loop.
-func RunWorker(tr mpi.Transport, w *core.Worker) error {
+// assignment, return results, and heartbeat in the background. A
+// task-processing error is reported to the master and the worker stays in
+// service — the master decides whether to retry elsewhere or quarantine
+// this worker (which arrives as TagStop).
+func RunWorker(tr mpi.Transport, proc TaskProcessor) error {
+	return RunWorkerOpts(tr, proc, WorkerOptions{})
+}
+
+// RunWorkerOpts is RunWorker with explicit options.
+func RunWorkerOpts(tr mpi.Transport, proc TaskProcessor, opts WorkerOptions) error {
 	if err := tr.Send(0, mpi.TagReady, nil); err != nil {
 		return fmt.Errorf("cluster: worker ready: %w", err)
+	}
+	hb := opts.HeartbeatInterval
+	if hb == 0 {
+		hb = time.Second
+	}
+	if hb > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(hb)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if err := tr.Send(0, mpi.TagHeartbeat, nil); err != nil {
+						return
+					}
+				}
+			}
+		}()
 	}
 	for {
 		msg, err := tr.Recv()
@@ -205,12 +614,21 @@ func RunWorker(tr mpi.Transport, w *core.Worker) error {
 		switch msg.Tag {
 		case mpi.TagStop:
 			return nil
+		case mpi.TagHeartbeat:
+			continue // masters don't heartbeat today; tolerate it anyway
 		case mpi.TagTask:
 			var tm taskMsg
 			if err := decode(msg.Body, &tm); err != nil {
-				return fmt.Errorf("cluster: decoding task: %w", err)
+				body, eerr := encode(errorMsg{Task: tm, Err: fmt.Sprintf("undecodable task: %v", err)})
+				if eerr != nil {
+					return eerr
+				}
+				if err := tr.Send(0, mpi.TagError, body); err != nil {
+					return err
+				}
+				continue
 			}
-			scores, perr := w.Process(core.Task{V0: tm.V0, V: tm.V})
+			scores, perr := proc.Process(core.Task{V0: tm.V0, V: tm.V})
 			if perr != nil {
 				body, err := encode(errorMsg{Task: tm, Err: perr.Error()})
 				if err != nil {
@@ -219,7 +637,7 @@ func RunWorker(tr mpi.Transport, w *core.Worker) error {
 				if err := tr.Send(0, mpi.TagError, body); err != nil {
 					return err
 				}
-				return perr
+				continue // stay in service; the master owns retry policy
 			}
 			body, err := encode(resultMsg{Task: tm, Scores: scores})
 			if err != nil {

@@ -1,0 +1,201 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChaosConfig sets per-operation fault probabilities for a ChaosTransport.
+// Each Send/Recv rolls once against the cumulative rates; rates therefore
+// must sum to <= 1, with the remainder being a clean operation.
+type ChaosConfig struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+	// Drop silently discards the message (Send reports success without
+	// sending; Recv swallows one inbound message and waits for the next).
+	Drop float64
+	// Delay holds the operation for a random duration up to MaxDelay.
+	Delay float64
+	// Duplicate delivers the message twice.
+	Duplicate float64
+	// Error fails the operation with an injected transport error.
+	Error float64
+	// Disconnect closes the underlying transport and fails the operation,
+	// simulating a connection cut mid-protocol.
+	Disconnect float64
+	// Hang blocks the operation until the transport is closed, simulating
+	// a worker that is alive on the wire but makes no progress.
+	Hang float64
+	// MaxDelay bounds injected delays (default 2ms).
+	MaxDelay time.Duration
+}
+
+func (c ChaosConfig) validate() error {
+	sum := 0.0
+	for _, r := range []float64{c.Drop, c.Delay, c.Duplicate, c.Error, c.Disconnect, c.Hang} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("mpi: chaos rate %v out of [0,1]", r)
+		}
+		sum += r
+	}
+	if sum > 1 {
+		return fmt.Errorf("mpi: chaos rates sum to %v > 1", sum)
+	}
+	return nil
+}
+
+type chaosFault int
+
+const (
+	chaosNone chaosFault = iota
+	chaosDrop
+	chaosDelay
+	chaosDup
+	chaosError
+	chaosDisconnect
+	chaosHang
+)
+
+// ChaosTransport wraps a Transport and injects seeded, configurable faults
+// into every operation. It exists to prove the master–worker protocol
+// survives real-cluster failure modes — dropped and duplicated messages,
+// slow links, transport errors, connection cuts, and hung-but-connected
+// peers — deterministically enough to run in CI.
+type ChaosTransport struct {
+	inner Transport
+	cfg   ChaosConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	pending []Message // duplicated inbound messages awaiting redelivery
+
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewChaosTransport wraps inner with fault injection per cfg.
+func NewChaosTransport(inner Transport, cfg ChaosConfig) (*ChaosTransport, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	return &ChaosTransport{
+		inner:  inner,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// roll samples one fault decision; it also returns a delay duration in case
+// the fault is chaosDelay.
+func (c *ChaosTransport) roll() (chaosFault, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.rng.Float64()
+	d := time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay)))
+	for _, f := range []struct {
+		rate  float64
+		fault chaosFault
+	}{
+		{c.cfg.Hang, chaosHang},
+		{c.cfg.Disconnect, chaosDisconnect},
+		{c.cfg.Error, chaosError},
+		{c.cfg.Drop, chaosDrop},
+		{c.cfg.Duplicate, chaosDup},
+		{c.cfg.Delay, chaosDelay},
+	} {
+		if r < f.rate {
+			return f.fault, d
+		}
+		r -= f.rate
+	}
+	return chaosNone, d
+}
+
+// Rank implements Transport.
+func (c *ChaosTransport) Rank() int { return c.inner.Rank() }
+
+// Size implements Transport.
+func (c *ChaosTransport) Size() int { return c.inner.Size() }
+
+// Send implements Transport, possibly lying about it.
+func (c *ChaosTransport) Send(to int, tag Tag, body []byte) error {
+	fault, delay := c.roll()
+	switch fault {
+	case chaosHang:
+		<-c.closed
+		return ErrClosed
+	case chaosDisconnect:
+		c.Close()
+		return fmt.Errorf("mpi: chaos disconnect during send of %v", tag)
+	case chaosError:
+		return fmt.Errorf("mpi: chaos error during send of %v", tag)
+	case chaosDrop:
+		return nil // claim success, deliver nothing
+	case chaosDup:
+		if err := c.inner.Send(to, tag, body); err != nil {
+			return err
+		}
+		return c.inner.Send(to, tag, body)
+	case chaosDelay:
+		time.Sleep(delay)
+	}
+	return c.inner.Send(to, tag, body)
+}
+
+// Recv implements Transport, possibly mangling delivery.
+func (c *ChaosTransport) Recv() (Message, error) {
+	c.mu.Lock()
+	if len(c.pending) > 0 {
+		msg := c.pending[0]
+		c.pending = c.pending[1:]
+		c.mu.Unlock()
+		return msg, nil
+	}
+	c.mu.Unlock()
+	for {
+		fault, delay := c.roll()
+		switch fault {
+		case chaosHang:
+			<-c.closed
+			return Message{}, ErrClosed
+		case chaosDisconnect:
+			c.Close()
+			return Message{}, fmt.Errorf("mpi: chaos disconnect during recv")
+		case chaosError:
+			return Message{}, fmt.Errorf("mpi: chaos error during recv")
+		case chaosDrop:
+			// Swallow one inbound message and roll again for the next.
+			if _, err := c.inner.Recv(); err != nil {
+				return Message{}, err
+			}
+			continue
+		case chaosDup:
+			msg, err := c.inner.Recv()
+			if err != nil {
+				return Message{}, err
+			}
+			c.mu.Lock()
+			c.pending = append(c.pending, msg)
+			c.mu.Unlock()
+			return msg, nil
+		case chaosDelay:
+			time.Sleep(delay)
+		}
+		return c.inner.Recv()
+	}
+}
+
+// Close implements Transport; it also unblocks any operation hung by
+// injected faults.
+func (c *ChaosTransport) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+var _ Transport = (*ChaosTransport)(nil)

@@ -1,0 +1,163 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func chaosPair(t *testing.T, cfg ChaosConfig) (master Transport, worker *ChaosTransport) {
+	t.Helper()
+	c, err := NewLocalComm(2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := NewChaosTransport(c.Rank(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Rank(0), ct
+}
+
+// recvWithin returns the master's next message, or ok=false if none shows
+// up in the window (used to assert a drop).
+func recvWithin(t *testing.T, tr Transport, d time.Duration) (Message, bool) {
+	t.Helper()
+	got := make(chan Message, 1)
+	go func() {
+		msg, err := tr.Recv()
+		if err == nil {
+			got <- msg
+		}
+	}()
+	select {
+	case msg := <-got:
+		return msg, true
+	case <-time.After(d):
+		return Message{}, false
+	}
+}
+
+func TestChaosConfigValidation(t *testing.T) {
+	c, _ := NewLocalComm(2, 4)
+	if _, err := NewChaosTransport(c.Rank(1), ChaosConfig{Drop: 0.6, Error: 0.6}); err == nil {
+		t.Fatal("rates summing past 1 accepted")
+	}
+	if _, err := NewChaosTransport(c.Rank(1), ChaosConfig{Hang: -0.1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestChaosDropSwallowsSend(t *testing.T) {
+	master, worker := chaosPair(t, ChaosConfig{Drop: 1})
+	if err := worker.Send(0, TagReady, nil); err != nil {
+		t.Fatalf("dropped send must still claim success, got %v", err)
+	}
+	if msg, ok := recvWithin(t, master, 50*time.Millisecond); ok {
+		t.Fatalf("dropped message delivered: %+v", msg)
+	}
+}
+
+func TestChaosDuplicateDeliversTwice(t *testing.T) {
+	master, worker := chaosPair(t, ChaosConfig{Duplicate: 1})
+	if err := worker.Send(0, TagResult, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		msg, err := master.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Tag != TagResult || string(msg.Body) != "x" {
+			t.Fatalf("copy %d = %+v", i, msg)
+		}
+	}
+}
+
+func TestChaosErrorFailsOp(t *testing.T) {
+	_, worker := chaosPair(t, ChaosConfig{Error: 1})
+	if err := worker.Send(0, TagReady, nil); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := worker.Recv(); err == nil {
+		t.Fatal("recv must fail under error injection")
+	}
+}
+
+func TestChaosHangUnblocksOnClose(t *testing.T) {
+	_, worker := chaosPair(t, ChaosConfig{Hang: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := worker.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung recv returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	worker.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("hang did not release on Close")
+	}
+}
+
+func TestChaosDisconnectClosesInner(t *testing.T) {
+	master, worker := chaosPair(t, ChaosConfig{Disconnect: 1})
+	if err := worker.Send(0, TagReady, nil); err == nil {
+		t.Fatal("disconnect must fail the send")
+	}
+	// The underlying endpoint closed, which a LocalComm surfaces to the
+	// master as TagDisconnect (mirroring a TCP connection cut).
+	msg, err := master.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Tag != TagDisconnect || msg.From != 1 {
+		t.Fatalf("master saw %v from %d", msg.Tag, msg.From)
+	}
+}
+
+// TestChaosDeterministicSequence proves two transports with the same seed
+// inject the same fault sequence, so a soak failure reproduces.
+func TestChaosDeterministicSequence(t *testing.T) {
+	cfg := ChaosConfig{Seed: 42, Drop: 0.3, Error: 0.3}
+	outcome := func() []bool {
+		_, worker := chaosPair(t, cfg)
+		var errs []bool
+		for i := 0; i < 64; i++ {
+			errs = append(errs, worker.Send(0, TagReady, nil) != nil)
+		}
+		return errs
+	}
+	a, b := outcome(), outcome()
+	sawErr := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across same-seed runs", i)
+		}
+		sawErr = sawErr || a[i]
+	}
+	if !sawErr {
+		t.Fatal("no faults injected at 30% error rate over 64 ops")
+	}
+}
+
+func TestChaosCleanPassthrough(t *testing.T) {
+	master, worker := chaosPair(t, ChaosConfig{})
+	if worker.Rank() != 1 || worker.Size() != 2 {
+		t.Fatalf("rank/size %d/%d", worker.Rank(), worker.Size())
+	}
+	if err := worker.Send(0, TagReady, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := master.Recv()
+	if err != nil || msg.Tag != TagReady || string(msg.Body) != "hi" {
+		t.Fatalf("msg %+v err %v", msg, err)
+	}
+}

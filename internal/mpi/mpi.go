@@ -28,7 +28,18 @@ const (
 	// TagDisconnect is injected by transports when a worker's connection
 	// drops, letting the master reassign its outstanding work.
 	TagDisconnect
+	// TagHeartbeat is a periodic liveness beacon from worker to master; a
+	// worker that stops heartbeating is presumed dead and its outstanding
+	// task is requeued.
+	TagHeartbeat
 )
+
+// maxTag is the highest tag the protocol defines; frames carrying anything
+// else are rejected at the wire layer.
+const maxTag = TagHeartbeat
+
+// ValidTag reports whether t is a tag this protocol version defines.
+func ValidTag(t Tag) bool { return t >= TagReady && t <= maxTag }
 
 // String implements fmt.Stringer.
 func (t Tag) String() string {
@@ -47,6 +58,8 @@ func (t Tag) String() string {
 		return "error"
 	case TagDisconnect:
 		return "disconnect"
+	case TagHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("Tag(%d)", uint32(t))
 	}

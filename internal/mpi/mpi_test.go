@@ -117,7 +117,8 @@ func TestLocalCommConcurrentSenders(t *testing.T) {
 func TestTagString(t *testing.T) {
 	for tag, want := range map[Tag]string{
 		TagReady: "ready", TagTask: "task", TagResult: "result",
-		TagStop: "stop", TagData: "data", TagError: "error", Tag(99): "Tag(99)",
+		TagStop: "stop", TagData: "data", TagError: "error",
+		TagDisconnect: "disconnect", TagHeartbeat: "heartbeat", Tag(99): "Tag(99)",
 	} {
 		if tag.String() != want {
 			t.Errorf("Tag %d String = %q, want %q", tag, tag.String(), want)

@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP wire format per message:
@@ -14,10 +16,16 @@ import (
 //	from uint32 | tag uint32 | bodyLen uint32 | body bytes
 //
 // all little endian. The master (rank 0) listens; workers dial in and are
-// assigned ranks 1..size-1 in connection order with a one-word handshake
-// telling each worker its rank and the communicator size.
+// assigned ranks 1..n in connection order with a one-word handshake telling
+// each worker its rank and the communicator size at join time. The master
+// keeps accepting for the lifetime of the run, so workers can join late or
+// reconnect after a crash (a reconnecting worker gets a fresh rank; its old
+// rank stays dead).
 
-const maxBody = 1 << 30
+// maxBody caps a frame body well below anything the protocol legitimately
+// sends (task assignments and per-task score batches are KBs); a corrupt
+// or hostile length header must not be able to OOM the master.
+const maxBody = 64 << 20
 
 func writeFrame(w io.Writer, from int, tag Tag, body []byte) error {
 	var hdr [12]byte
@@ -36,9 +44,13 @@ func readFrame(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
 	}
+	tag := Tag(binary.LittleEndian.Uint32(hdr[4:]))
+	if !ValidTag(tag) {
+		return Message{}, fmt.Errorf("mpi: frame carries unknown tag %d", uint32(tag))
+	}
 	n := binary.LittleEndian.Uint32(hdr[8:])
 	if n > maxBody {
-		return Message{}, fmt.Errorf("mpi: frame body of %d bytes exceeds limit", n)
+		return Message{}, fmt.Errorf("mpi: frame body of %d bytes exceeds %d byte limit", n, maxBody)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
@@ -46,27 +58,41 @@ func readFrame(r io.Reader) (Message, error) {
 	}
 	return Message{
 		From: int(binary.LittleEndian.Uint32(hdr[0:])),
-		Tag:  Tag(binary.LittleEndian.Uint32(hdr[4:])),
+		Tag:  tag,
 		Body: body,
 	}, nil
 }
 
-// TCPMaster is rank 0 of a TCP communicator: it accepts size-1 worker
-// connections and relays the protocol. Workers can only talk to the
-// master (FCMA's protocol is strictly master–worker, as is the paper's).
-type TCPMaster struct {
-	ln      net.Listener
-	size    int
-	conns   []net.Conn
-	writers []*bufio.Writer
-	wmu     []sync.Mutex
-	inbox   chan Message
-	closed  chan struct{}
-	once    sync.Once
+// tcpPeer is one worker connection as the master sees it.
+type tcpPeer struct {
+	conn net.Conn
+	w    *bufio.Writer
+	mu   sync.Mutex // serializes writes to this peer
 }
 
-// ListenMaster starts a master on addr expecting size-1 workers to join.
-// It returns once the listener is live; call Accept to wait for workers.
+// TCPMaster is rank 0 of a TCP communicator: it accepts worker connections
+// and relays the protocol. Workers can only talk to the master (FCMA's
+// protocol is strictly master–worker, as is the paper's). After the initial
+// quorum joins, the listener stays open so workers can join late or rejoin
+// after a crash; each new connection gets the next unused rank and the
+// communicator grows.
+type TCPMaster struct {
+	ln            net.Listener
+	expect        int // initial communicator size Accept waits for
+	acceptTimeout time.Duration
+
+	mu       sync.Mutex
+	nextRank int // next rank to assign; ranks of dead workers are not reused
+	peers    map[int]*tcpPeer
+
+	inbox  chan Message
+	closed chan struct{}
+	once   sync.Once
+}
+
+// ListenMaster starts a master on addr expecting size-1 workers to join
+// initially. It returns once the listener is live; call Accept to wait for
+// the initial quorum.
 func ListenMaster(addr string, size int) (*TCPMaster, error) {
 	if size < 2 {
 		return nil, fmt.Errorf("mpi: TCP communicator needs size >= 2, got %d", size)
@@ -76,39 +102,93 @@ func ListenMaster(addr string, size int) (*TCPMaster, error) {
 		return nil, err
 	}
 	return &TCPMaster{
-		ln:      ln,
-		size:    size,
-		conns:   make([]net.Conn, size),
-		writers: make([]*bufio.Writer, size),
-		wmu:     make([]sync.Mutex, size),
-		inbox:   make(chan Message, 256),
-		closed:  make(chan struct{}),
+		ln:       ln,
+		expect:   size,
+		nextRank: 1,
+		peers:    make(map[int]*tcpPeer),
+		inbox:    make(chan Message, 256),
+		closed:   make(chan struct{}),
 	}, nil
 }
 
 // Addr returns the listen address (useful with ":0").
 func (m *TCPMaster) Addr() string { return m.ln.Addr().String() }
 
-// Accept blocks until all workers have joined, then starts the receive
-// pumps.
+// SetAcceptTimeout bounds how long Accept waits for the initial quorum.
+// Zero (the default) waits forever. Must be called before Accept.
+func (m *TCPMaster) SetAcceptTimeout(d time.Duration) { m.acceptTimeout = d }
+
+// Accept blocks until the initial size-1 workers have joined, then keeps
+// accepting in the background so late joiners and crashed workers can
+// (re)join for the lifetime of the run. If an accept timeout is set and the
+// quorum does not form in time, Accept reports how many ranks joined.
 func (m *TCPMaster) Accept() error {
-	for r := 1; r < m.size; r++ {
+	var deadline time.Time
+	if m.acceptTimeout > 0 {
+		deadline = time.Now().Add(m.acceptTimeout)
+	}
+	tl, _ := m.ln.(*net.TCPListener)
+	for r := 1; r < m.expect; r++ {
+		if !deadline.IsZero() && tl != nil {
+			if err := tl.SetDeadline(deadline); err != nil {
+				return err
+			}
+		}
 		conn, err := m.ln.Accept()
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return fmt.Errorf("mpi: accept deadline %v expired with %d of %d workers joined",
+					m.acceptTimeout, r-1, m.expect-1)
+			}
 			return fmt.Errorf("mpi: accepting rank %d: %w", r, err)
 		}
-		// Handshake: tell the worker its rank and the size.
-		var hs [8]byte
-		binary.LittleEndian.PutUint32(hs[0:], uint32(r))
-		binary.LittleEndian.PutUint32(hs[4:], uint32(m.size))
-		if _, err := conn.Write(hs[:]); err != nil {
-			conn.Close()
-			return fmt.Errorf("mpi: handshake with rank %d: %w", r, err)
+		if err := m.admit(conn); err != nil {
+			return err
 		}
-		m.conns[r] = conn
-		m.writers[r] = bufio.NewWriter(conn)
-		go m.pump(r, conn)
 	}
+	if tl != nil {
+		tl.SetDeadline(time.Time{})
+	}
+	go m.acceptLoop()
+	return nil
+}
+
+// acceptLoop admits late joiners and rejoining workers until Close.
+func (m *TCPMaster) acceptLoop() {
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		// A failed handshake only loses the one connection.
+		_ = m.admit(conn)
+	}
+}
+
+// admit assigns the next rank to conn, completes the handshake, and starts
+// its receive pump.
+func (m *TCPMaster) admit(conn net.Conn) error {
+	m.mu.Lock()
+	rank := m.nextRank
+	m.nextRank++
+	size := m.sizeLocked()
+	peer := &tcpPeer{conn: conn, w: bufio.NewWriter(conn)}
+	m.peers[rank] = peer
+	m.mu.Unlock()
+
+	// Handshake: tell the worker its rank and the communicator size as of
+	// its join.
+	var hs [8]byte
+	binary.LittleEndian.PutUint32(hs[0:], uint32(rank))
+	binary.LittleEndian.PutUint32(hs[4:], uint32(size))
+	if _, err := conn.Write(hs[:]); err != nil {
+		conn.Close()
+		m.mu.Lock()
+		delete(m.peers, rank)
+		m.mu.Unlock()
+		return fmt.Errorf("mpi: handshake with rank %d: %w", rank, err)
+	}
+	go m.pump(rank, conn)
 	return nil
 }
 
@@ -116,7 +196,12 @@ func (m *TCPMaster) pump(rank int, conn net.Conn) {
 	br := bufio.NewReader(conn)
 	defer func() {
 		// Surface the disconnect so the master can reassign outstanding
-		// work instead of hanging.
+		// work instead of hanging. After Close nobody is listening.
+		select {
+		case <-m.closed:
+			return
+		default:
+		}
 		select {
 		case m.inbox <- Message{From: rank, Tag: TagDisconnect}:
 		case <-m.closed:
@@ -125,7 +210,7 @@ func (m *TCPMaster) pump(rank int, conn net.Conn) {
 	for {
 		msg, err := readFrame(br)
 		if err != nil {
-			return // connection closed or broken
+			return // connection closed, broken, or sent a corrupt frame
 		}
 		msg.From = rank // trust connection identity, not the frame header
 		select {
@@ -139,24 +224,44 @@ func (m *TCPMaster) pump(rank int, conn net.Conn) {
 // Rank implements Transport.
 func (m *TCPMaster) Rank() int { return 0 }
 
-// Size implements Transport.
-func (m *TCPMaster) Size() int { return m.size }
+// Size implements Transport: the expected initial size until the quorum
+// forms, growing as late workers join beyond it.
+func (m *TCPMaster) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sizeLocked()
+}
+
+func (m *TCPMaster) sizeLocked() int {
+	if m.nextRank < m.expect {
+		return m.expect
+	}
+	return m.nextRank
+}
 
 // Send implements Transport.
 func (m *TCPMaster) Send(to int, tag Tag, body []byte) error {
-	if to <= 0 || to >= m.size || m.conns[to] == nil {
+	m.mu.Lock()
+	peer := m.peers[to]
+	m.mu.Unlock()
+	if to <= 0 || peer == nil {
 		return fmt.Errorf("mpi: master send to invalid rank %d", to)
 	}
-	m.wmu[to].Lock()
-	defer m.wmu[to].Unlock()
-	if err := writeFrame(m.writers[to], 0, tag, body); err != nil {
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	if err := writeFrame(peer.w, 0, tag, body); err != nil {
 		return err
 	}
-	return m.writers[to].Flush()
+	return peer.w.Flush()
 }
 
 // Recv implements Transport.
 func (m *TCPMaster) Recv() (Message, error) {
+	select {
+	case <-m.closed:
+		return Message{}, ErrClosed
+	default:
+	}
 	select {
 	case msg := <-m.inbox:
 		return msg, nil
@@ -170,11 +275,11 @@ func (m *TCPMaster) Close() error {
 	m.once.Do(func() {
 		close(m.closed)
 		m.ln.Close()
-		for _, c := range m.conns {
-			if c != nil {
-				c.Close()
-			}
+		m.mu.Lock()
+		for _, p := range m.peers {
+			p.conn.Close()
 		}
+		m.mu.Unlock()
 	})
 	return nil
 }
@@ -211,6 +316,66 @@ func DialWorker(addr string) (*TCPWorker, error) {
 		size:   int(binary.LittleEndian.Uint32(hs[4:])),
 		closed: make(chan struct{}),
 	}, nil
+}
+
+// DialOptions shapes DialWorkerRetry's exponential backoff.
+type DialOptions struct {
+	// Attempts is the total number of dials before giving up (min 1).
+	Attempts int
+	// BaseDelay is the wait after the first failure; it doubles per
+	// attempt. Defaults to 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 5s.
+	MaxDelay time.Duration
+	// Jitter in [0,1] randomizes each wait by ±Jitter fraction so a fleet
+	// of rejoining workers does not reconnect in lockstep. Defaults to 0.5
+	// when negative; 0 means none.
+	Jitter float64
+	// Seed makes the jitter deterministic when nonzero (tests).
+	Seed int64
+}
+
+// DialWorkerRetry is DialWorker with exponential backoff and jitter: it
+// keeps redialing through transient refusals (master not yet up, network
+// blip, master restarting) until the attempt budget is spent.
+func DialWorkerRetry(addr string, o DialOptions) (*TCPWorker, error) {
+	if o.Attempts < 1 {
+		o.Attempts = 1
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 100 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 5 * time.Second
+	}
+	if o.Jitter < 0 || o.Jitter > 1 {
+		o.Jitter = 0.5
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	delay := o.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < o.Attempts; attempt++ {
+		if attempt > 0 {
+			d := delay
+			if o.Jitter > 0 {
+				d = time.Duration(float64(d) * (1 + o.Jitter*(2*rng.Float64()-1)))
+			}
+			time.Sleep(d)
+			if delay *= 2; delay > o.MaxDelay {
+				delay = o.MaxDelay
+			}
+		}
+		w, err := DialWorker(addr)
+		if err == nil {
+			return w, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("mpi: dialing %s failed after %d attempts: %w", addr, o.Attempts, lastErr)
 }
 
 // Rank implements Transport.

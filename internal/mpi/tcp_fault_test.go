@@ -1,0 +1,242 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAcceptTimeoutReportsJoinCount(t *testing.T) {
+	master, err := ListenMaster("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	master.SetAcceptTimeout(150 * time.Millisecond)
+	// Only one of the two expected workers dials.
+	go func() {
+		w, err := DialWorker(master.Addr())
+		if err == nil {
+			defer w.Close()
+			time.Sleep(time.Second)
+		}
+	}()
+	err = master.Accept()
+	if err == nil {
+		t.Fatal("Accept returned without the quorum")
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Fatalf("error does not name the join count: %v", err)
+	}
+}
+
+func TestMidFrameDisconnectSurfacesAsDisconnect(t *testing.T) {
+	master, err := ListenMaster("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	conn, err := net.Dial("tcp", master.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := master.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	var hs [8]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Header promises a 100-byte TagResult body, then the connection is
+	// cut after 10 bytes — exactly a worker dying mid-send.
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 1)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(TagResult))
+	binary.LittleEndian.PutUint32(hdr[8:], 100)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	msg, err := master.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Tag != TagDisconnect || msg.From != 1 {
+		t.Fatalf("mid-frame cut surfaced as %v from %d, want disconnect from 1", msg.Tag, msg.From)
+	}
+}
+
+func TestCorruptTagSurfacesAsDisconnect(t *testing.T) {
+	master, err := ListenMaster("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	conn, err := net.Dial("tcp", master.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := master.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	var hs [8]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[4:], 9999) // no such tag
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := master.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Tag != TagDisconnect {
+		t.Fatalf("corrupt frame surfaced as %v, want the sender dropped", msg.Tag)
+	}
+}
+
+func TestLateJoinAndRejoinGetFreshRanks(t *testing.T) {
+	master, err := ListenMaster("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	first := make(chan *TCPWorker, 1)
+	go func() {
+		w, _ := DialWorker(master.Addr())
+		first <- w
+	}()
+	if err := master.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	w1 := <-first
+	if w1 == nil {
+		t.Fatal("first worker failed to join")
+	}
+
+	// A late joiner after the initial quorum gets the next rank and the
+	// communicator grows.
+	w2, err := DialWorker(master.Addr())
+	if err != nil {
+		t.Fatalf("late join rejected: %v", err)
+	}
+	defer w2.Close()
+	if w2.Rank() != 2 {
+		t.Fatalf("late joiner rank %d, want 2", w2.Rank())
+	}
+	if master.Size() != 3 {
+		t.Fatalf("master size %d after late join, want 3", master.Size())
+	}
+	if err := w2.Send(0, TagReady, nil); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := master.Recv()
+	if err != nil || msg.From != 2 || msg.Tag != TagReady {
+		t.Fatalf("late joiner message %+v err %v", msg, err)
+	}
+
+	// A crashed worker reconnects and gets a fresh rank; its old rank is
+	// reported dead, not reused.
+	w1.Close()
+	msg, err = master.Recv()
+	if err != nil || msg.Tag != TagDisconnect || msg.From != 1 {
+		t.Fatalf("crash notice %+v err %v", msg, err)
+	}
+	w3, err := DialWorker(master.Addr())
+	if err != nil {
+		t.Fatalf("rejoin rejected: %v", err)
+	}
+	defer w3.Close()
+	if w3.Rank() != 3 {
+		t.Fatalf("rejoined worker rank %d, want fresh rank 3", w3.Rank())
+	}
+	if err := master.Send(3, TagTask, []byte("t")); err != nil {
+		t.Fatalf("send to rejoined rank: %v", err)
+	}
+	got, err := w3.Recv()
+	if err != nil || string(got.Body) != "t" {
+		t.Fatalf("rejoined worker recv %+v err %v", got, err)
+	}
+}
+
+func TestFrameRejectsUnknownTag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, 1, Tag(99), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+func TestFrameBodyCapWellBelowGiB(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(TagResult))
+	binary.LittleEndian.PutUint32(hdr[8:], maxBody+1)
+	buf.Write(hdr[:])
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if maxBody >= 1<<29 {
+		t.Fatalf("maxBody %d leaves the master open to allocation abuse", maxBody)
+	}
+}
+
+func TestDialWorkerRetryEventuallyConnects(t *testing.T) {
+	// Reserve an address, release it, and only start the master after the
+	// first dial attempts have failed.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	masterUp := make(chan *TCPMaster, 1)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		m, err := ListenMaster(addr, 2)
+		if err != nil {
+			masterUp <- nil
+			return
+		}
+		masterUp <- m
+		m.Accept()
+	}()
+	w, err := DialWorkerRetry(addr, DialOptions{Attempts: 30, BaseDelay: 20 * time.Millisecond, Seed: 7})
+	m := <-masterUp
+	if m != nil {
+		defer m.Close()
+	}
+	if err != nil {
+		t.Fatalf("retry dial failed: %v", err)
+	}
+	defer w.Close()
+	if w.Rank() != 1 {
+		t.Fatalf("rank %d", w.Rank())
+	}
+}
+
+func TestDialWorkerRetryExhaustsBudget(t *testing.T) {
+	start := time.Now()
+	_, err := DialWorkerRetry("127.0.0.1:1", DialOptions{Attempts: 3, BaseDelay: time.Millisecond, Seed: 7})
+	if err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("error does not name the budget: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("backoff far exceeded configured delays")
+	}
+}
