@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-short bench
+.PHONY: check vet build test test-short bench fuzz
 
 check: vet build test
 
@@ -23,3 +23,11 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Short native-fuzz pass over the untrusted-input parsers (NIfTI headers
+# and epoch files). FUZZTIME bounds each target's run.
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test ./internal/nifti/ -fuzz FuzzNIfTIRead -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fmri/ -fuzz FuzzEpochParse -fuzztime $(FUZZTIME)

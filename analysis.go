@@ -1,6 +1,8 @@
 package fcma
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"fcma/internal/norm"
 	"fcma/internal/roi"
 	"fcma/internal/rt"
+	"fcma/internal/safe"
 	"fcma/internal/svm"
 	"fcma/internal/tensor"
 )
@@ -63,6 +66,13 @@ func (r *OfflineResult) MeanAccuracy() float64 {
 // selected voxels' correlation patterns, and verify it on the held-out
 // subject.
 func OfflineAnalysis(d *Data, cfg Config) (*OfflineResult, error) {
+	return OfflineAnalysisContext(context.Background(), d, cfg)
+}
+
+// OfflineAnalysisContext is OfflineAnalysis with cooperative
+// cancellation: a cancelled ctx stops the in-flight fold at its next
+// pipeline checkpoint and returns ctx.Err().
+func OfflineAnalysisContext(ctx context.Context, d *Data, cfg Config) (*OfflineResult, error) {
 	if d.ds.Subjects < 3 {
 		return nil, fmt.Errorf("fcma: offline analysis needs at least 3 subjects, got %d", d.ds.Subjects)
 	}
@@ -71,9 +81,12 @@ func OfflineAnalysis(d *Data, cfg Config) (*OfflineResult, error) {
 	counts := make(map[int]int)
 	k := cfg.topK(d.Voxels())
 	for s := 0; s < d.ds.Subjects; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		foldStart := time.Now()
 		train := d.withoutSubject(s)
-		scores, err := SelectVoxels(train, cfg)
+		scores, err := SelectVoxelsContext(ctx, train, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("fcma: fold %d voxel selection: %w", s, err)
 		}
@@ -144,11 +157,18 @@ type OnlineResult struct {
 // OnlineAnalysis emulates the closed-loop scenario: voxel selection and
 // classifier training from a single subject's data.
 func OnlineAnalysis(d *Data, cfg Config) (*OnlineResult, error) {
+	return OnlineAnalysisContext(context.Background(), d, cfg)
+}
+
+// OnlineAnalysisContext is OnlineAnalysis with cooperative cancellation —
+// the closed-loop setting where a selection run that outlives its
+// real-time budget must be abandoned.
+func OnlineAnalysisContext(ctx context.Context, d *Data, cfg Config) (*OnlineResult, error) {
 	if d.ds.Subjects != 1 {
 		return nil, fmt.Errorf("fcma: online analysis takes one subject's data, got %d subjects", d.ds.Subjects)
 	}
 	start := time.Now()
-	scores, err := SelectVoxels(d, cfg)
+	scores, err := SelectVoxelsContext(ctx, d, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -294,13 +314,19 @@ type ActivityScore = mvpa.VoxelScore
 // whose activity levels are not score near chance here while ranking at
 // the top under SelectVoxels.
 func SelectVoxelsByActivity(d *Data, cfg Config) ([]ActivityScore, error) {
+	return SelectVoxelsByActivityContext(context.Background(), d, cfg)
+}
+
+// SelectVoxelsByActivityContext is SelectVoxelsByActivity with
+// cooperative cancellation (checked between voxels).
+func SelectVoxelsByActivityContext(ctx context.Context, d *Data, cfg Config) ([]ActivityScore, error) {
 	var trainer svm.KernelTrainer
 	if cfg.Engine == Baseline {
 		trainer = svm.LibSVM{Params: svm.Params{C: cfg.SVMCost}}
 	} else {
 		trainer = svm.PhiSVM{Params: svm.Params{C: cfg.SVMCost}}
 	}
-	return mvpa.SelectVoxels(d.ds, mvpa.Config{Trainer: trainer, Workers: cfg.Workers})
+	return mvpa.SelectVoxelsContext(ctx, d.ds, mvpa.Config{Trainer: trainer, Workers: cfg.Workers})
 }
 
 // ROI is a spatially contiguous region of selected voxels.
@@ -391,8 +417,17 @@ type Feedback = rt.Prediction
 // classifier labels each one. The prediction channel closes when the run
 // ends; the error channel carries at most one stream error.
 func RunClosedLoop(d *Data, clf *Classifier, tr time.Duration) (<-chan Feedback, <-chan error) {
-	frames := rt.NewScanner(d.ds, tr).Stream(nil)
-	return rt.RunFeedback(frames, d.ds.Epochs, d.Voxels(), clf)
+	return RunClosedLoopContext(context.Background(), d, clf, tr)
+}
+
+// RunClosedLoopContext is RunClosedLoop with cooperative cancellation
+// and panic containment: a cancelled ctx ends the stream and the
+// feedback loop (delivering ctx.Err() on the error channel), and a
+// panicking classifier surfaces as a *PipelineError on the error
+// channel instead of killing the process.
+func RunClosedLoopContext(ctx context.Context, d *Data, clf *Classifier, tr time.Duration) (<-chan Feedback, <-chan error) {
+	frames := rt.NewScanner(d.ds, tr).StreamContext(ctx)
+	return rt.RunFeedbackContext(ctx, frames, d.ds.Epochs, d.Voxels(), clf)
 }
 
 // SelectVoxelsDistributed runs whole-brain voxel selection through the
@@ -401,50 +436,83 @@ func RunClosedLoop(d *Data, clf *Classifier, tr time.Duration) (<-chan Feedback,
 // (the TCP deployment lives in cmd/fcma-cluster). taskSize voxels go to a
 // worker per assignment; 0 selects the paper's 120.
 func SelectVoxelsDistributed(d *Data, cfg Config, workers, taskSize int) ([]VoxelScore, error) {
+	return SelectVoxelsDistributedContext(context.Background(), d, cfg, workers, taskSize)
+}
+
+// SelectVoxelsDistributedContext is SelectVoxelsDistributed with
+// cooperative cancellation and panic containment: a cancelled ctx makes
+// the master broadcast TagStop and return ctx.Err() with every
+// in-process worker joined, and a panic in any worker is contained to a
+// TagError report (a *PipelineError) handled by the master's
+// retry/quarantine machinery instead of crashing the process.
+func SelectVoxelsDistributedContext(ctx context.Context, d *Data, cfg Config, workers, taskSize int) ([]VoxelScore, error) {
 	if workers <= 0 {
 		workers = 2
 	}
 	if taskSize <= 0 {
 		taskSize = 120
 	}
-	stack, err := corr.BuildEpochStack(d.ds, cfg.Workers)
+	sd, report, err := sanitizeFor(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sd.ds.Validate(); err != nil {
+		return nil, fmt.Errorf("fcma: invalid dataset: %w", err)
+	}
+	stack, err := corr.BuildEpochStackContext(ctx, sd.ds, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	var folds []svm.Fold
-	if d.ds.Subjects == 1 {
+	if sd.ds.Subjects == 1 {
 		folds = svm.KFolds(stack.M(), minInt(6, stack.M()/2))
 	}
 	comm, err := mpi.NewLocalComm(workers+1, 64)
 	if err != nil {
 		return nil, err
 	}
+	// Closing every rank after the run unblocks any receive pump still
+	// parked in Recv (the cancellable workers read through one).
+	defer func() {
+		for r := 0; r <= workers; r++ {
+			comm.Rank(r).Close()
+		}
+	}()
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
 	for r := 1; r <= workers; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			w, err := core.NewWorker(cfg.coreConfig(), stack, folds)
-			if err != nil {
-				errs[r-1] = err
-				comm.Rank(r).Close()
-				return
-			}
-			errs[r-1] = cluster.RunWorker(comm.Rank(r), w)
+			errs[r-1] = safe.Do("fcma/dist-worker", 0, stack.N, func() error {
+				w, err := core.NewWorker(cfg.coreConfig(), stack, folds)
+				if err != nil {
+					comm.Rank(r).Close()
+					return err
+				}
+				return cluster.RunWorkerCtx(ctx, comm.Rank(r), w, cluster.WorkerOptions{})
+			})
 		}(r)
 	}
-	scores, err := cluster.RunMaster(comm.Rank(0), stack.N, taskSize)
+	scores, err := cluster.RunMasterCtx(ctx, comm.Rank(0), stack.N, taskSize, cluster.MasterOptions{})
 	wg.Wait()
 	if err != nil {
 		return nil, err
 	}
 	for _, e := range errs {
-		if e != nil {
+		if e != nil && !errorsIsCtx(e, ctx) {
 			return nil, e
 		}
 	}
+	remapScores(scores, report)
 	return core.TopVoxels(scores, 0), nil
+}
+
+// errorsIsCtx reports whether e is the context's own cancellation error
+// (workers returning ctx.Err() after a cancelled run are not failures).
+func errorsIsCtx(e error, ctx context.Context) bool {
+	ce := ctx.Err()
+	return ce != nil && errors.Is(e, ce)
 }
 
 // StreamingSelector accumulates one subject's epochs as they arrive and
@@ -480,4 +548,11 @@ func (s *StreamingSelector) Epochs() int { return s.sel.Epochs() }
 // Select ranks every voxel over the data received so far, best first.
 func (s *StreamingSelector) Select() ([]VoxelScore, error) {
 	return s.sel.Select()
+}
+
+// SelectContext is Select with cooperative cancellation — a selection
+// run that outlives its real-time budget can be abandoned before the
+// next volume arrives.
+func (s *StreamingSelector) SelectContext(ctx context.Context) ([]VoxelScore, error) {
+	return s.sel.SelectContext(ctx)
 }

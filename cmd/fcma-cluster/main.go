@@ -20,9 +20,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"fcma/internal/cluster"
@@ -51,6 +55,12 @@ func main() {
 	taskRetries := flag.Int("task-retries", 3, "master: failures one task tolerates before the run aborts")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the run cooperatively: the master broadcasts
+	// TagStop and flushes its checkpoint before exiting, a worker aborts
+	// its in-flight task. A second signal kills the process the usual way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	d := loadDataset(*dataPath, *epochPath)
 
 	switch *role {
@@ -66,17 +76,33 @@ func main() {
 			HeartbeatTimeout: *heartbeatTimeout,
 			TaskRetries:      *taskRetries,
 		}
+		var cp *cluster.Checkpoint
 		if *checkpoint != "" {
-			cp, err := cluster.OpenCheckpoint(*checkpoint)
+			cp, err = cluster.OpenCheckpoint(*checkpoint)
 			fail(err)
-			defer cp.Close()
 			if cp.Done() > 0 {
 				fmt.Printf("fcma-cluster: resuming from %s (%d voxels done)\n", *checkpoint, cp.Done())
 			}
 			opts.Checkpoint = cp
 		}
-		scores, err := cluster.RunMasterOpts(master, d.Voxels(), *taskSize, opts)
+		scores, err := cluster.RunMasterCtx(ctx, master, d.Voxels(), *taskSize, opts)
+		if errors.Is(err, context.Canceled) {
+			// os.Exit skips defers, so flush the checkpoint here — the
+			// partial run must be resumable before we report cancellation.
+			if cp != nil {
+				if cerr := cp.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "fcma-cluster: checkpoint flush:", cerr)
+					os.Exit(1)
+				}
+				fmt.Printf("fcma-cluster: checkpoint flushed to %s (%d voxels done)\n", *checkpoint, cp.Done())
+			}
+			fmt.Fprintln(os.Stderr, "fcma-cluster: run cancelled")
+			os.Exit(130)
+		}
 		fail(err)
+		if cp != nil {
+			fail(cp.Close())
+		}
 		top := core.TopVoxels(scores, *topK)
 		fmt.Printf("analysis complete: %d voxels scored; top %d:\n", len(scores), len(top))
 		for _, s := range top {
@@ -100,10 +126,14 @@ func main() {
 			tr, err := mpi.DialWorkerRetry(*addr, mpi.DialOptions{Attempts: *retry})
 			fail(err)
 			fmt.Printf("fcma-cluster: worker rank %d of %d connected to %s\n", tr.Rank(), tr.Size(), *addr)
-			err = cluster.RunWorkerOpts(tr, w, cluster.WorkerOptions{HeartbeatInterval: *heartbeat})
+			err = cluster.RunWorkerCtx(ctx, tr, w, cluster.WorkerOptions{HeartbeatInterval: *heartbeat})
 			tr.Close()
 			if err == nil {
 				break
+			}
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "fcma-cluster: run cancelled")
+				os.Exit(130)
 			}
 			if attempt+1 >= *retry {
 				fail(fmt.Errorf("giving up after %d connections: %w", attempt+1, err))

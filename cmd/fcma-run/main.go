@@ -16,9 +16,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"fcma"
 )
@@ -43,6 +47,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "permtest: permutation seed")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the analysis cooperatively: every pipeline
+	// goroutine stops at its next checkpoint and the run exits cleanly. A
+	// second signal kills the process the usual way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	d := loadData(*dataPath, *epochPath, *niiPath, *maskPath, *subjects, *synthetic, *scale)
 	cfg := fcma.Config{Workers: *workers, TopK: *topK}
 	switch *engine {
@@ -56,12 +66,12 @@ func main() {
 
 	switch *mode {
 	case "select":
-		scores, err := fcma.SelectVoxels(d, cfg)
+		scores, err := fcma.SelectVoxelsContext(ctx, d, cfg)
 		fail(err)
 		reportSelection(d, cfg, scores, *topK, *roiMinSize)
 		writeOutputs(d, scores, *outScores, *outMap)
 	case "mvpa":
-		scores, err := fcma.SelectVoxelsByActivity(d, cfg)
+		scores, err := fcma.SelectVoxelsByActivityContext(ctx, d, cfg)
 		fail(err)
 		k := clampK(*topK, len(scores))
 		fmt.Printf("top %d of %d voxels by ACTIVITY-MVPA accuracy (%s engine):\n", k, len(scores), cfg.Engine)
@@ -69,7 +79,7 @@ func main() {
 			fmt.Printf("  voxel %6d  accuracy %.3f\n", s.Voxel, s.Accuracy)
 		}
 	case "permtest":
-		scores, err := fcma.SelectVoxels(d, cfg)
+		scores, err := fcma.SelectVoxelsContext(ctx, d, cfg)
 		fail(err)
 		k := clampK(*topK, len(scores))
 		top := make([]int, k)
@@ -89,7 +99,7 @@ func main() {
 		fmt.Printf("  null maximum      %.3f\n", nullMax)
 		fmt.Printf("  p-value           %.4f\n", res.P)
 	case "offline":
-		res, err := fcma.OfflineAnalysis(d, cfg)
+		res, err := fcma.OfflineAnalysisContext(ctx, d, cfg)
 		fail(err)
 		fmt.Printf("offline nested leave-one-subject-out on %s (%d subjects, %s engine)\n",
 			d.Name(), d.Subjects(), cfg.Engine)
@@ -109,7 +119,7 @@ func main() {
 	case "online":
 		one, err := d.Subject(*subject)
 		fail(err)
-		res, err := fcma.OnlineAnalysis(one, cfg)
+		res, err := fcma.OnlineAnalysisContext(ctx, one, cfg)
 		fail(err)
 		fmt.Printf("online voxel selection on %s subject %d (%s engine): %d voxels in %.2fs\n",
 			d.Name(), *subject, cfg.Engine, len(res.Selected), res.Elapsed.Seconds())
@@ -224,8 +234,13 @@ func minInt(a, b int) int {
 }
 
 func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fcma-run:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "fcma-run: run cancelled")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "fcma-run:", err)
+	os.Exit(1)
 }

@@ -31,6 +31,7 @@
 package fcma
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -197,6 +198,12 @@ type Config struct {
 	TopK int
 	// SVMCost is the SVM box constraint C; 0 selects the default (1).
 	SVMCost float64
+	// Sanitize selects how NaN/Inf samples and zero-variance voxels are
+	// handled before correlation; the default SanitizeOff performs no
+	// pass (degenerate correlations are defined as 0). Under
+	// SanitizeDropVoxel, returned voxel indices still refer to the
+	// original dataset numbering.
+	Sanitize SanitizePolicy
 }
 
 func (c Config) topK(voxels int) int {
@@ -232,19 +239,68 @@ type VoxelScore = core.VoxelScore
 // returns every voxel's accuracy, sorted descending — the paper's voxel
 // selection step.
 func SelectVoxels(d *Data, cfg Config) ([]VoxelScore, error) {
-	stack, worker, err := buildWorker(d, cfg)
+	return SelectVoxelsContext(context.Background(), d, cfg)
+}
+
+// SelectVoxelsContext is SelectVoxels with cooperative cancellation: a
+// cancelled ctx stops every pipeline goroutine at its next checkpoint
+// (one epoch in the correlation stage, one kernel block in the batched
+// precompute, one voxel in cross-validation), joins them all, and
+// returns ctx.Err(). A panic anywhere in the pipeline surfaces as a
+// *PipelineError instead of crashing the process.
+func SelectVoxelsContext(ctx context.Context, d *Data, cfg Config) ([]VoxelScore, error) {
+	sd, report, err := sanitizeFor(d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	scores, err := worker.Process(core.Task{V0: 0, V: stack.N})
+	stack, worker, err := buildWorker(ctx, sd, cfg)
 	if err != nil {
 		return nil, err
 	}
+	scores, err := worker.ProcessContext(ctx, core.Task{V0: 0, V: stack.N})
+	if err != nil {
+		return nil, err
+	}
+	remapScores(scores, report)
 	return core.TopVoxels(scores, 0), nil
 }
 
-func buildWorker(d *Data, cfg Config) (*corr.EpochStack, *core.Worker, error) {
-	stack, err := corr.BuildEpochStack(d.ds, cfg.Workers)
+// sanitizeFor applies cfg.Sanitize and returns the dataset to analyze
+// plus the report whose Kept mapping (if any) translates result voxel
+// indices back to d's numbering.
+func sanitizeFor(d *Data, cfg Config) (*Data, *fmri.SanitizeReport, error) {
+	if cfg.Sanitize == SanitizeOff {
+		return d, nil, nil
+	}
+	ds, report, err := fmri.SanitizeDataset(d.ds, cfg.Sanitize)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fcma: %w", err)
+	}
+	if ds == d.ds {
+		return d, report, nil
+	}
+	return &Data{ds: ds}, report, nil
+}
+
+// remapScores rewrites voxel indices of a DropVoxel run back to the
+// original dataset numbering, in place.
+func remapScores(scores []VoxelScore, report *fmri.SanitizeReport) {
+	if report == nil || report.Kept == nil {
+		return
+	}
+	for i := range scores {
+		scores[i].Voxel = report.Kept[scores[i].Voxel]
+	}
+}
+
+func buildWorker(ctx context.Context, d *Data, cfg Config) (*corr.EpochStack, *core.Worker, error) {
+	// Validate up front so the shape invariants the internal kernels
+	// assume (and would otherwise panic on) are checked with real error
+	// messages before any goroutine spawns.
+	if err := d.ds.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("fcma: invalid dataset: %w", err)
+	}
+	stack, err := corr.BuildEpochStackContext(ctx, d.ds, cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package blas
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -17,6 +18,13 @@ import (
 // each worker merges its thread-local partial result into the owning C
 // under that matrix's lock.
 func BatchSyrk(Cs, As []*tensor.Matrix, block, workers int) error {
+	return BatchSyrkContext(context.Background(), Cs, As, block, workers)
+}
+
+// BatchSyrkContext is BatchSyrk with cooperative cancellation: a cancelled
+// ctx stops the worker pool at the next (matrix, block) work item and
+// returns ctx.Err(). One work item is the checkpoint interval.
+func BatchSyrkContext(ctx context.Context, Cs, As []*tensor.Matrix, block, workers int) error {
 	if len(Cs) != len(As) {
 		return fmt.Errorf("blas: batch of %d C matrices for %d A matrices", len(Cs), len(As))
 	}
@@ -42,7 +50,7 @@ func BatchSyrk(Cs, As []*tensor.Matrix, block, workers int) error {
 		}
 	}
 	locks := make([]sync.Mutex, len(Cs))
-	parallelForDynamic(len(items), workers, func(n int) {
+	err := parallelForDynamicContext(ctx, len(items), workers, func(n int) {
 		it := items[n]
 		A := As[it.mat]
 		m := A.Rows
@@ -59,6 +67,9 @@ func BatchSyrk(Cs, As []*tensor.Matrix, block, workers int) error {
 		}
 		locks[it.mat].Unlock()
 	})
+	if err != nil {
+		return err
+	}
 	// Mirror the lower triangles.
 	for _, C := range Cs {
 		for i := 0; i < C.Rows; i++ {

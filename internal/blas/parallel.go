@@ -1,8 +1,9 @@
 package blas
 
 import (
-	"runtime"
-	"sync"
+	"context"
+
+	"fcma/internal/safe"
 )
 
 // parallelFor runs fn(start, end) over [0, n) split into contiguous chunks
@@ -10,67 +11,34 @@ import (
 // chunking is static: chunk i covers the i-th of `workers` equal ranges,
 // which matches the static partitioning the paper's kernels use within a
 // coprocessor.
+//
+// Worker goroutines run with panic containment: a panic inside fn is
+// recovered, joined with the rest of the pool, and re-thrown on the
+// calling goroutine as a *safe.PipelineError — so a faulting kernel chunk
+// can never kill the process from an anonymous goroutine, and the layers
+// above (which do have error returns) convert it to an ordinary error.
 func parallelFor(n, workers int, fn func(start, end int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	err := safe.ParallelRanges(context.Background(), safe.Span{Stage: "blas/kernel"}, n, workers,
+		func(s, e int) error { fn(s, e); return nil })
+	if err != nil {
+		panic(err)
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		if n > 0 {
-			fn(0, n)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
-	}
-	wg.Wait()
 }
 
-// parallelForDynamic runs fn(i) for each i in [0, n) using a shared atomic
-// work queue, the dynamic analogue of parallelFor for workloads with
-// uneven per-item cost (e.g. per-voxel SVM cross-validation).
+// parallelForDynamic runs fn(i) for each i in [0, n) using a shared work
+// queue, the dynamic analogue of parallelFor for workloads with uneven
+// per-item cost (e.g. per-voxel SVM cross-validation). Panic containment
+// matches parallelFor.
 func parallelForDynamic(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if err := parallelForDynamicContext(context.Background(), n, workers, fn); err != nil {
+		panic(err)
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	go func() {
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
-	}()
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+}
+
+// parallelForDynamicContext is parallelForDynamic with cooperative
+// cancellation: a cancelled ctx stops the pool at the next work item and
+// returns ctx.Err(); a contained panic returns as a *safe.PipelineError.
+func parallelForDynamicContext(ctx context.Context, n, workers int, fn func(i int)) error {
+	return safe.ParallelDynamic(ctx, safe.Span{Stage: "blas/kernel"}, n, workers,
+		func(i int) error { fn(i); return nil })
 }

@@ -27,13 +27,16 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"fcma/internal/core"
 	"fcma/internal/mpi"
+	"fcma/internal/safe"
 )
 
 // taskMsg and resultMsg are the gob payloads of the protocol.
@@ -67,6 +70,13 @@ func decode(b []byte, v any) error {
 // production implementation; tests substitute fault-injecting ones.
 type TaskProcessor interface {
 	Process(core.Task) ([]core.VoxelScore, error)
+}
+
+// ContextProcessor is implemented by processors that support cooperative
+// cancellation (as *core.Worker does); RunWorkerCtx prefers it so a
+// cancelled worker aborts its in-flight task instead of finishing it.
+type ContextProcessor interface {
+	ProcessContext(context.Context, core.Task) ([]core.VoxelScore, error)
 }
 
 // MasterOptions tune the master's fault tolerance. The zero value keeps
@@ -135,6 +145,14 @@ type master struct {
 
 // RunMasterOpts is RunMaster with explicit fault-tolerance options.
 func RunMasterOpts(tr mpi.Transport, totalVoxels, taskSize int, opts MasterOptions) ([]core.VoxelScore, error) {
+	return RunMasterCtx(context.Background(), tr, totalVoxels, taskSize, opts)
+}
+
+// RunMasterCtx is RunMasterOpts with cooperative cancellation: when ctx is
+// cancelled the master broadcasts TagStop to every known rank (so workers
+// shut down instead of blocking on their next task), records any
+// checkpoint state already flushed, and returns ctx.Err().
+func RunMasterCtx(ctx context.Context, tr mpi.Transport, totalVoxels, taskSize int, opts MasterOptions) ([]core.VoxelScore, error) {
 	if totalVoxels <= 0 || taskSize <= 0 {
 		return nil, fmt.Errorf("cluster: invalid partition %d voxels / %d per task", totalVoxels, taskSize)
 	}
@@ -171,10 +189,10 @@ func RunMasterOpts(tr mpi.Transport, totalVoxels, taskSize int, opts MasterOptio
 	if cp != nil {
 		m.addScores(cp.scores())
 	}
-	return m.run()
+	return m.run(ctx)
 }
 
-func (m *master) run() ([]core.VoxelScore, error) {
+func (m *master) run(ctx context.Context) ([]core.VoxelScore, error) {
 	// A dedicated receive pump lets the master loop also react to time
 	// (task deadlines, heartbeat timeouts) instead of blocking in Recv.
 	msgs := make(chan mpi.Message)
@@ -209,6 +227,9 @@ func (m *master) run() ([]core.VoxelScore, error) {
 	for !m.complete() {
 		var err error
 		select {
+		case <-ctx.Done():
+			m.broadcastStop()
+			return nil, ctx.Err()
 		case rerr := <-recvErr:
 			return nil, fmt.Errorf("cluster: master recv: %w", rerr)
 		case now := <-tick:
@@ -581,6 +602,25 @@ func RunWorker(tr mpi.Transport, proc TaskProcessor) error {
 
 // RunWorkerOpts is RunWorker with explicit options.
 func RunWorkerOpts(tr mpi.Transport, proc TaskProcessor, opts WorkerOptions) error {
+	return RunWorkerCtx(context.Background(), tr, proc, opts)
+}
+
+// RunWorkerCtx is RunWorkerOpts with cooperative cancellation and panic
+// containment. A cancelled ctx aborts the in-flight task (when the
+// processor supports contexts) and returns ctx.Err() instead of waiting
+// for TagStop; a panicking processor is reported to the master as a
+// TagError (a *safe.PipelineError message) and the worker stays in
+// service, so one poisoned task cannot crash the rank — the master's
+// retry/quarantine machinery decides its fate.
+//
+// When ctx is cancellable the receive loop runs through a pump goroutine;
+// after cancellation that goroutine may stay blocked in Recv until the
+// caller closes the transport, which cmd/fcma-cluster and the in-process
+// harness both do on shutdown.
+func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opts WorkerOptions) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := tr.Send(0, mpi.TagReady, nil); err != nil {
 		return fmt.Errorf("cluster: worker ready: %w", err)
 	}
@@ -606,9 +646,41 @@ func RunWorkerOpts(tr mpi.Transport, proc TaskProcessor, opts WorkerOptions) err
 			}
 		}()
 	}
+	recv := func() (mpi.Message, error) { return tr.Recv() }
+	if ctx.Done() != nil {
+		type recvResult struct {
+			msg mpi.Message
+			err error
+		}
+		pump := make(chan recvResult)
+		go func() {
+			for {
+				msg, err := tr.Recv()
+				select {
+				case pump <- recvResult{msg, err}:
+				case <-ctx.Done():
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+		recv = func() (mpi.Message, error) {
+			select {
+			case r := <-pump:
+				return r.msg, r.err
+			case <-ctx.Done():
+				return mpi.Message{}, ctx.Err()
+			}
+		}
+	}
 	for {
-		msg, err := tr.Recv()
+		msg, err := recv()
 		if err != nil {
+			if err == ctx.Err() && ctx.Err() != nil {
+				return err
+			}
 			return fmt.Errorf("cluster: worker recv: %w", err)
 		}
 		switch msg.Tag {
@@ -628,7 +700,19 @@ func RunWorkerOpts(tr mpi.Transport, proc TaskProcessor, opts WorkerOptions) err
 				}
 				continue
 			}
-			scores, perr := proc.Process(core.Task{V0: tm.V0, V: tm.V})
+			var scores []core.VoxelScore
+			perr := safe.Do("cluster/worker", tm.V0, tm.V, func() error {
+				var err error
+				if cp, ok := proc.(ContextProcessor); ok {
+					scores, err = cp.ProcessContext(ctx, core.Task{V0: tm.V0, V: tm.V})
+				} else {
+					scores, err = proc.Process(core.Task{V0: tm.V0, V: tm.V})
+				}
+				return err
+			})
+			if perr != nil && ctx.Err() != nil && errors.Is(perr, ctx.Err()) {
+				return ctx.Err() // cancelled mid-task: shut down, don't report
+			}
 			if perr != nil {
 				body, err := encode(errorMsg{Task: tm, Err: perr.Error()})
 				if err != nil {

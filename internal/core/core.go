@@ -7,11 +7,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"fcma/internal/blas"
 	"fcma/internal/corr"
+	"fcma/internal/safe"
 	"fcma/internal/svm"
 	"fcma/internal/tensor"
 )
@@ -121,6 +123,17 @@ func NewWorker(cfg Config, stack *corr.EpochStack, folds []svm.Fold) (*Worker, e
 // Process runs the full three-stage pipeline for the task and returns one
 // score per assigned voxel.
 func (w *Worker) Process(t Task) ([]VoxelScore, error) {
+	return w.ProcessContext(context.Background(), t)
+}
+
+// ProcessContext is Process with cooperative cancellation and panic
+// containment. A cancelled ctx stops every pipeline goroutine at its next
+// work-item checkpoint (one epoch in stage 1, one kernel block in the
+// batched SYRK, one voxel in stage 3) and returns ctx.Err() after all of
+// them have joined. A panic in any stage surfaces as a
+// *safe.PipelineError naming the stage and voxel range instead of killing
+// the process.
+func (w *Worker) ProcessContext(ctx context.Context, t Task) ([]VoxelScore, error) {
 	if t.V <= 0 || t.V0 < 0 || t.V0+t.V > w.stack.N {
 		return nil, fmt.Errorf("core: task voxels [%d,%d) outside brain of %d", t.V0, t.V0+t.V, w.stack.N)
 	}
@@ -130,7 +143,10 @@ func (w *Worker) Process(t Task) ([]VoxelScore, error) {
 		Workers: w.cfg.Workers,
 		Merged:  w.cfg.Merged,
 	}
-	buf := p.Run(w.stack, t.V0, t.V)
+	buf, err := p.RunContext(ctx, w.stack, t.V0, t.V)
+	if err != nil {
+		return nil, err
+	}
 
 	// Stage 3: per-voxel kernel precompute + cross-validation. The paper
 	// dedicates one thread to one voxel's cross-validation; dynamic
@@ -141,7 +157,6 @@ func (w *Worker) Process(t Task) ([]VoxelScore, error) {
 		labels[i] = e.Label
 	}
 	scores := make([]VoxelScore, t.V)
-	errs := make([]error, t.V)
 	var kernels []*tensor.Matrix
 	if w.cfg.BatchKernels {
 		// Precompute every voxel's kernel matrix in one batched pass
@@ -154,11 +169,14 @@ func (w *Worker) Process(t Task) ([]VoxelScore, error) {
 			As[v] = buf.View(v*M, 0, M, w.stack.N)
 			kernels[v] = tensor.NewMatrix(M, M)
 		}
-		if err := blas.BatchSyrk(kernels, As, blas.DefaultSyrkBlock, w.cfg.Workers); err != nil {
+		if err := blas.BatchSyrkContext(ctx, kernels, As, blas.DefaultSyrkBlock, w.cfg.Workers); err != nil {
+			if ctx.Err() != nil && err == ctx.Err() {
+				return nil, err
+			}
 			return nil, fmt.Errorf("core: batched kernel precompute: %w", err)
 		}
 	}
-	parallelVoxels(t.V, w.cfg.Workers, func(v int) {
+	err = safe.ParallelDynamic(ctx, safe.Span{Stage: "svm/cv", Base: t.V0}, t.V, w.cfg.Workers, func(v int) error {
 		var K *tensor.Matrix
 		if kernels != nil {
 			K = kernels[v]
@@ -168,15 +186,13 @@ func (w *Worker) Process(t Task) ([]VoxelScore, error) {
 		}
 		acc, err := svm.CrossValidate(w.cfg.Trainer, K, labels, w.folds)
 		if err != nil {
-			errs[v] = fmt.Errorf("core: voxel %d: %w", t.V0+v, err)
-			return
+			return fmt.Errorf("core: voxel %d: %w", t.V0+v, err)
 		}
 		scores[v] = VoxelScore{Voxel: t.V0 + v, Accuracy: acc}
+		return nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	return scores, nil
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"testing"
 
 	"fcma/internal/blas"
@@ -186,26 +185,6 @@ func TestTopVoxels(t *testing.T) {
 	// Input must not be mutated.
 	if scores[0].Voxel != 0 {
 		t.Fatal("TopVoxels mutated input")
-	}
-}
-
-func TestParallelVoxelsDynamic(t *testing.T) {
-	for _, workers := range []int{0, 1, 4, 64} {
-		var mu sync.Mutex
-		seen := map[int]int{}
-		parallelVoxels(23, workers, func(v int) {
-			mu.Lock()
-			seen[v]++
-			mu.Unlock()
-		})
-		if len(seen) != 23 {
-			t.Fatalf("workers=%d: visited %d", workers, len(seen))
-		}
-		for v, c := range seen {
-			if c != 1 {
-				t.Fatalf("workers=%d: voxel %d visited %d times", workers, v, c)
-			}
-		}
 	}
 }
 

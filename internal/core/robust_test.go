@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"fcma/internal/safe"
+	"fcma/internal/svm"
+	"fcma/internal/tensor"
+)
+
+// panicTrainer panics on every training call — a stand-in for a bug deep
+// inside stage 3.
+type panicTrainer struct{}
+
+func (panicTrainer) TrainKernel(K *tensor.Matrix, labels []int, trainIdx []int) (*svm.Model, error) {
+	panic("injected stage-3 failure")
+}
+
+// cancellingTrainer cancels the shared context on its first call, then
+// delegates — the run must stop at the next checkpoint instead of
+// finishing all voxels.
+type cancellingTrainer struct {
+	cancel context.CancelFunc
+	calls  *atomic.Int64
+	inner  svm.KernelTrainer
+}
+
+func (c cancellingTrainer) TrainKernel(K *tensor.Matrix, labels []int, trainIdx []int) (*svm.Model, error) {
+	if c.calls.Add(1) == 1 {
+		c.cancel()
+	}
+	return c.inner.TrainKernel(K, labels, trainIdx)
+}
+
+func TestProcessContainsStagePanic(t *testing.T) {
+	_, stack := testStack(t, 24, 3, 4)
+	cfg := Optimized()
+	cfg.Trainer = panicTrainer{}
+	w, err := NewWorker(cfg, stack, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.Process(Task{V0: 0, V: stack.N})
+	if err == nil {
+		t.Fatal("panicking trainer produced no error")
+	}
+	var pe *safe.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *safe.PipelineError", err, err)
+	}
+	if pe.Stage != "svm/cv" {
+		t.Fatalf("stage = %q, want svm/cv", pe.Stage)
+	}
+	if pe.V0 < 0 || pe.V0 >= stack.N {
+		t.Fatalf("panic voxel %d outside brain of %d", pe.V0, stack.N)
+	}
+}
+
+func TestProcessContextPreCancelled(t *testing.T) {
+	_, stack := testStack(t, 24, 3, 4)
+	w, err := NewWorker(Optimized(), stack, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.ProcessContext(ctx, Task{V0: 0, V: stack.N}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProcessContextMidRunCancellation(t *testing.T) {
+	const subjects = 3
+	_, stack := testStack(t, 24, subjects, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	cfg := Optimized()
+	cfg.Workers = 1 // serialize stage 3 so the checkpoint bound is exact
+	cfg.Trainer = cancellingTrainer{cancel: cancel, calls: &calls, inner: svm.PhiSVM{}}
+	w, err := NewWorker(cfg, stack, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = w.ProcessContext(ctx, Task{V0: 0, V: stack.N})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// One voxel's cross-validation is the checkpoint unit: the first
+	// voxel's CV (one training call per left-out subject) may finish, but
+	// no further voxel may start.
+	if got := calls.Load(); got > subjects {
+		t.Fatalf("%d training calls after cancellation, want at most %d (one voxel's CV)", got, subjects)
+	}
+}

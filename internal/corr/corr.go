@@ -8,6 +8,7 @@
 package corr
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,13 +18,21 @@ import (
 
 // Pearson computes the reference Pearson correlation between x and y. It is
 // the correctness oracle for the matmul reduction; hot paths never call it.
+//
+// Degenerate inputs follow the pipeline's default sanitization policy:
+// a zero-variance (constant or empty) vector has correlation 0 by
+// convention, and any non-finite sample (NaN/Inf from masked or corrupt
+// voxels) also yields 0 instead of propagating NaN into the ranking.
 func Pearson(x, y []float32) float64 {
 	if len(x) != len(y) {
 		panic("corr: Pearson over unequal-length vectors")
 	}
+	if len(x) == 0 {
+		return 0
+	}
 	mx, sx := tensor.MeanStd(x)
 	my, sy := tensor.MeanStd(y)
-	if sx == 0 || sy == 0 {
+	if sx == 0 || sy == 0 || !finite(mx) || !finite(sx) || !finite(my) || !finite(sy) {
 		return 0
 	}
 	var cov float64
@@ -31,8 +40,14 @@ func Pearson(x, y []float32) float64 {
 		cov += (float64(x[i]) - mx) * (float64(y[i]) - my)
 	}
 	cov /= float64(len(x))
-	return cov / (sx * sy)
+	r := cov / (sx * sy)
+	if !finite(r) {
+		return 0
+	}
+	return r
 }
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // NormalizeEpochRows applies eq. 2 to every row of the voxels×T epoch
 // window src, writing into dst (same shape): each row is mean-centered and
@@ -88,6 +103,13 @@ func (st *EpochStack) M() int { return len(st.Epochs) }
 // BuildEpochStack normalizes every epoch of d per eq. 2 into transposed
 // layout, parallelized over epochs.
 func BuildEpochStack(d *fmri.Dataset, workers int) (*EpochStack, error) {
+	return BuildEpochStackContext(context.Background(), d, workers)
+}
+
+// BuildEpochStackContext is BuildEpochStack with cooperative cancellation
+// (checked between epochs) and panic containment in the normalization
+// workers.
+func BuildEpochStackContext(ctx context.Context, d *fmri.Dataset, workers int) (*EpochStack, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -109,7 +131,7 @@ func BuildEpochStack(d *fmri.Dataset, workers int) (*EpochStack, error) {
 		E:        e0,
 		Norm:     make([]*tensor.Matrix, len(d.Epochs)),
 	}
-	parallelEpochs(len(d.Epochs), workers, func(e int) {
+	err = parallelEpochs(ctx, "corr/stack", len(d.Epochs), workers, func(e int) {
 		ep := d.Epochs[e]
 		src := d.EpochData(ep) // N×T view
 		out := tensor.NewMatrix(st.T, st.N)
@@ -122,6 +144,9 @@ func BuildEpochStack(d *fmri.Dataset, workers int) (*EpochStack, error) {
 		}
 		st.Norm[e] = out
 	})
+	if err != nil {
+		return nil, err
+	}
 	return st, nil
 }
 

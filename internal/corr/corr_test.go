@@ -46,6 +46,34 @@ func TestPearsonReference(t *testing.T) {
 	}
 }
 
+// Regression test for the degenerate-input convention: constant vectors
+// used to produce NaN through 0/0 in some float paths, and non-finite
+// samples propagated NaN into every correlation they touched. All such
+// inputs must map to exactly 0 so downstream Fisher transforms and SVM
+// kernels stay finite.
+func TestPearsonDegenerateInputsAreZero(t *testing.T) {
+	x := []float32{1, 2, 3, 4}
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	cases := []struct {
+		name string
+		a, b []float32
+	}{
+		{"both constant", []float32{2, 2, 2, 2}, []float32{7, 7, 7, 7}},
+		{"constant zero", []float32{0, 0, 0, 0}, x},
+		{"NaN sample", []float32{1, nan, 3, 4}, x},
+		{"Inf sample", []float32{1, inf, 3, 4}, x},
+		{"-Inf sample", x, []float32{1, float32(math.Inf(-1)), 3, 4}},
+		{"all NaN", []float32{nan, nan, nan, nan}, x},
+		{"empty", nil, nil},
+	}
+	for _, tc := range cases {
+		if r := Pearson(tc.a, tc.b); r != 0 {
+			t.Errorf("%s: Pearson = %v, want 0", tc.name, r)
+		}
+	}
+}
+
 func TestNormalizedDotEqualsPearson(t *testing.T) {
 	// The core reduction (eqs. 2–3): dot of eq.2-normalized vectors equals
 	// Pearson correlation.

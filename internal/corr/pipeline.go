@@ -1,12 +1,13 @@
 package corr
 
 import (
+	"context"
 	"math"
 	"runtime"
-	"sync"
 
 	"fcma/internal/blas"
 	"fcma/internal/norm"
+	"fcma/internal/safe"
 	"fcma/internal/tensor"
 )
 
@@ -53,22 +54,42 @@ func (p *Pipeline) workers() int {
 
 // Run computes the normalized correlation buffer for assigned voxels
 // [v0, v0+V): a (V·M)×N matrix in voxel-grouped interleaved layout.
+// A contained worker panic is re-thrown on the caller's goroutine as a
+// *safe.PipelineError; RunContext returns it as an error instead.
 func (p *Pipeline) Run(st *EpochStack, v0, V int) *tensor.Matrix {
-	if p.Merged {
-		return p.runMerged(st, v0, V)
+	buf, err := p.RunContext(context.Background(), st, v0, V)
+	if err != nil {
+		panic(err)
 	}
-	buf := p.computeCorrelations(st, v0, V)
-	p.normalizeSeparated(st, buf, V)
 	return buf
+}
+
+// RunContext is Run with cooperative cancellation and panic containment:
+// a cancelled ctx stops all worker goroutines at the next work item (one
+// epoch, or one voxel-block × column-block item in the merged variant)
+// and returns ctx.Err(); a panic in any worker comes back as a
+// *safe.PipelineError.
+func (p *Pipeline) RunContext(ctx context.Context, st *EpochStack, v0, V int) (*tensor.Matrix, error) {
+	if p.Merged {
+		return p.runMerged(ctx, st, v0, V)
+	}
+	buf, err := p.computeCorrelations(ctx, st, v0, V)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.normalizeSeparated(ctx, st, buf, V); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // computeCorrelations is the pure stage-1 computation (exported for tests
 // and instrumentation via ComputeCorrelations).
-func (p *Pipeline) computeCorrelations(st *EpochStack, v0, V int) *tensor.Matrix {
+func (p *Pipeline) computeCorrelations(ctx context.Context, st *EpochStack, v0, V int) (*tensor.Matrix, error) {
 	M, N := st.M(), st.N
 	buf := tensor.NewMatrix(V*M, N)
 	g := p.gemm()
-	parallelEpochs(M, p.workers(), func(e int) {
+	err := parallelEpochs(ctx, "corr/correlate", M, p.workers(), func(e int) {
 		A := tensor.NewMatrix(V, st.T)
 		st.GatherAssigned(e, v0, V, A)
 		// Interleave epoch e's V×N product into every M-th row starting
@@ -76,20 +97,27 @@ func (p *Pipeline) computeCorrelations(st *EpochStack, v0, V int) *tensor.Matrix
 		view := &tensor.Matrix{Rows: V, Cols: N, Stride: M * buf.Stride, Data: buf.Data[e*buf.Stride:]}
 		g.Gemm(view, A, st.Norm[e])
 	})
-	return buf
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // ComputeCorrelations exposes stage 1 alone: raw Pearson correlations in
 // interleaved layout, before any normalization.
 func (p *Pipeline) ComputeCorrelations(st *EpochStack, v0, V int) *tensor.Matrix {
-	return p.computeCorrelations(st, v0, V)
+	buf, err := p.computeCorrelations(context.Background(), st, v0, V)
+	if err != nil {
+		panic(err)
+	}
+	return buf
 }
 
 // normalizeSeparated is the unfused stage 2: a second full pass over the
 // correlation buffer applying Fisher + within-subject z-scoring.
-func (p *Pipeline) normalizeSeparated(st *EpochStack, buf *tensor.Matrix, V int) {
+func (p *Pipeline) normalizeSeparated(ctx context.Context, st *EpochStack, buf *tensor.Matrix, V int) error {
 	M, N, E := st.M(), st.N, st.E
-	parallelEpochs(V, p.workers(), func(v int) {
+	return parallelEpochs(ctx, "corr/normalize", V, p.workers(), func(v int) {
 		for s := 0; s < st.Subjects; s++ {
 			block := buf.Data[(v*M+s*E)*buf.Stride : (v*M+s*E+E-1)*buf.Stride+N]
 			normBlockStrided(block, E, N, buf.Stride)
@@ -103,7 +131,7 @@ func (p *Pipeline) normalizeSeparated(st *EpochStack, buf *tensor.Matrix, V int)
 // cache resident, then written to the output buffer exactly once. The
 // wide operand is streamed once per voxel *block*, not per voxel (Fig. 5's
 // B voxels per thread).
-func (p *Pipeline) runMerged(st *EpochStack, v0, V int) *tensor.Matrix {
+func (p *Pipeline) runMerged(ctx context.Context, st *EpochStack, v0, V int) (*tensor.Matrix, error) {
 	M, N, E, T := st.M(), st.N, st.E, st.T
 	buf := tensor.NewMatrix(V*M, N)
 	cb := p.ColBlock
@@ -123,7 +151,7 @@ func (p *Pipeline) runMerged(st *EpochStack, v0, V int) *tensor.Matrix {
 	// Work items are (voxel block, column block) pairs; each normalization
 	// population (one subject's E epochs of one voxel) lives entirely
 	// inside one item, so items are independent.
-	parallelEpochs(vBlocks*nBlocks, p.workers(), func(item int) {
+	err := parallelEpochs(ctx, "corr/merged", vBlocks*nBlocks, p.workers(), func(item int) {
 		vblk := item / nBlocks
 		b := item % nBlocks
 		vs := vblk * vb
@@ -155,7 +183,10 @@ func (p *Pipeline) runMerged(st *EpochStack, v0, V int) *tensor.Matrix {
 			}
 		}
 	})
-	return buf
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // normBlockStrided applies Fisher + z-scoring to an E×N block whose rows
@@ -203,34 +234,10 @@ func minInt(a, b int) int {
 }
 
 // parallelEpochs runs fn(i) for i in [0, n) across at most workers
-// goroutines with static chunking.
-func parallelEpochs(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			for i := s; i < e; i++ {
-				fn(i)
-			}
-		}(start, end)
-	}
-	wg.Wait()
+// goroutines with static chunking. Worker panics are contained and
+// returned as *safe.PipelineError under the given stage label; a
+// cancelled ctx stops the pool at the next item and returns ctx.Err().
+func parallelEpochs(ctx context.Context, stage string, n, workers int, fn func(i int)) error {
+	return safe.ParallelChunks(ctx, safe.Span{Stage: stage}, n, workers,
+		func(i int) error { fn(i); return nil })
 }

@@ -12,6 +12,7 @@ package fmri
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"fcma/internal/tensor"
 )
@@ -113,12 +114,11 @@ func (d *Dataset) Validate() error {
 	if len(d.Epochs) == 0 {
 		return errors.New("fmri: dataset has no epochs")
 	}
+	if err := CheckEpochs(d.Epochs, d.TimePoints()); err != nil {
+		return err
+	}
 	epochLen := d.Epochs[0].Len
 	for i, e := range d.Epochs {
-		if e.Start < 0 || e.Len <= 0 || e.Start+e.Len > d.TimePoints() {
-			return fmt.Errorf("fmri: epoch %d window [%d,%d) outside %d time points",
-				i, e.Start, e.Start+e.Len, d.TimePoints())
-		}
 		if e.Label != 0 && e.Label != 1 {
 			return fmt.Errorf("fmri: epoch %d has non-binary label %d", i, e.Label)
 		}
@@ -148,6 +148,45 @@ func (d *Dataset) Validate() error {
 		for i, g := range d.GridIndex {
 			if g < 0 || g >= capacity {
 				return fmt.Errorf("fmri: grid index %d of voxel %d outside grid %v", g, i, d.Dims)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckEpochs validates an epoch design against a session of timePoints
+// columns: every window must be non-empty and inside the session, and no
+// two epochs of the same subject may overlap (an overlapping analysis
+// design double-counts time points in within-subject normalization; the
+// real-time assembler, which legitimately supports overlapping designs,
+// does not go through this check). timePoints <= 0 skips the range check,
+// for callers validating a design before any data exists.
+func CheckEpochs(epochs []Epoch, timePoints int) error {
+	for i, e := range epochs {
+		if e.Len <= 0 {
+			return fmt.Errorf("fmri: epoch %d (subject %d) is empty: length %d", i, e.Subject, e.Len)
+		}
+		if e.Start < 0 {
+			return fmt.Errorf("fmri: epoch %d (subject %d) starts at negative time point %d", i, e.Subject, e.Start)
+		}
+		if timePoints > 0 && e.Start+e.Len > timePoints {
+			return fmt.Errorf("fmri: epoch %d (subject %d) window [%d,%d) outside %d time points",
+				i, e.Subject, e.Start, e.Start+e.Len, timePoints)
+		}
+	}
+	// Overlap within each subject: compare windows in onset order,
+	// remembering which epoch index produced each window.
+	type window struct{ idx, start, end int }
+	bySubject := make(map[int][]window)
+	for i, e := range epochs {
+		bySubject[e.Subject] = append(bySubject[e.Subject], window{i, e.Start, e.Start + e.Len})
+	}
+	for subject, ws := range bySubject {
+		sort.Slice(ws, func(a, b int) bool { return ws[a].start < ws[b].start })
+		for i := 1; i < len(ws); i++ {
+			if ws[i].start < ws[i-1].end {
+				return fmt.Errorf("fmri: subject %d epochs %d and %d overlap: windows [%d,%d) and [%d,%d)",
+					subject, ws[i-1].idx, ws[i].idx, ws[i-1].start, ws[i-1].end, ws[i].start, ws[i].end)
 			}
 		}
 	}

@@ -34,6 +34,13 @@ var magic = [4]byte{'F', 'C', 'M', 'A'}
 
 const formatVersion = 2
 
+// Parser hard caps: headers and epoch files are untrusted input, so
+// every allocation they can request is bounded.
+const (
+	maxElements = 1 << 28 // activity matrix allocation budget (1 GiB of float32)
+	maxEpochs   = 1 << 20 // epoch file line budget
+)
+
 // WriteData serializes the activity matrix portion of d to w.
 func WriteData(w io.Writer, d *Dataset) error {
 	bw := bufio.NewWriter(w)
@@ -105,6 +112,12 @@ func ReadData(r io.Reader) (*Dataset, error) {
 	if voxels <= 0 || timePoints <= 0 || subjects <= 0 {
 		return nil, fmt.Errorf("fmri: invalid dimensions %dx%d, %d subjects", voxels, timePoints, subjects)
 	}
+	// Allocation budget: the header is untrusted, so bound the matrix it
+	// asks for before sizing anything from it (2^28 float32s = 1 GiB).
+	if int64(voxels)*int64(timePoints) > maxElements {
+		return nil, fmt.Errorf("fmri: header declares %dx%d = %d elements, budget is %d",
+			voxels, timePoints, int64(voxels)*int64(timePoints), int64(maxElements))
+	}
 	if nameLen > 1<<16 {
 		return nil, fmt.Errorf("fmri: implausible name length %d", nameLen)
 	}
@@ -165,6 +178,17 @@ func ReadEpochs(r io.Reader) ([]Epoch, error) {
 				return nil, fmt.Errorf("fmri: epoch file line %d field %d: %w", lineNo, i+1, err)
 			}
 			vals[i] = v
+		}
+		switch {
+		case vals[0] < 0:
+			return nil, fmt.Errorf("fmri: epoch file line %d: negative subject %d", lineNo, vals[0])
+		case vals[2] < 0:
+			return nil, fmt.Errorf("fmri: epoch file line %d: negative start %d", lineNo, vals[2])
+		case vals[3] <= 0:
+			return nil, fmt.Errorf("fmri: epoch file line %d: empty epoch (length %d)", lineNo, vals[3])
+		}
+		if len(out) >= maxEpochs {
+			return nil, fmt.Errorf("fmri: epoch file exceeds %d epochs", maxEpochs)
 		}
 		out = append(out, Epoch{Subject: vals[0], Label: vals[1], Start: vals[2], Len: vals[3]})
 	}

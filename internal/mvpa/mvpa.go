@@ -13,12 +13,12 @@
 package mvpa
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"fcma/internal/fmri"
+	"fcma/internal/safe"
 	"fcma/internal/svm"
 	"fcma/internal/tensor"
 )
@@ -47,6 +47,14 @@ type Config struct {
 // voxel's session mean (so condition-dependent amplitude shifts survive
 // while scanner offset is removed). Scores are returned sorted descending.
 func SelectVoxels(d *fmri.Dataset, cfg Config) ([]VoxelScore, error) {
+	return SelectVoxelsContext(context.Background(), d, cfg)
+}
+
+// SelectVoxelsContext is SelectVoxels with cooperative cancellation
+// (checked between voxels — the checkpoint interval) and panic
+// containment: a panicking worker goroutine surfaces as a
+// *safe.PipelineError instead of crashing the process.
+func SelectVoxelsContext(ctx context.Context, d *fmri.Dataset, cfg Config) ([]VoxelScore, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,8 +72,7 @@ func SelectVoxels(d *fmri.Dataset, cfg Config) ([]VoxelScore, error) {
 
 	N := d.Voxels()
 	scores := make([]VoxelScore, N)
-	errs := make([]error, N)
-	parallel(N, cfg.Workers, func(v int) {
+	err := safe.ParallelDynamic(ctx, safe.Span{Stage: "mvpa/select"}, N, cfg.Workers, func(v int) error {
 		// Samples: the voxel's epoch time courses relative to its session
 		// mean.
 		sessionMean := float32(tensor.Mean(d.Data.Row(v)))
@@ -80,15 +87,13 @@ func SelectVoxels(d *fmri.Dataset, cfg Config) ([]VoxelScore, error) {
 		K := svm.PrecomputeKernel(X, nil)
 		acc, err := svm.CrossValidate(trainer, K, labels, folds)
 		if err != nil {
-			errs[v] = fmt.Errorf("mvpa: voxel %d: %w", v, err)
-			return
+			return fmt.Errorf("mvpa: voxel %d: %w", v, err)
 		}
 		scores[v] = VoxelScore{Voxel: v, Accuracy: acc}
+		return nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(scores, func(i, j int) bool {
 		if scores[i].Accuracy != scores[j].Accuracy {
@@ -97,37 +102,4 @@ func SelectVoxels(d *fmri.Dataset, cfg Config) ([]VoxelScore, error) {
 		return scores[i].Voxel < scores[j].Voxel
 	})
 	return scores, nil
-}
-
-func parallel(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	go func() {
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
-	}()
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }

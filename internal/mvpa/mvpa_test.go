@@ -2,7 +2,6 @@ package mvpa
 
 import (
 	"math/rand"
-	"sync"
 	"testing"
 
 	"fcma/internal/fmri"
@@ -144,20 +143,5 @@ func TestSelectVoxelsRejectsInvalid(t *testing.T) {
 	d.Epochs[0].Label = 9
 	if _, err := SelectVoxels(d, Config{}); err == nil {
 		t.Fatal("invalid dataset accepted")
-	}
-}
-
-func TestParallelHelper(t *testing.T) {
-	for _, workers := range []int{0, 1, 7} {
-		var mu sync.Mutex
-		count := 0
-		parallel(19, workers, func(i int) {
-			mu.Lock()
-			count++
-			mu.Unlock()
-		})
-		if count != 19 {
-			t.Fatalf("workers=%d: ran %d of 19", workers, count)
-		}
 	}
 }

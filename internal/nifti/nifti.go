@@ -24,6 +24,22 @@ const (
 	defaultOffset = 352
 )
 
+// Hard caps applied while parsing untrusted files. A corrupt or hostile
+// header must not be able to drive allocation: every size is bounded
+// before any buffer is sized from it.
+const (
+	// MaxDim bounds each axis extent (the format's int16 dim fields top
+	// out here anyway). Real acquisitions are a few hundred voxels per
+	// axis; this leaves two orders of magnitude of headroom.
+	MaxDim = 1<<15 - 1
+	// MaxVoxels bounds the total element count (the float32 allocation
+	// budget: 2^28 elements = 1 GiB of converted data).
+	MaxVoxels = 1 << 28
+	// MaxOffsetSkip bounds the header-to-data gap implied by vox_offset
+	// (extensions live there; 16 MiB is far beyond any real extension).
+	MaxOffsetSkip = 16 << 20
+)
+
 // Datatype codes from the specification.
 const (
 	DTUint8   = 2
@@ -90,8 +106,8 @@ func Read(r io.Reader) (*Volume, error) {
 		vol.Dim[i] = 1
 		if i < ndim {
 			vol.Dim[i] = i16(40 + 2*(i+1))
-			if vol.Dim[i] < 1 {
-				return nil, fmt.Errorf("nifti: dim[%d] = %d", i+1, vol.Dim[i])
+			if vol.Dim[i] < 1 || vol.Dim[i] > MaxDim {
+				return nil, fmt.Errorf("nifti: dim[%d] = %d outside [1, %d]", i+1, vol.Dim[i], MaxDim)
 			}
 		}
 		vol.Pixdim[i] = f32(76 + 4*(i+1))
@@ -102,21 +118,43 @@ func Read(r io.Reader) (*Volume, error) {
 		}
 	}
 	datatype := i16(70)
+	width, err := datatypeWidth(datatype)
+	if err != nil {
+		return nil, err
+	}
+	// Cross-check the two places the header declares the element size: a
+	// mismatch means a corrupt or hand-edited header, and trusting either
+	// field alone would misparse the whole data section.
+	if bitpix := i16(72); bitpix != 0 && bitpix != 8*width {
+		return nil, fmt.Errorf("nifti: bitpix %d does not match datatype %d (want %d bits)",
+			bitpix, datatype, 8*width)
+	}
 	slope := f32(112)
 	inter := f32(116)
 	if slope == 0 {
 		slope = 1
 	}
-	offset := int(f32(108))
-	if offset < headerSize {
-		offset = defaultOffset
+	offset := defaultOffset
+	if rawOff := f32(108); !math.IsNaN(float64(rawOff)) && rawOff >= headerSize {
+		if rawOff-headerSize > MaxOffsetSkip {
+			return nil, fmt.Errorf("nifti: vox_offset %g implies a %g-byte header gap (cap %d)",
+				rawOff, rawOff-headerSize, MaxOffsetSkip)
+		}
+		offset = int(rawOff)
 	}
 	// Skip the gap between header and data.
 	if _, err := io.CopyN(io.Discard, br, int64(offset-headerSize)); err != nil {
 		return nil, fmt.Errorf("nifti: skipping to vox_offset: %w", err)
 	}
 
-	n := vol.Dim[0] * vol.Dim[1] * vol.Dim[2] * vol.Dim[3]
+	// Dim entries are bounded by MaxDim (2^15) so the product fits int64
+	// without overflow; bound it before allocating.
+	n64 := int64(vol.Dim[0]) * int64(vol.Dim[1]) * int64(vol.Dim[2]) * int64(vol.Dim[3])
+	if n64 > MaxVoxels {
+		return nil, fmt.Errorf("nifti: volume %v declares %d voxels, allocation budget is %d",
+			vol.Dim, n64, int64(MaxVoxels))
+	}
+	n := int(n64)
 	vol.Data = make([]float32, n)
 	if err := readValues(br, order, datatype, slope, inter, vol.Data); err != nil {
 		return nil, err
@@ -124,19 +162,24 @@ func Read(r io.Reader) (*Volume, error) {
 	return &vol, nil
 }
 
-func readValues(r io.Reader, order binary.ByteOrder, datatype int, slope, inter float32, dst []float32) error {
-	var width int
+func datatypeWidth(datatype int) (int, error) {
 	switch datatype {
 	case DTUint8:
-		width = 1
+		return 1, nil
 	case DTInt16:
-		width = 2
+		return 2, nil
 	case DTInt32, DTFloat32:
-		width = 4
+		return 4, nil
 	case DTFloat64:
-		width = 8
-	default:
-		return fmt.Errorf("nifti: unsupported datatype %d", datatype)
+		return 8, nil
+	}
+	return 0, fmt.Errorf("nifti: unsupported datatype %d", datatype)
+}
+
+func readValues(r io.Reader, order binary.ByteOrder, datatype int, slope, inter float32, dst []float32) error {
+	width, err := datatypeWidth(datatype)
+	if err != nil {
+		return err
 	}
 	buf := make([]byte, 64*1024/width*width)
 	i := 0

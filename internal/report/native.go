@@ -11,6 +11,7 @@ import (
 	"fcma/internal/fmri"
 	"fcma/internal/mpi"
 	"fcma/internal/perf"
+	"fcma/internal/safe"
 )
 
 // NativeOptions configures the native (really-executed, host-CPU)
@@ -132,14 +133,15 @@ func runLocalCluster(stack *corr.EpochStack, workers, taskSize int) (time.Durati
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			cfg := core.Optimized()
-			cfg.Workers = 1 // one goroutine per simulated node
-			w, err := core.NewWorker(cfg, stack, nil)
-			if err != nil {
-				errs[r-1] = err
-				return
-			}
-			errs[r-1] = cluster.RunWorker(comm.Rank(r), w)
+			errs[r-1] = safe.Do("report/cluster-worker", 0, stack.N, func() error {
+				cfg := core.Optimized()
+				cfg.Workers = 1 // one goroutine per simulated node
+				w, err := core.NewWorker(cfg, stack, nil)
+				if err != nil {
+					return err
+				}
+				return cluster.RunWorker(comm.Rank(r), w)
+			})
 		}(r)
 	}
 	_, err = cluster.RunMaster(comm.Rank(0), stack.N, taskSize)

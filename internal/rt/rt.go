@@ -10,10 +10,12 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"fcma/internal/fmri"
+	"fcma/internal/safe"
 	"fcma/internal/tensor"
 )
 
@@ -43,8 +45,23 @@ func NewScanner(d *fmri.Dataset, tr time.Duration) *Scanner {
 // closed after the final frame. stop can be closed to end the stream
 // early; pass nil to always run to completion.
 func (s *Scanner) Stream(stop <-chan struct{}) <-chan Frame {
+	return s.stream(nil, stop)
+}
+
+// StreamContext is Stream with context cancellation: the stream ends (and
+// the channel closes) as soon as ctx is cancelled, whether the streamer
+// is waiting out a TR interval or blocked on a slow consumer.
+func (s *Scanner) StreamContext(ctx context.Context) <-chan Frame {
+	return s.stream(ctx, nil)
+}
+
+func (s *Scanner) stream(ctx context.Context, stop <-chan struct{}) <-chan Frame {
 	out := make(chan Frame)
-	go func() {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	safe.Go("rt/scanner", func() error {
 		defer close(out)
 		nt := s.data.TimePoints()
 		nv := s.data.Voxels()
@@ -57,16 +74,21 @@ func (s *Scanner) Stream(stop <-chan struct{}) <-chan Frame {
 				select {
 				case <-time.After(s.tr):
 				case <-stop:
-					return
+					return nil
+				case <-done:
+					return nil
 				}
 			}
 			select {
 			case out <- Frame{Index: t, Data: buf}:
 			case <-stop:
-				return
+				return nil
+			case <-done:
+				return nil
 			}
 		}
-	}()
+		return nil
+	}, func(error) {})
 	return out
 }
 
@@ -183,6 +205,16 @@ type Classifier interface {
 // frame stream ends; an assembly error terminates the loop and is
 // returned via the error channel (buffered, at most one).
 func RunFeedback(frames <-chan Frame, epochs []fmri.Epoch, voxels int, clf Classifier) (<-chan Prediction, <-chan error) {
+	return RunFeedbackContext(context.Background(), frames, epochs, voxels, clf)
+}
+
+// RunFeedbackContext is RunFeedback with cooperative cancellation and
+// panic containment: a cancelled ctx ends the loop (delivering ctx.Err()
+// on the error channel) even when the consumer has stopped draining
+// predictions, and a panicking classifier surfaces as a
+// *safe.PipelineError on the error channel instead of killing the
+// process.
+func RunFeedbackContext(ctx context.Context, frames <-chan Frame, epochs []fmri.Epoch, voxels int, clf Classifier) (<-chan Prediction, <-chan error) {
 	out := make(chan Prediction)
 	errc := make(chan error, 1)
 	asm, err := NewAssembler(epochs, voxels)
@@ -191,25 +223,43 @@ func RunFeedback(frames <-chan Frame, epochs []fmri.Epoch, voxels int, clf Class
 		errc <- err
 		return out, errc
 	}
-	go func() {
+	safe.Go("rt/feedback", func() error {
 		defer close(out)
-		for f := range frames {
+		for {
+			var f Frame
+			var ok bool
+			select {
+			case f, ok = <-frames:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if !ok {
+				return nil
+			}
 			wins, err := asm.Feed(f)
 			if err != nil {
-				errc <- err
-				return
+				return err
 			}
 			for _, w := range wins {
 				start := time.Now()
 				label, decision := clf.ClassifyWindow(w.Data)
-				out <- Prediction{
+				p := Prediction{
 					EpochIndex: w.EpochIndex,
 					Label:      label,
 					Decision:   decision,
 					Latency:    time.Since(start),
 				}
+				select {
+				case out <- p:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
 			}
 		}
-	}()
+	}, func(err error) {
+		if err != nil {
+			errc <- err
+		}
+	})
 	return out, errc
 }

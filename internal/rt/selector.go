@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 
 	"fcma/internal/core"
@@ -54,6 +55,13 @@ func (o *OnlineSelector) Ready() bool {
 // far, with k-fold cross-validation over epochs (the online regime), and
 // returns all voxels ranked best-first.
 func (o *OnlineSelector) Select() ([]core.VoxelScore, error) {
+	return o.SelectContext(context.Background())
+}
+
+// SelectContext is Select with cooperative cancellation — essential for
+// the closed loop, where a selection that outlives its TR budget must be
+// abandoned before the next volume arrives.
+func (o *OnlineSelector) SelectContext(ctx context.Context) ([]core.VoxelScore, error) {
 	if !o.Ready() {
 		return nil, fmt.Errorf("rt: need at least %d epochs per condition, have %d total", o.MinPerClass, o.stack.M())
 	}
@@ -62,7 +70,7 @@ func (o *OnlineSelector) Select() ([]core.VoxelScore, error) {
 	if err != nil {
 		return nil, err
 	}
-	scores, err := worker.Process(core.Task{V0: 0, V: o.stack.N})
+	scores, err := worker.ProcessContext(ctx, core.Task{V0: 0, V: o.stack.N})
 	if err != nil {
 		return nil, err
 	}

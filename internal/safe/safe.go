@@ -1,0 +1,330 @@
+// Package safe is the robustness substrate of the single-node pipeline:
+// a structured error type for contained failures and context-aware
+// parallel drivers that recover panics in spawned goroutines instead of
+// letting them kill the process.
+//
+// Every compute package (core, corr, blas, mvpa) runs its goroutines
+// through these drivers, so the whole pipeline shares one containment and
+// cancellation discipline: a panic anywhere inside a work item surfaces
+// as a *PipelineError carrying the stage name, the item range, and the
+// panic's stack; a cancelled context stops all goroutines at the next
+// work-item boundary (the pipeline's checkpoint interval) and returns
+// ctx.Err().
+package safe
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// PipelineError is a contained failure from inside the compute pipeline:
+// a panicking goroutine or a failing work item, annotated with where in
+// the pipeline it happened.
+type PipelineError struct {
+	// Stage names the pipeline stage, e.g. "corr/merged" or "svm/cv".
+	Stage string
+	// V0 and V give the voxel (or work-item) range the failure occurred
+	// in; V == 0 means the range is unknown.
+	V0, V int
+	// Err is the underlying cause: the recovered panic value wrapped as
+	// an error, or the work item's returned error.
+	Err error
+	// Stack is the goroutine stack captured at recovery time when the
+	// failure was a panic; nil for ordinary errors.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PipelineError) Error() string {
+	if e.V > 0 {
+		return fmt.Sprintf("fcma: pipeline stage %s voxels [%d,%d): %v", e.Stage, e.V0, e.V0+e.V, e.Err)
+	}
+	return fmt.Sprintf("fcma: pipeline stage %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *PipelineError) Unwrap() error { return e.Err }
+
+// Recovered converts a recover() value into a *PipelineError capturing
+// the current stack. It returns nil when r is nil so it can be called
+// unconditionally from a deferred function.
+func Recovered(stage string, v0, v int, r any) *PipelineError {
+	if r == nil {
+		return nil
+	}
+	// A panic that is already a contained pipeline failure (a lower layer
+	// recovered it and re-threw across a no-error-return boundary) keeps
+	// its original stage, range, and stack.
+	if pe, ok := r.(*PipelineError); ok {
+		return pe
+	}
+	err, ok := r.(error)
+	if !ok {
+		err = fmt.Errorf("panic: %v", r)
+	} else {
+		err = fmt.Errorf("panic: %w", err)
+	}
+	return &PipelineError{Stage: stage, V0: v0, V: v, Err: err, Stack: debug.Stack()}
+}
+
+// Do runs fn with panic containment: a panic inside fn comes back as a
+// *PipelineError instead of unwinding into the caller.
+func Do(stage string, v0, v int, fn func() error) (err error) {
+	defer func() {
+		if pe := Recovered(stage, v0, v, recover()); pe != nil {
+			err = pe
+		}
+	}()
+	return fn()
+}
+
+// Span labels the work a parallel driver is running for error reporting:
+// item i of the driver maps to voxel Base+i of stage Stage.
+type Span struct {
+	// Stage names the pipeline stage for PipelineError.
+	Stage string
+	// Base is added to item indices when reporting voxel ranges.
+	Base int
+}
+
+// err wraps an item failure; a panic is already a *PipelineError.
+func (s Span) err(i int, cause error) error {
+	if pe, ok := cause.(*PipelineError); ok {
+		return pe
+	}
+	return &PipelineError{Stage: s.Stage, V0: s.Base + i, V: 1, Err: cause}
+}
+
+// firstErr keeps the lowest-index failure so parallel runs are
+// deterministic about which error they report.
+type firstErr struct {
+	mu  sync.Mutex
+	i   int
+	err error
+}
+
+func (f *firstErr) set(i int, err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil || i < f.i {
+		f.i, f.err = i, err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+func clampWorkers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// cancelled is a non-blocking ctx.Done() poll; a nil ctx never cancels.
+func cancelled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// ParallelDynamic runs fn(i) for i in [0, n) across at most `workers`
+// goroutines with dynamic (work-stealing) assignment — for workloads with
+// data-dependent per-item cost such as per-voxel SMO cross-validation.
+//
+// Every item runs with panic containment; the first failure (by item
+// index) is returned as a *PipelineError after all goroutines have
+// joined. Cancellation is checked before each item is taken, so a cancel
+// stops the pool within one work item per goroutine and returns
+// ctx.Err(). Remaining items are skipped once any item has failed.
+func ParallelDynamic(ctx context.Context, span Span, n, workers int, fn func(i int) error) error {
+	workers = clampWorkers(n, workers)
+	var fe firstErr
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		v := int(next)
+		next++
+		return v
+	}
+	runItem := func(i int) {
+		defer func() {
+			if pe := Recovered(span.Stage, span.Base+i, 1, recover()); pe != nil {
+				fe.set(i, pe)
+			}
+		}()
+		if err := fn(i); err != nil {
+			fe.set(i, span.err(i, err))
+		}
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := cancelled(ctx); err != nil {
+				return err
+			}
+			if fe.get() != nil {
+				break
+			}
+			runItem(i)
+		}
+		if err := fe.get(); err != nil {
+			return err
+		}
+		return cancelled(ctx)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if cancelled(ctx) != nil || fe.get() != nil {
+					return
+				}
+				i := take()
+				if i >= n {
+					return
+				}
+				runItem(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := fe.get(); err != nil {
+		return err
+	}
+	return cancelled(ctx)
+}
+
+// ParallelChunks runs fn(i) for i in [0, n) with static chunking: chunk k
+// covers the k-th of `workers` equal ranges, matching the static
+// partitioning the paper's kernels use within a coprocessor. Containment
+// and cancellation behave as in ParallelDynamic; cancellation is checked
+// between items inside each chunk.
+func ParallelChunks(ctx context.Context, span Span, n, workers int, fn func(i int) error) error {
+	workers = clampWorkers(n, workers)
+	if workers <= 1 {
+		return ParallelDynamic(ctx, span, n, 1, fn)
+	}
+	var fe firstErr
+	runItem := func(i int) {
+		defer func() {
+			if pe := Recovered(span.Stage, span.Base+i, 1, recover()); pe != nil {
+				fe.set(i, pe)
+			}
+		}()
+		if err := fn(i); err != nil {
+			fe.set(i, span.err(i, err))
+		}
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				if cancelled(ctx) != nil || fe.get() != nil {
+					return
+				}
+				runItem(i)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	if err := fe.get(); err != nil {
+		return err
+	}
+	return cancelled(ctx)
+}
+
+// ParallelRanges runs fn(start, end) over [0, n) split into contiguous
+// per-worker ranges — the driver for kernels that want the whole chunk at
+// once. Panics are contained; cancellation is only checked between
+// chunks (a kernel chunk is one checkpoint interval).
+func ParallelRanges(ctx context.Context, span Span, n, workers int, fn func(start, end int) error) error {
+	workers = clampWorkers(n, workers)
+	if workers <= 1 {
+		if n <= 0 {
+			return cancelled(ctx)
+		}
+		if err := cancelled(ctx); err != nil {
+			return err
+		}
+		if err := Do(span.Stage, span.Base, n, func() error { return fn(0, n) }); err != nil {
+			return span.err(0, err)
+		}
+		return cancelled(ctx)
+	}
+	var fe firstErr
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			if cancelled(ctx) != nil {
+				return
+			}
+			defer func() {
+				if pe := Recovered(span.Stage, span.Base+s, e-s, recover()); pe != nil {
+					fe.set(s, pe)
+				}
+			}()
+			if err := fn(s, e); err != nil {
+				fe.set(s, span.err(s, err))
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	if err := fe.get(); err != nil {
+		return err
+	}
+	return cancelled(ctx)
+}
+
+// Go spawns fn on its own goroutine with panic containment and reports
+// its outcome (the returned error, or a *PipelineError for a panic) to
+// report exactly once. It is the building block for long-lived service
+// goroutines (streamers, feedback loops, cluster workers) that must
+// never take the process down.
+func Go(stage string, fn func() error, report func(error)) {
+	go func() {
+		var err error
+		defer func() {
+			if pe := Recovered(stage, 0, 0, recover()); pe != nil {
+				err = pe
+			}
+			report(err)
+		}()
+		err = fn()
+	}()
+}

@@ -1,0 +1,118 @@
+package safe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParallelDynamicContainsPanic(t *testing.T) {
+	err := ParallelDynamic(context.Background(), Span{Stage: "test/stage", Base: 100}, 32, 4, func(i int) error {
+		if i == 7 {
+			panic("boom")
+		}
+		return nil
+	})
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PipelineError, got %v", err)
+	}
+	if pe.Stage != "test/stage" || pe.V0 != 107 || pe.V != 1 {
+		t.Fatalf("bad error annotation: %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error carries no stack")
+	}
+	if !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("error %q does not name the panic", pe.Error())
+	}
+}
+
+func TestParallelDynamicReportsLowestFailure(t *testing.T) {
+	err := ParallelDynamic(context.Background(), Span{Stage: "s"}, 64, 1, func(i int) error {
+		if i == 3 || i == 5 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		return nil
+	})
+	var pe *PipelineError
+	if !errors.As(err, &pe) || pe.V0 != 3 {
+		t.Fatalf("want failure at item 3, got %v", err)
+	}
+}
+
+func TestParallelDriversCancellation(t *testing.T) {
+	for name, driver := range map[string]func(ctx context.Context, n, w int, fn func(int) error) error{
+		"dynamic": func(ctx context.Context, n, w int, fn func(int) error) error {
+			return ParallelDynamic(ctx, Span{Stage: "s"}, n, w, fn)
+		},
+		"chunks": func(ctx context.Context, n, w int, fn func(int) error) error {
+			return ParallelChunks(ctx, Span{Stage: "s"}, n, w, fn)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			var ran atomic.Int64
+			err := driver(ctx, 10_000, 4, func(i int) error {
+				if ran.Add(1) == 8 {
+					cancel()
+				}
+				time.Sleep(100 * time.Microsecond)
+				return nil
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+			if n := ran.Load(); n > 1000 {
+				t.Fatalf("ran %d items after cancellation", n)
+			}
+		})
+	}
+}
+
+func TestParallelRangesContainsPanicAndCancels(t *testing.T) {
+	err := ParallelRanges(context.Background(), Span{Stage: "kernel"}, 100, 4, func(s, e int) error {
+		if s == 0 {
+			panic(errors.New("kernel fault"))
+		}
+		return nil
+	})
+	var pe *PipelineError
+	if !errors.As(err, &pe) || pe.Stage != "kernel" {
+		t.Fatalf("want contained kernel panic, got %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ParallelRanges(ctx, Span{}, 100, 4, func(s, e int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestDoPassesThroughAndRecovers(t *testing.T) {
+	if err := Do("s", 0, 0, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := errors.New("plain")
+	if err := Do("s", 0, 0, func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("got %v", err)
+	}
+	err := Do("s", 3, 2, func() error { panic("p") })
+	var pe *PipelineError
+	if !errors.As(err, &pe) || pe.V0 != 3 || pe.V != 2 {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestGoReportsPanicOnce(t *testing.T) {
+	ch := make(chan error, 1)
+	Go("svc", func() error { panic("dead service") }, func(err error) { ch <- err })
+	err := <-ch
+	var pe *PipelineError
+	if !errors.As(err, &pe) || pe.Stage != "svc" {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+package fcma
+
+import (
+	"fcma/internal/fmri"
+	"fcma/internal/safe"
+)
+
+// PipelineError is the structured error a contained panic surfaces as:
+// any panic inside a pipeline goroutine (correlation, kernel precompute,
+// cross-validation, streaming, cluster workers) is recovered into one of
+// these instead of crashing the process. It records the pipeline stage,
+// the voxel range being processed, the panic value as a wrapped error,
+// and the goroutine stack at the point of the panic. Test with
+// errors.As:
+//
+//	var pe *fcma.PipelineError
+//	if errors.As(err, &pe) { log.Printf("stage %s: %v", pe.Stage, pe.Err) }
+type PipelineError = safe.PipelineError
+
+// SanitizePolicy selects how defective input data — NaN/Inf samples and
+// zero-variance (constant) voxels — is handled before correlation; see
+// Config.Sanitize and (*Data).Sanitize.
+type SanitizePolicy = fmri.SanitizePolicy
+
+const (
+	// SanitizeOff performs no sanitize pass (the default). Degenerate
+	// correlations involving constant voxels are defined as 0, but
+	// NaN/Inf samples flow into the pipeline unchecked.
+	SanitizeOff = fmri.SanitizeOff
+	// SanitizeReject refuses datasets containing any NaN/Inf sample or
+	// zero-variance voxel, naming the offending voxels.
+	SanitizeReject = fmri.SanitizeReject
+	// SanitizeDropVoxel removes defective voxels before analysis;
+	// returned voxel indices are translated back to the original
+	// numbering.
+	SanitizeDropVoxel = fmri.SanitizeDropVoxel
+	// SanitizeZeroFill replaces NaN/Inf samples with 0 on a copy of the
+	// data.
+	SanitizeZeroFill = fmri.SanitizeZeroFill
+)
+
+// SanitizeReport describes the defects a sanitize pass found: voxels
+// with NaN/Inf samples, zero-variance voxels, and (under
+// SanitizeDropVoxel) which voxels were removed.
+type SanitizeReport = fmri.SanitizeReport
+
+// Sanitize applies the policy to the dataset and returns the cleaned
+// dataset plus a report of what was found. The receiver is never
+// mutated; when the scan is clean the receiver itself is returned.
+// SanitizeReject returns an error naming the defective voxels instead
+// of a dataset.
+func (d *Data) Sanitize(policy SanitizePolicy) (*Data, *SanitizeReport, error) {
+	ds, report, err := fmri.SanitizeDataset(d.ds, policy)
+	if err != nil {
+		return nil, report, err
+	}
+	if ds == d.ds {
+		return d, report, nil
+	}
+	return &Data{ds: ds}, report, nil
+}
