@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-short bench fuzz
+.PHONY: check vet build test test-short bench bench-smoke fuzz
 
 check: vet build test
 
@@ -23,6 +23,13 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Quick end-to-end perf smoke: a tiny fcma-bench run that writes a
+# BENCH_fcma-bench.json summary into BENCHDIR (CI uploads it as an
+# artifact to track the perf trajectory).
+BENCHDIR ?= .
+bench-smoke:
+	$(GO) run ./cmd/fcma-bench -scale 0.01 -json $(BENCHDIR) table1 table5 table7
 
 # Short native-fuzz pass over the untrusted-input parsers (NIfTI headers
 # and epoch files). FUZZTIME bounds each target's run.

@@ -90,7 +90,7 @@ func OfflineAnalysisContext(ctx context.Context, d *Data, cfg Config) (*OfflineR
 		if err != nil {
 			return nil, fmt.Errorf("fcma: fold %d voxel selection: %w", s, err)
 		}
-		selected := scores[:minInt(k, len(scores))]
+		selected := scores[:min(k, len(scores))]
 		voxels := make([]int, len(selected))
 		for i, sc := range selected {
 			voxels[i] = sc.Voxel
@@ -173,7 +173,7 @@ func OnlineAnalysisContext(ctx context.Context, d *Data, cfg Config) (*OnlineRes
 		return nil, err
 	}
 	k := cfg.topK(d.Voxels())
-	selected := scores[:minInt(k, len(scores))]
+	selected := scores[:min(k, len(scores))]
 	voxels := make([]int, len(selected))
 	for i, sc := range selected {
 		voxels[i] = sc.Voxel
@@ -465,7 +465,7 @@ func SelectVoxelsDistributedContext(ctx context.Context, d *Data, cfg Config, wo
 	}
 	var folds []svm.Fold
 	if sd.ds.Subjects == 1 {
-		folds = svm.KFolds(stack.M(), minInt(6, stack.M()/2))
+		folds = svm.KFolds(stack.M(), min(6, stack.M()/2))
 	}
 	comm, err := mpi.NewLocalComm(workers+1, 64)
 	if err != nil {

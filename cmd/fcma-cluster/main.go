@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -34,6 +36,7 @@ import (
 	"fcma/internal/corr"
 	"fcma/internal/fmri"
 	"fcma/internal/mpi"
+	"fcma/internal/obs"
 )
 
 func main() {
@@ -53,6 +56,8 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "worker: heartbeat interval (negative disables)")
 	heartbeatTimeout := flag.Duration("heartbeat-timeout", 10*time.Second, "master: silence before a worker is presumed dead (0 disables)")
 	taskRetries := flag.Int("task-retries", 3, "master: failures one task tolerates before the run aborts")
+	metricsListen := flag.String("metrics-listen", "", `serve /metrics and /debug/pprof/ on this address, e.g. ":9090" (the master's /metrics merges all workers' shipped snapshots)`)
+	benchOut := flag.String("bench-out", "", "master: directory to write an end-of-run BENCH_<name>.json summary into")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the run cooperatively: the master broadcasts
@@ -71,11 +76,26 @@ func main() {
 		master.SetAcceptTimeout(*acceptTimeout)
 		fmt.Printf("fcma-cluster: master on %s waiting for %d workers\n", master.Addr(), *workers)
 		fail(master.Accept())
+		cm := &cluster.ClusterMetrics{}
 		opts := cluster.MasterOptions{
 			TaskDeadline:     *deadline,
 			HeartbeatTimeout: *heartbeatTimeout,
 			TaskRetries:      *taskRetries,
+			Metrics:          cm,
 		}
+		if *metricsListen != "" {
+			// The master's /metrics merges its own registry with the latest
+			// snapshot every worker has shipped — the cluster-wide view.
+			srv, err := obs.ServeFunc(*metricsListen, func() obs.Snapshot {
+				s := obs.Default().Snapshot()
+				s.Merge(cm.Merged())
+				return s
+			})
+			fail(err)
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "fcma-cluster: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+		}
+		startTime := time.Now()
 		var cp *cluster.Checkpoint
 		if *checkpoint != "" {
 			cp, err = cluster.OpenCheckpoint(*checkpoint)
@@ -108,9 +128,16 @@ func main() {
 		for _, s := range top {
 			fmt.Printf("  voxel %6d  accuracy %.3f\n", s.Voxel, s.Accuracy)
 		}
+		reportClusterMetrics(cm, time.Since(startTime), *benchOut, d.Voxels())
 	case "worker":
 		if *addr == "" {
 			fail(fmt.Errorf("worker needs -addr"))
+		}
+		if *metricsListen != "" {
+			srv, err := obs.Serve(*metricsListen, obs.Default())
+			fail(err)
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "fcma-cluster: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
 		}
 		stack, err := corr.BuildEpochStack(d, 0)
 		fail(err)
@@ -143,6 +170,50 @@ func main() {
 		fmt.Println("fcma-cluster: worker done")
 	default:
 		fail(fmt.Errorf("need -role master or -role worker"))
+	}
+}
+
+// reportClusterMetrics prints the per-worker task counters and the merged
+// cluster-wide view, and optionally writes a BENCH_*.json summary.
+func reportClusterMetrics(cm *cluster.ClusterMetrics, elapsed time.Duration, benchOut string, voxels int) {
+	perRank := cm.Workers()
+	if len(perRank) > 0 {
+		ranks := make([]int, 0, len(perRank))
+		for r := range perRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		fmt.Println("per-worker task counters:")
+		for _, r := range ranks {
+			s := perRank[r]
+			line := fmt.Sprintf("  rank %2d: %d tasks, %d failures", r,
+				s.Counters["worker_tasks_total"], s.Counters["worker_task_failures_total"])
+			if h, ok := s.Hists["worker_task_seconds"]; ok && h.Count > 0 && elapsed > 0 {
+				line += fmt.Sprintf(", %.1f voxels/sec",
+					float64(s.Counters["core_voxels_scored_total"])/elapsed.Seconds())
+			}
+			fmt.Println(line)
+		}
+	}
+	merged := cm.Merged()
+	merged.Merge(obs.Default().Snapshot()) // fold in the master's own counters
+	fmt.Printf("cluster totals: %d tasks issued, %d completed, %d retried, %d speculated, %d voxels scored (%d dedup-dropped)\n",
+		merged.Counters["cluster_tasks_issued_total"], merged.Counters["cluster_tasks_completed_total"],
+		merged.Counters["cluster_tasks_retried_total"], merged.Counters["cluster_tasks_speculated_total"],
+		merged.Counters["cluster_voxels_scored_total"], merged.Counters["cluster_dedup_dropped_voxels_total"])
+	if benchOut != "" {
+		sum := obs.NewBenchSummary("fcma-cluster", elapsed, merged)
+		if elapsed > 0 {
+			sum.Throughput = float64(voxels) / elapsed.Seconds()
+			sum.ThroughputUnit = "voxels"
+		}
+		sum.Params = map[string]string{
+			"voxels":  strconv.Itoa(voxels),
+			"workers": strconv.Itoa(len(perRank)),
+		}
+		path, err := sum.WriteFile(benchOut)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "fcma-cluster: wrote %s\n", path)
 	}
 }
 

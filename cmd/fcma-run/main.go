@@ -22,9 +22,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
+	"time"
 
 	"fcma"
+	"fcma/internal/obs"
 )
 
 func main() {
@@ -45,6 +48,9 @@ func main() {
 	roiMinSize := flag.Int("roi-min", 2, "minimum ROI size in voxels for select-mode reporting")
 	permutations := flag.Int("permutations", 99, "permtest: label permutations")
 	seed := flag.Int64("seed", 1, "permtest: permutation seed")
+	listen := flag.String("listen", "", `serve /metrics (Prometheus text) and /debug/pprof/ on this address, e.g. ":9090" or ":0"`)
+	progress := flag.Duration("progress", 0, "print progress lines (voxels/sec, ETA) at this interval, e.g. 10s; 0 disables")
+	benchOut := flag.String("bench-out", "", "directory to write an end-of-run BENCH_<name>.json summary into")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the analysis cooperatively: every pipeline
@@ -62,6 +68,52 @@ func main() {
 		cfg.Engine = fcma.Baseline
 	default:
 		fail(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	if *listen != "" {
+		srv, err := fcma.ServeMetrics(*listen, nil)
+		fail(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fcma-run: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+	}
+	if *progress > 0 {
+		// Voxel scoring dominates every mode's runtime; total is only known
+		// up front for single-pass modes.
+		var total uint64
+		if *mode == "select" || *mode == "mvpa" {
+			total = uint64(d.Voxels())
+		}
+		stopProgress := obs.StartProgress(obs.ProgressOptions{
+			W:        os.Stderr,
+			Label:    "fcma-run",
+			Unit:     "voxels",
+			Total:    total,
+			Counter:  obs.Default().Counter("core_voxels_scored_total"),
+			Interval: *progress,
+		})
+		defer stopProgress()
+	}
+	start := time.Now()
+	if *benchOut != "" {
+		defer func() {
+			snap := obs.Default().Snapshot()
+			elapsed := time.Since(start)
+			sum := obs.NewBenchSummary("fcma-run-"+*mode, elapsed, snap)
+			if v := snap.Counters["core_voxels_scored_total"]; v > 0 && elapsed > 0 {
+				sum.Throughput = float64(v) / elapsed.Seconds()
+				sum.ThroughputUnit = "voxels"
+			}
+			sum.Params = map[string]string{
+				"mode":    *mode,
+				"engine":  *engine,
+				"dataset": d.Name(),
+				"voxels":  strconv.Itoa(d.Voxels()),
+				"workers": strconv.Itoa(*workers),
+			}
+			path, err := sum.WriteFile(*benchOut)
+			fail(err)
+			fmt.Fprintf(os.Stderr, "fcma-run: wrote %s\n", path)
+		}()
 	}
 
 	switch *mode {
@@ -171,7 +223,7 @@ func writeOutputs(d *fcma.Data, scores []fcma.VoxelScore, outScores, outMap stri
 
 func clampK(k, n int) int {
 	if k <= 0 || k > n {
-		k = minInt(20, n)
+		k = min(20, n)
 	}
 	return k
 }
@@ -224,13 +276,6 @@ func loadData(dataPath, epochPath, niiPath, maskPath string, subjects int, synth
 	d, err := fcma.Load(df, ef)
 	fail(err)
 	return d
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func fail(err error) {

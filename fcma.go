@@ -204,6 +204,9 @@ type Config struct {
 	// SanitizeDropVoxel, returned voxel indices still refer to the
 	// original dataset numbering.
 	Sanitize SanitizePolicy
+	// Metrics, when non-nil, receives the run's stage timings and
+	// counters in isolation; nil records to DefaultMetrics().
+	Metrics *Metrics
 }
 
 func (c Config) topK(voxels int) int {
@@ -229,6 +232,7 @@ func (c Config) coreConfig() core.Config {
 	}
 	cc.Workers = c.Workers
 	cc.SVMParams = svm.Params{C: c.SVMCost}
+	cc.Obs = c.Metrics
 	return cc
 }
 
@@ -308,20 +312,13 @@ func buildWorker(ctx context.Context, d *Data, cfg Config) (*corr.EpochStack, *c
 	if d.ds.Subjects == 1 {
 		// Online analysis: leave-one-subject-out degenerates; use k-fold
 		// over epochs instead.
-		folds = svm.KFolds(stack.M(), minInt(6, stack.M()/2))
+		folds = svm.KFolds(stack.M(), min(6, stack.M()/2))
 	}
 	worker, err := core.NewWorker(cfg.coreConfig(), stack, folds)
 	if err != nil {
 		return nil, nil, err
 	}
 	return stack, worker, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // LoadNIfTI reads a 4D NIfTI-1 time series, extracts brain voxels (an

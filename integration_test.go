@@ -93,7 +93,7 @@ func TestFullPaperWorkflow(t *testing.T) {
 
 	// 5. Significance: the reliable-voxel classifier beats its label-
 	// permutation null.
-	perm, err := PermutationTest(fromBin, offline.ReliableVoxels[:minInt(8, len(offline.ReliableVoxels))],
+	perm, err := PermutationTest(fromBin, offline.ReliableVoxels[:min(8, len(offline.ReliableVoxels))],
 		Config{}, 19, 99)
 	if err != nil {
 		t.Fatal(err)

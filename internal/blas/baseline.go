@@ -62,6 +62,7 @@ func (b Baseline) Gemm(C, A, B *tensor.Matrix) {
 	// written by exactly one goroutine.
 	nPanels := (n + nc - 1) / nc
 	parallelFor(nPanels, b.Workers, func(p0, p1 int) {
+		obsGemmBlocks.Add(uint64(p1 - p0))
 		packedB := make([]float32, kc*nc)
 		packedA := make([]float32, mc*kc)
 		for p := p0; p < p1; p++ {

@@ -51,6 +51,7 @@ func BatchSyrkContext(ctx context.Context, Cs, As []*tensor.Matrix, block, worke
 	}
 	locks := make([]sync.Mutex, len(Cs))
 	err := parallelForDynamicContext(ctx, len(items), workers, func(n int) {
+		obsBatchSyrkItems.Inc()
 		it := items[n]
 		A := As[it.mat]
 		m := A.Rows

@@ -63,6 +63,7 @@ func (t TallSkinny) Gemm(C, A, B *tensor.Matrix) {
 	nb := t.colBlock()
 	nBlocks := (n + nb - 1) / nb
 	parallelFor(nBlocks, t.Workers, func(b0, b1 int) {
+		obsGemmBlocks.Add(uint64(b1 - b0))
 		for b := b0; b < b1; b++ {
 			j0 := b * nb
 			w := min(nb, n-j0)
@@ -119,6 +120,7 @@ func (t TallSkinny) Syrk(C, A *tensor.Matrix) {
 	nBlocks := (n + bn - 1) / bn
 	var mu sync.Mutex
 	parallelFor(nBlocks, t.Workers, func(b0, b1 int) {
+		obsSyrkBlocks.Add(uint64(b1 - b0))
 		local := tensor.NewMatrix(m, m)
 		var tbuf []float32
 		for b := b0; b < b1; b++ {

@@ -36,6 +36,7 @@ import (
 
 	"fcma/internal/core"
 	"fcma/internal/mpi"
+	"fcma/internal/obs"
 	"fcma/internal/safe"
 )
 
@@ -104,6 +105,15 @@ type MasterOptions struct {
 	// it is quarantined (sent TagStop and excluded from assignment).
 	// Defaults to 3.
 	WorkerErrorLimit int
+	// Obs receives the master's task-lifecycle counters (tasks issued,
+	// completed, retried, speculated; voxels scored and dedup-dropped;
+	// workers quarantined and presumed dead). Nil records to the
+	// process-wide obs.Default() registry.
+	Obs *obs.Registry
+	// Metrics, when non-nil, collects the per-rank registry snapshots
+	// workers ship on mpi.TagMetrics, so the caller can report per-worker
+	// and merged cluster-wide metrics after the run.
+	Metrics *ClusterMetrics
 }
 
 // RunMaster drives the task queue over the transport: voxels [0, totalVoxels)
@@ -134,6 +144,7 @@ type master struct {
 	tr          mpi.Transport
 	totalVoxels int
 	opts        MasterOptions
+	reg         *obs.Registry
 
 	queue     []taskMsg
 	workers   map[int]*workerInfo
@@ -165,10 +176,15 @@ func RunMasterCtx(ctx context.Context, tr mpi.Transport, totalVoxels, taskSize i
 	if opts.WorkerErrorLimit <= 0 {
 		opts.WorkerErrorLimit = 3
 	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
 	m := &master{
 		tr:          tr,
 		totalVoxels: totalVoxels,
 		opts:        opts,
+		reg:         reg,
 		workers:     make(map[int]*workerInfo),
 		scores:      make([]core.VoxelScore, 0, totalVoxels),
 		seen:        make(map[int]bool, totalVoxels),
@@ -273,12 +289,20 @@ func (m *master) tickGranularity() time.Duration {
 func (m *master) complete() bool { return len(m.seen) >= m.totalVoxels }
 
 func (m *master) addScores(fresh []core.VoxelScore) {
+	var added, dropped uint64
 	for _, s := range fresh {
 		if s.Voxel >= 0 && s.Voxel < m.totalVoxels && !m.seen[s.Voxel] {
 			m.seen[s.Voxel] = true
 			m.scores = append(m.scores, s)
+			added++
+		} else {
+			dropped++
 		}
 	}
+	m.reg.Counter("cluster_voxels_scored_total").Add(added)
+	// Dropped voxels are duplicates from speculation/retry (or out of
+	// range); counting them makes dedup activity visible.
+	m.reg.Counter("cluster_dedup_dropped_voxels_total").Add(dropped)
 }
 
 // covered reports whether every voxel of the task has already been scored.
@@ -349,12 +373,19 @@ func (m *master) handle(msg mpi.Message) error {
 			m.assign(msg.From, now)
 		}
 		return nil
+	case mpi.TagMetrics:
+		var snap obs.Snapshot
+		if err := decode(msg.Body, &snap); err == nil {
+			m.opts.Metrics.record(msg.From, snap)
+		}
+		return nil
 	case mpi.TagResult:
 		var res resultMsg
 		if err := decode(msg.Body, &res); err != nil {
 			// A corrupt result is contained like any worker failure.
 			return m.recordWorkerError(msg.From, w.task, fmt.Sprintf("undecodable result: %v", err), now)
 		}
+		m.reg.Counter("cluster_tasks_completed_total").Inc()
 		if cp := m.opts.Checkpoint; cp != nil {
 			if err := cp.record(res.Scores); err != nil {
 				return fmt.Errorf("cluster: recording checkpoint: %w", err)
@@ -413,6 +444,7 @@ func (m *master) speculate(slow int, w *workerInfo, now time.Time) {
 			continue
 		}
 		if m.sendTask(rank, cand, w.task, now) {
+			m.reg.Counter("cluster_tasks_speculated_total").Inc()
 			w.since = now // back off before speculating the same task again
 			return
 		}
@@ -436,6 +468,7 @@ func (m *master) markDead(rank int) {
 	}
 	w.state = wsDead
 	w.task = taskMsg{}
+	m.reg.Counter("cluster_workers_dead_total").Inc()
 	m.assignIdle(time.Now())
 }
 
@@ -473,6 +506,7 @@ func (m *master) recordWorkerError(rank int, task taskMsg, detail string, now ti
 			return fmt.Errorf("cluster: task voxels [%d,%d) failed %d times (budget %d), last on rank %d: %s",
 				task.V0, task.V0+task.V, m.taskFails[task.V0], m.opts.TaskRetries, rank, detail)
 		}
+		m.reg.Counter("cluster_tasks_retried_total").Inc()
 		m.requeue(task)
 	}
 	if w.errors >= m.opts.WorkerErrorLimit {
@@ -493,6 +527,7 @@ func (m *master) quarantine(rank int) {
 	}
 	w.state = wsQuarantined
 	w.task = taskMsg{}
+	m.reg.Counter("cluster_workers_quarantined_total").Inc()
 	_ = m.tr.Send(rank, mpi.TagStop, nil)
 }
 
@@ -547,6 +582,7 @@ func (m *master) sendTask(rank int, w *workerInfo, t taskMsg, now time.Time) boo
 	if err := m.tr.Send(rank, mpi.TagTask, body); err != nil {
 		return false
 	}
+	m.reg.Counter("cluster_tasks_issued_total").Inc()
 	w.state = wsWorking
 	w.task = t
 	w.since = now
@@ -589,6 +625,16 @@ type WorkerOptions struct {
 	// HeartbeatInterval between liveness beacons to the master. Zero
 	// selects 1s; negative disables heartbeats.
 	HeartbeatInterval time.Duration
+	// Obs is the registry whose snapshot is shipped to the master on
+	// mpi.TagMetrics after every result or error; the worker's own task
+	// counters (worker_tasks_total, worker_task_failures_total,
+	// worker_task_seconds) record there too. Nil uses obs.Default(), which
+	// is right when the worker owns the process (cmd/fcma-cluster); give
+	// in-process workers distinct registries so their metrics stay apart.
+	Obs *obs.Registry
+	// DisableMetrics stops the worker from shipping TagMetrics snapshots
+	// (for masters that predate the tag).
+	DisableMetrics bool
 }
 
 // RunWorker serves tasks until TagStop: announce readiness, process each
@@ -620,6 +666,24 @@ func RunWorkerOpts(tr mpi.Transport, proc TaskProcessor, opts WorkerOptions) err
 func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opts WorkerOptions) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	tasksTotal := reg.Counter("worker_tasks_total")
+	taskFails := reg.Counter("worker_task_failures_total")
+	taskSeconds := reg.Histogram("worker_task_seconds", obs.DefaultLatencyBuckets)
+	// shipMetrics sends the registry's current snapshot to the master,
+	// best-effort: metrics must never take a healthy worker down.
+	shipMetrics := func() {
+		if opts.DisableMetrics {
+			return
+		}
+		snap := reg.Snapshot()
+		if body, err := encode(snap); err == nil {
+			_ = tr.Send(0, mpi.TagMetrics, body)
+		}
 	}
 	if err := tr.Send(0, mpi.TagReady, nil); err != nil {
 		return fmt.Errorf("cluster: worker ready: %w", err)
@@ -701,6 +765,8 @@ func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opt
 				continue
 			}
 			var scores []core.VoxelScore
+			tasksTotal.Inc()
+			tt := taskSeconds.Start()
 			perr := safe.Do("cluster/worker", tm.V0, tm.V, func() error {
 				var err error
 				if cp, ok := proc.(ContextProcessor); ok {
@@ -710,14 +776,20 @@ func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opt
 				}
 				return err
 			})
+			tt.Stop()
 			if perr != nil && ctx.Err() != nil && errors.Is(perr, ctx.Err()) {
 				return ctx.Err() // cancelled mid-task: shut down, don't report
 			}
 			if perr != nil {
+				taskFails.Inc()
 				body, err := encode(errorMsg{Task: tm, Err: perr.Error()})
 				if err != nil {
 					return err
 				}
+				// Ship the snapshot before the error so the master's view
+				// already covers this task when it books the failure (both
+				// transports deliver per-sender in order).
+				shipMetrics()
 				if err := tr.Send(0, mpi.TagError, body); err != nil {
 					return err
 				}
@@ -727,6 +799,9 @@ func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opt
 			if err != nil {
 				return err
 			}
+			// Snapshot-then-result ordering: when the final result completes
+			// the run, every rank's last snapshot has already been handled.
+			shipMetrics()
 			if err := tr.Send(0, mpi.TagResult, body); err != nil {
 				return err
 			}

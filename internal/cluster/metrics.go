@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"sync"
+
+	"fcma/internal/obs"
+)
+
+// ClusterMetrics collects per-rank worker metric snapshots shipped to the
+// master on mpi.TagMetrics. Allocate one and hand it to the master via
+// MasterOptions.Metrics; after (or during) a run, Workers gives the latest
+// snapshot per rank and Merged the cluster-wide aggregate. All methods are
+// safe for concurrent use with a running master.
+type ClusterMetrics struct {
+	mu    sync.Mutex
+	ranks map[int]obs.Snapshot
+}
+
+// record stores the latest snapshot for rank, replacing any previous one
+// (workers ship cumulative registries, so last-wins is the correct merge).
+func (c *ClusterMetrics) record(rank int, s obs.Snapshot) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.ranks == nil {
+		c.ranks = make(map[int]obs.Snapshot)
+	}
+	c.ranks[rank] = s
+	c.mu.Unlock()
+}
+
+// Workers returns the latest snapshot for each rank that has reported.
+func (c *ClusterMetrics) Workers() map[int]obs.Snapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]obs.Snapshot, len(c.ranks))
+	for r, s := range c.ranks {
+		out[r] = s
+	}
+	return out
+}
+
+// Merged aggregates every rank's latest snapshot: counters and histogram
+// totals sum across ranks, gauges keep an arbitrary reporter's value.
+func (c *ClusterMetrics) Merged() obs.Snapshot {
+	var merged obs.Snapshot
+	if c == nil {
+		return merged
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.ranks {
+		merged.Merge(s)
+	}
+	return merged
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"fcma/internal/core"
+	"fcma/internal/mpi"
+	"fcma/internal/obs"
+)
+
+// TestClusterMetricsAggregation runs an in-process cluster where every
+// worker records to its own registry and ships snapshots on TagMetrics,
+// and checks the master's ClusterMetrics sees each rank plus a merged
+// view whose task and voxel totals match the run.
+func TestClusterMetricsAggregation(t *testing.T) {
+	st := testStack(t)
+	const nWorkers = 3
+	comm, err := mpi.NewLocalComm(nWorkers+1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 1; r <= nWorkers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			reg := obs.NewRegistry()
+			cfg := core.Optimized()
+			cfg.Obs = reg
+			w, err := core.NewWorker(cfg, st, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := RunWorkerOpts(comm.Rank(r), w, WorkerOptions{Obs: reg}); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	cm := &ClusterMetrics{}
+	masterReg := obs.NewRegistry()
+	scores, err := RunMasterOpts(comm.Rank(0), st.N, 5, MasterOptions{Obs: masterReg, Metrics: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(scores) != st.N {
+		t.Fatalf("scores = %d, want %d", len(scores), st.N)
+	}
+
+	perRank := cm.Workers()
+	if len(perRank) == 0 {
+		t.Fatal("no worker metric snapshots reached the master")
+	}
+	var tasksAcrossRanks uint64
+	for rank, snap := range perRank {
+		if rank < 1 || rank > nWorkers {
+			t.Errorf("snapshot from unexpected rank %d", rank)
+		}
+		tasksAcrossRanks += snap.Counters["worker_tasks_total"]
+	}
+
+	merged := cm.Merged()
+	wantTasks := uint64((st.N + 4) / 5) // 32 voxels / 5 per task = 7 tasks
+	if got := merged.Counters["worker_tasks_total"]; got != wantTasks {
+		t.Errorf("merged worker_tasks_total = %d, want %d", got, wantTasks)
+	}
+	if got := merged.Counters["core_voxels_scored_total"]; got != uint64(st.N) {
+		t.Errorf("merged core_voxels_scored_total = %d, want %d", got, st.N)
+	}
+	if tasksAcrossRanks != wantTasks {
+		t.Errorf("per-rank task sum = %d, want %d", tasksAcrossRanks, wantTasks)
+	}
+	if h, ok := merged.Hists["worker_task_seconds"]; !ok || h.Count != wantTasks {
+		t.Errorf("merged worker_task_seconds count = %+v, want %d observations", h, wantTasks)
+	}
+
+	// The master's own lifecycle counters in its private registry.
+	ms := masterReg.Snapshot()
+	if got := ms.Counters["cluster_tasks_issued_total"]; got != wantTasks {
+		t.Errorf("cluster_tasks_issued_total = %d, want %d", got, wantTasks)
+	}
+	if got := ms.Counters["cluster_tasks_completed_total"]; got != wantTasks {
+		t.Errorf("cluster_tasks_completed_total = %d, want %d", got, wantTasks)
+	}
+	if got := ms.Counters["cluster_voxels_scored_total"]; got != uint64(st.N) {
+		t.Errorf("cluster_voxels_scored_total = %d, want %d", got, st.N)
+	}
+}
+
+// TestWorkerMetricsDisabled checks DisableMetrics keeps the wire clean of
+// TagMetrics for masters that predate the tag.
+func TestWorkerMetricsDisabled(t *testing.T) {
+	st := testStack(t)
+	comm, err := mpi.NewLocalComm(2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w, err := core.NewWorker(core.Optimized(), st, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := RunWorkerOpts(comm.Rank(1), w, WorkerOptions{Obs: obs.NewRegistry(), DisableMetrics: true}); err != nil {
+			t.Error(err)
+		}
+	}()
+	cm := &ClusterMetrics{}
+	if _, err := RunMasterOpts(comm.Rank(0), st.N, 8, MasterOptions{Obs: obs.NewRegistry(), Metrics: cm}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := cm.Workers(); len(got) != 0 {
+		t.Fatalf("expected no snapshots with DisableMetrics, got %d", len(got))
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"fcma/internal/blas"
 	"fcma/internal/corr"
+	"fcma/internal/obs"
 	"fcma/internal/safe"
 	"fcma/internal/svm"
 	"fcma/internal/tensor"
@@ -41,6 +42,18 @@ type Config struct {
 	SVMParams svm.Params
 	// Name labels the configuration in reports.
 	Name string
+	// Obs receives stage timings and task/voxel counters (see DESIGN.md
+	// §10); nil records to the process-wide obs.Default() registry. The
+	// same registry is threaded into the corr.Pipeline the worker builds.
+	Obs *obs.Registry
+}
+
+// obsReg resolves the metrics registry (nil field → process default).
+func (c Config) obsReg() *obs.Registry {
+	if c.Obs == nil {
+		return obs.Default()
+	}
+	return c.Obs
 }
 
 // Baseline returns the paper's baseline configuration: general-purpose
@@ -137,11 +150,16 @@ func (w *Worker) ProcessContext(ctx context.Context, t Task) ([]VoxelScore, erro
 	if t.V <= 0 || t.V0 < 0 || t.V0+t.V > w.stack.N {
 		return nil, fmt.Errorf("core: task voxels [%d,%d) outside brain of %d", t.V0, t.V0+t.V, w.stack.N)
 	}
+	reg := w.cfg.obsReg()
+	reg.Counter("core_tasks_total").Inc()
+	taskTimer := reg.Stage("core/task").Start()
+	defer taskTimer.Stop()
 	// Stages 1+2.
 	p := &corr.Pipeline{
 		Gemm:    w.cfg.Gemm,
 		Workers: w.cfg.Workers,
 		Merged:  w.cfg.Merged,
+		Obs:     w.cfg.Obs,
 	}
 	buf, err := p.RunContext(ctx, w.stack, t.V0, t.V)
 	if err != nil {
@@ -169,13 +187,19 @@ func (w *Worker) ProcessContext(ctx context.Context, t Task) ([]VoxelScore, erro
 			As[v] = buf.View(v*M, 0, M, w.stack.N)
 			kernels[v] = tensor.NewMatrix(M, M)
 		}
-		if err := blas.BatchSyrkContext(ctx, kernels, As, blas.DefaultSyrkBlock, w.cfg.Workers); err != nil {
+		syrkTimer := reg.Stage("core/syrk").Start()
+		err := blas.BatchSyrkContext(ctx, kernels, As, blas.DefaultSyrkBlock, w.cfg.Workers)
+		syrkTimer.Stop()
+		if err != nil {
 			if ctx.Err() != nil && err == ctx.Err() {
 				return nil, err
 			}
 			return nil, fmt.Errorf("core: batched kernel precompute: %w", err)
 		}
 	}
+	voxelsScored := reg.Counter("core_voxels_scored_total")
+	cvSeconds := reg.Histogram("svm_cv_seconds", obs.DefaultLatencyBuckets)
+	svmTimer := reg.Stage("core/svm").Start()
 	err = safe.ParallelDynamic(ctx, safe.Span{Stage: "svm/cv", Base: t.V0}, t.V, w.cfg.Workers, func(v int) error {
 		var K *tensor.Matrix
 		if kernels != nil {
@@ -184,13 +208,17 @@ func (w *Worker) ProcessContext(ctx context.Context, t Task) ([]VoxelScore, erro
 			data := buf.View(v*M, 0, M, w.stack.N)
 			K = svm.PrecomputeKernel(data, w.cfg.Syrk)
 		}
+		vt := cvSeconds.Start()
 		acc, err := svm.CrossValidate(w.cfg.Trainer, K, labels, w.folds)
+		vt.Stop()
 		if err != nil {
 			return fmt.Errorf("core: voxel %d: %w", t.V0+v, err)
 		}
 		scores[v] = VoxelScore{Voxel: t.V0 + v, Accuracy: acc}
+		voxelsScored.Inc()
 		return nil
 	})
+	svmTimer.Stop()
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"fcma/internal/blas"
 	"fcma/internal/norm"
+	"fcma/internal/obs"
 	"fcma/internal/safe"
 	"fcma/internal/tensor"
 )
@@ -34,6 +35,18 @@ type Pipeline struct {
 	// amortize the stream over the wide operand; smaller blocks keep the
 	// working set cache resident.
 	VoxBlock int
+	// Obs receives stage timings and block counters (see DESIGN.md §10):
+	// stage_corr/*_seconds histograms plus corr_gemm_calls_total and
+	// corr_norm_blocks_total. Nil records to obs.Default().
+	Obs *obs.Registry
+}
+
+// obsReg resolves the metrics registry (nil field → process default).
+func (p *Pipeline) obsReg() *obs.Registry {
+	if p.Obs == nil {
+		return obs.Default()
+	}
+	return p.Obs
 }
 
 func (p *Pipeline) gemm() blas.Sgemm {
@@ -89,6 +102,9 @@ func (p *Pipeline) computeCorrelations(ctx context.Context, st *EpochStack, v0, 
 	M, N := st.M(), st.N
 	buf := tensor.NewMatrix(V*M, N)
 	g := p.gemm()
+	reg := p.obsReg()
+	gemmCalls := reg.Counter("corr_gemm_calls_total")
+	timer := reg.Stage("corr/correlate").Start()
 	err := parallelEpochs(ctx, "corr/correlate", M, p.workers(), func(e int) {
 		A := tensor.NewMatrix(V, st.T)
 		st.GatherAssigned(e, v0, V, A)
@@ -96,7 +112,9 @@ func (p *Pipeline) computeCorrelations(ctx context.Context, st *EpochStack, v0, 
 		// at row e — the cblas ldc trick from §3.2.
 		view := &tensor.Matrix{Rows: V, Cols: N, Stride: M * buf.Stride, Data: buf.Data[e*buf.Stride:]}
 		g.Gemm(view, A, st.Norm[e])
+		gemmCalls.Inc()
 	})
+	timer.Stop()
 	if err != nil {
 		return nil, err
 	}
@@ -117,10 +135,15 @@ func (p *Pipeline) ComputeCorrelations(st *EpochStack, v0, V int) *tensor.Matrix
 // correlation buffer applying Fisher + within-subject z-scoring.
 func (p *Pipeline) normalizeSeparated(ctx context.Context, st *EpochStack, buf *tensor.Matrix, V int) error {
 	M, N, E := st.M(), st.N, st.E
+	reg := p.obsReg()
+	normBlocks := reg.Counter("corr_norm_blocks_total")
+	timer := reg.Stage("corr/normalize").Start()
+	defer timer.Stop()
 	return parallelEpochs(ctx, "corr/normalize", V, p.workers(), func(v int) {
 		for s := 0; s < st.Subjects; s++ {
 			block := buf.Data[(v*M+s*E)*buf.Stride : (v*M+s*E+E-1)*buf.Stride+N]
 			normBlockStrided(block, E, N, buf.Stride)
+			normBlocks.Inc()
 		}
 	})
 }
@@ -146,6 +169,11 @@ func (p *Pipeline) runMerged(ctx context.Context, st *EpochStack, v0, V int) (*t
 		vb = V
 	}
 	g := p.gemm()
+	reg := p.obsReg()
+	gemmCalls := reg.Counter("corr_gemm_calls_total")
+	normBlocks := reg.Counter("corr_norm_blocks_total")
+	timer := reg.Stage("corr/merged").Start()
+	defer timer.Stop()
 	nBlocks := (N + cb - 1) / cb
 	vBlocks := (V + vb - 1) / vb
 	// Work items are (voxel block, column block) pairs; each normalization
@@ -155,9 +183,9 @@ func (p *Pipeline) runMerged(ctx context.Context, st *EpochStack, v0, V int) (*t
 		vblk := item / nBlocks
 		b := item % nBlocks
 		vs := vblk * vb
-		vh := minInt(vb, V-vs)
+		vh := min(vb, V-vs)
 		j0 := b * cb
-		w := minInt(cb, N-j0)
+		w := min(cb, N-j0)
 		// local holds vh×E rows of width w, grouped by voxel: row
 		// v·E+e is voxel v's epoch-e correlations within this subject.
 		local := tensor.NewMatrix(vh*E, w)
@@ -171,11 +199,13 @@ func (p *Pipeline) runMerged(ctx context.Context, st *EpochStack, v0, V int) (*t
 				// row of the scratch block.
 				cView := &tensor.Matrix{Rows: vh, Cols: w, Stride: E * local.Stride, Data: local.Data[ei*local.Stride:]}
 				g.Gemm(cView, A, Bview)
+				gemmCalls.Inc()
 			}
 			// Normalize each voxel's E×w sub-block in cache, then write
 			// it out once.
 			for v := 0; v < vh; v++ {
 				norm.FisherThenZScore(local.Data[v*E*local.Stride:(v*E+E-1)*local.Stride+w], E, w)
+				normBlocks.Inc()
 				for ei := 0; ei < E; ei++ {
 					dst := buf.Data[((vs+v)*M+s*E+ei)*buf.Stride+j0:]
 					copy(dst[:w], local.Row(v*E+ei))
@@ -224,13 +254,6 @@ func normBlockStrided(data []float32, rows, cols, stride int) {
 			row[j] = v*scale[j] - shift[j]
 		}
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // parallelEpochs runs fn(i) for i in [0, n) across at most workers

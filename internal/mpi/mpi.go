@@ -32,11 +32,14 @@ const (
 	// worker that stops heartbeating is presumed dead and its outstanding
 	// task is requeued.
 	TagHeartbeat
+	// TagMetrics carries a gob-encoded obs.Snapshot of a worker's metrics
+	// registry so the master can report a merged cluster-wide view.
+	TagMetrics
 )
 
 // maxTag is the highest tag the protocol defines; frames carrying anything
 // else are rejected at the wire layer.
-const maxTag = TagHeartbeat
+const maxTag = TagMetrics
 
 // ValidTag reports whether t is a tag this protocol version defines.
 func ValidTag(t Tag) bool { return t >= TagReady && t <= maxTag }
@@ -60,6 +63,8 @@ func (t Tag) String() string {
 		return "disconnect"
 	case TagHeartbeat:
 		return "heartbeat"
+	case TagMetrics:
+		return "metrics"
 	default:
 		return fmt.Sprintf("Tag(%d)", uint32(t))
 	}

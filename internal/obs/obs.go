@@ -1,0 +1,262 @@
+// Package obs is the pipeline's observability substrate: a lightweight,
+// allocation-frugal metrics layer the paper's optimization story (§4,
+// Figs. 6–9) needed from vTune — per-stage timing, throughput counters,
+// and latency distributions — rebuilt as in-process instruments.
+//
+// The design optimizes the hot path: instruments are resolved from a
+// Registry by name once, outside loops, and then updated with single
+// atomic operations. Every instrument method is nil-receiver-safe, so
+// uninstrumented runs (a nil *Registry hands out nil instruments) pay one
+// predictable branch per update and allocate nothing.
+//
+// Registries can be snapshotted into a wire-friendly value (see Snapshot)
+// and merged, which is how cluster workers ship their counters to the
+// master for a run-wide view, rendered as Prometheus text by
+// WritePrometheus or served live by Serve alongside net/http/pprof.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by d. Safe on a nil receiver (no-op).
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by d (d may be negative). Safe on a nil receiver.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics): bucket i counts observations ≤ Buckets[i], with one
+// overflow bucket beyond the last bound. Buckets are fixed at creation so
+// observation is a binary search plus two atomic adds — no allocation.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// DefaultLatencyBuckets spans 100µs to ~100s exponentially, wide enough
+// for both a per-epoch kernel block and a full cluster task.
+var DefaultLatencyBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values; 0 on a nil receiver.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// StageTimer measures one timed section against a latency histogram —
+// the per-stage breakdown the paper reads off vTune. Use:
+//
+//	t := reg.Stage("corr").Start()
+//	... stage work ...
+//	t.Stop()
+type StageTimer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins timing against h. Safe on a nil receiver (the returned
+// timer's Stop is then a no-op that still reports the elapsed time).
+func (h *Histogram) Start() StageTimer {
+	return StageTimer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed seconds and returns the duration.
+func (t StageTimer) Stop() time.Duration {
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}
+
+// Registry is a named collection of instruments. The zero value is not
+// usable; call NewRegistry. A nil *Registry is a valid "off switch": it
+// hands out nil instruments whose methods are no-ops.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var def = NewRegistry()
+
+// Default returns the process-wide registry. Package-level
+// instrumentation (blas kernel blocks, safe driver items) and components
+// given no explicit registry record here.
+func Default() *Registry { return def }
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (nil bounds select
+// DefaultLatencyBuckets). Later calls ignore bounds. A nil registry
+// returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		if bounds == nil {
+			bounds = DefaultLatencyBuckets
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Stage returns the latency histogram "stage_<name>_seconds", the
+// conventional home of a pipeline stage's timing breakdown.
+func (r *Registry) Stage(name string) *Histogram {
+	return r.Histogram("stage_"+name+"_seconds", nil)
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressOptions configures a periodic progress reporter.
+type ProgressOptions struct {
+	// W receives the progress lines (typically os.Stderr).
+	W io.Writer
+	// Label prefixes each line, e.g. "fcma-run".
+	Label string
+	// Unit names what Counter counts, e.g. "voxels".
+	Unit string
+	// Total is the expected final count (for percentage and ETA); 0
+	// reports rate only.
+	Total uint64
+	// Counter is the progress source, read each interval.
+	Counter *Counter
+	// Interval between lines; 0 selects 10s.
+	Interval time.Duration
+}
+
+// StartProgress reports Counter's progress to W every Interval:
+//
+//	fcma-run: 1440/16384 voxels (8.8%), 231.4 voxels/sec, ETA 1m5s
+//
+// The returned stop function ends the reporter and prints one final line;
+// it is safe to call more than once.
+func StartProgress(opts ProgressOptions) (stop func()) {
+	if opts.Interval <= 0 {
+		opts.Interval = 10 * time.Second
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	line := func() {
+		n := opts.Counter.Value()
+		elapsed := time.Since(start).Seconds()
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(n) / elapsed
+		}
+		if opts.Total > 0 {
+			pct := 100 * float64(n) / float64(opts.Total)
+			eta := "?"
+			if rate > 0 && n < opts.Total {
+				eta = (time.Duration(float64(opts.Total-n) / rate * float64(time.Second))).Round(time.Second).String()
+			} else if n >= opts.Total {
+				eta = "done"
+			}
+			fmt.Fprintf(opts.W, "%s: %d/%d %s (%.1f%%), %.1f %s/sec, ETA %s\n",
+				opts.Label, n, opts.Total, opts.Unit, pct, rate, opts.Unit, eta)
+			return
+		}
+		fmt.Fprintf(opts.W, "%s: %d %s, %.1f %s/sec\n", opts.Label, n, opts.Unit, rate, opts.Unit)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				line()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			line()
+		})
+	}
+}

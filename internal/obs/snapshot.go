@@ -1,0 +1,120 @@
+package obs
+
+import "sort"
+
+// HistogramSnapshot is one histogram's state at snapshot time. Counts has
+// one entry per bound plus the overflow bucket; entries are per-bucket
+// (not cumulative).
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot is a point-in-time copy of a registry, plain enough to gob
+// across the cluster wire (mpi.TagMetrics) and merge master-side.
+type Snapshot struct {
+	Counters map[string]uint64
+	Gauges   map[string]float64
+	Hists    map[string]HistogramSnapshot
+}
+
+// Snapshot copies the registry's current state. A nil registry snapshots
+// empty.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]uint64),
+		Gauges:   make(map[string]float64),
+		Hists:    make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Hists[name] = hs
+	}
+	return s
+}
+
+// Merge folds o into s: counters and histogram buckets add, gauges keep
+// o's value (last writer wins — gauges describe the reporter, not a sum).
+// Histograms with mismatched buckets keep s's buckets and add only the
+// totals, so a merged Sum/Count stays meaningful.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]uint64)
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]float64)
+	}
+	if s.Hists == nil {
+		s.Hists = make(map[string]HistogramSnapshot)
+	}
+	for name, v := range o.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range o.Gauges {
+		s.Gauges[name] = v
+	}
+	for name, oh := range o.Hists {
+		sh, ok := s.Hists[name]
+		if !ok {
+			sh = HistogramSnapshot{
+				Bounds: append([]float64(nil), oh.Bounds...),
+				Counts: append([]uint64(nil), oh.Counts...),
+			}
+			sh.Sum, sh.Count = oh.Sum, oh.Count
+			s.Hists[name] = sh
+			continue
+		}
+		sh.Sum += oh.Sum
+		sh.Count += oh.Count
+		if len(sh.Counts) == len(oh.Counts) && equalBounds(sh.Bounds, oh.Bounds) {
+			for i := range sh.Counts {
+				sh.Counts[i] += oh.Counts[i]
+			}
+		}
+		s.Hists[name] = sh
+	}
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CounterNames returns the snapshot's counter names, sorted (for
+// deterministic reports).
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -26,13 +26,22 @@ func (t *Table) Render() string {
 	if t.Title != "" {
 		fmt.Fprintf(&b, "%s\n", t.Title)
 	}
-	widths := make([]int, len(t.Headers))
+	// Size widths to the widest row, not just the headers: a ragged row
+	// (more cells than headers) must not index past the width table, and
+	// an empty header list must not produce a negative separator.
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -51,7 +60,10 @@ func (t *Table) Render() string {
 	for _, w := range widths {
 		total += w + 2
 	}
-	b.WriteString(strings.Repeat("-", total-2))
+	if total -= 2; total < 0 {
+		total = 0
+	}
+	b.WriteString(strings.Repeat("-", total))
 	b.WriteByte('\n')
 	for _, row := range t.Rows {
 		line(row)

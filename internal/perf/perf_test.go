@@ -40,6 +40,43 @@ func TestTableRenderNoTitle(t *testing.T) {
 	}
 }
 
+// Regression: Render used to panic with "strings: negative Repeat count"
+// when Headers was empty (separator width went to total-2 == -2).
+func TestTableRenderEmptyHeaders(t *testing.T) {
+	tb := &Table{Title: "headerless"}
+	tb.AddRow("a", "bb")
+	out := tb.Render()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "bb") {
+		t.Fatalf("rows lost:\n%s", out)
+	}
+
+	empty := &Table{}
+	if out := empty.Render(); strings.Contains(out, "-") {
+		t.Fatalf("empty table should have an empty separator:\n%q", out)
+	}
+}
+
+// Regression: Render's line() closure indexed widths[i] by the row's cell
+// index, so a row wider than Headers panicked with index out of range.
+func TestTableRenderRaggedRow(t *testing.T) {
+	tb := &Table{Headers: []string{"only"}}
+	tb.AddRow("x", "extra", "cells")
+	out := tb.Render()
+	for _, want := range []string{"only", "x", "extra", "cells"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// The extra columns still align: the separator spans the widest row.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if len(lines[1]) < len("x  extra  cells") {
+		t.Fatalf("separator shorter than widest row:\n%s", out)
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	cases := map[string]string{
 		Billions(34900000000):           "34.90 billion",

@@ -67,7 +67,7 @@ func (o *Runner) Table3() *perf.Table {
 func onlineShape(s trace.Shape) trace.Shape {
 	s.M = s.E
 	s.TrainSamples = s.E - 2
-	s.Folds = minInt(6, s.E/2)
+	s.Folds = min(6, s.E/2)
 	return s
 }
 
@@ -145,11 +145,4 @@ type clusterScheduleModel struct {
 func (c clusterScheduleModel) Makespan(n int) (time.Duration, error) {
 	m := scheduleModelFor(c.tasks, c.cost)
 	return m.Makespan(n)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

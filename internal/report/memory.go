@@ -45,7 +45,7 @@ func (o *Runner) TableMemory() *perf.Table {
 			perf.Bytes(corrBytes),
 			fmt.Sprintf("%d", baselineVoxels),
 			perf.Bytes(kernelBytes),
-			fmt.Sprintf("%d+", minInt(int(optimizedVoxels), 100000)),
+			fmt.Sprintf("%d+", min(int(optimizedVoxels), 100000)),
 			r.paper)
 	}
 	return t

@@ -65,7 +65,7 @@ func NativeSpeedup(opt NativeOptions) (*perf.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		task := core.Task{V0: 0, V: minInt(120, d.Voxels())}
+		task := core.Task{V0: 0, V: min(120, d.Voxels())}
 		timeOf := func(cfg core.Config) (time.Duration, error) {
 			w, err := core.NewWorker(cfg, stack, nil)
 			if err != nil {

@@ -15,8 +15,21 @@ import (
 	"time"
 
 	"fcma/internal/fmri"
+	"fcma/internal/obs"
 	"fcma/internal/safe"
 	"fcma/internal/tensor"
+)
+
+// Closed-loop health metrics in the process-wide registry. The epoch
+// latency histogram is the paper's headline real-time quantity (it must
+// stay far below the TR); the pending-windows gauge exposes frame lag —
+// how many epochs sit partially assembled at any moment.
+var (
+	obsFrames      = obs.Default().Counter("rt_frames_total")
+	obsWindows     = obs.Default().Counter("rt_windows_total")
+	obsPredictions = obs.Default().Counter("rt_predictions_total")
+	obsEpochLat    = obs.Default().Histogram("rt_epoch_latency_seconds", obs.DefaultLatencyBuckets)
+	obsPending     = obs.Default().Gauge("rt_pending_windows")
 )
 
 // Frame is one brain volume: the activity of every voxel at one time
@@ -181,6 +194,10 @@ func (a *Assembler) Feed(f Frame) ([]Window, error) {
 	return completed, nil
 }
 
+// Pending reports how many epochs are partially assembled — the
+// assembler's frame lag.
+func (a *Assembler) Pending() int { return len(a.pending) }
+
 // Prediction is the feedback emitted for one completed epoch.
 type Prediction struct {
 	// EpochIndex is the design position; Label the predicted condition.
@@ -240,15 +257,21 @@ func RunFeedbackContext(ctx context.Context, frames <-chan Frame, epochs []fmri.
 			if err != nil {
 				return err
 			}
+			obsFrames.Inc()
+			obsWindows.Add(uint64(len(wins)))
+			obsPending.Set(float64(asm.Pending()))
 			for _, w := range wins {
 				start := time.Now()
 				label, decision := clf.ClassifyWindow(w.Data)
+				lat := time.Since(start)
+				obsEpochLat.Observe(lat.Seconds())
 				p := Prediction{
 					EpochIndex: w.EpochIndex,
 					Label:      label,
 					Decision:   decision,
-					Latency:    time.Since(start),
+					Latency:    lat,
 				}
+				obsPredictions.Inc()
 				select {
 				case out <- p:
 				case <-ctx.Done():

@@ -65,7 +65,7 @@ func (o *OnlineSelector) SelectContext(ctx context.Context) ([]core.VoxelScore, 
 	if !o.Ready() {
 		return nil, fmt.Errorf("rt: need at least %d epochs per condition, have %d total", o.MinPerClass, o.stack.M())
 	}
-	folds := svm.KFolds(o.stack.M(), minInt(6, o.stack.M()/2))
+	folds := svm.KFolds(o.stack.M(), min(6, o.stack.M()/2))
 	worker, err := core.NewWorker(o.cfg, o.stack, folds)
 	if err != nil {
 		return nil, err
@@ -75,11 +75,4 @@ func (o *OnlineSelector) SelectContext(ctx context.Context) ([]core.VoxelScore, 
 		return nil, err
 	}
 	return core.TopVoxels(scores, 0), nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -18,6 +18,19 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+
+	"fcma/internal/obs"
+)
+
+// Driver-level health counters in the process-wide registry: every
+// parallel driver shares one containment discipline, so one set of
+// counters describes the whole pipeline's work-item churn. Increments are
+// one atomic add per work item (an epoch, a kernel block, a voxel's CV) —
+// far below the instrumentation budget.
+var (
+	obsItemsDone = obs.Default().Counter("safe_items_completed_total")
+	obsItemFails = obs.Default().Counter("safe_item_failures_total")
+	obsPanics    = obs.Default().Counter("safe_panics_contained_total")
 )
 
 // PipelineError is a contained failure from inside the compute pipeline:
@@ -61,6 +74,7 @@ func Recovered(stage string, v0, v int, r any) *PipelineError {
 	if pe, ok := r.(*PipelineError); ok {
 		return pe
 	}
+	obsPanics.Inc()
 	err, ok := r.(error)
 	if !ok {
 		err = fmt.Errorf("panic: %v", r)
@@ -174,8 +188,11 @@ func ParallelDynamic(ctx context.Context, span Span, n, workers int, fn func(i i
 			}
 		}()
 		if err := fn(i); err != nil {
+			obsItemFails.Inc()
 			fe.set(i, span.err(i, err))
+			return
 		}
+		obsItemsDone.Inc()
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -234,8 +251,11 @@ func ParallelChunks(ctx context.Context, span Span, n, workers int, fn func(i in
 			}
 		}()
 		if err := fn(i); err != nil {
+			obsItemFails.Inc()
 			fe.set(i, span.err(i, err))
+			return
 		}
+		obsItemsDone.Inc()
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -276,8 +296,10 @@ func ParallelRanges(ctx context.Context, span Span, n, workers int, fn func(star
 			return err
 		}
 		if err := Do(span.Stage, span.Base, n, func() error { return fn(0, n) }); err != nil {
+			obsItemFails.Inc()
 			return span.err(0, err)
 		}
+		obsItemsDone.Add(uint64(n))
 		return cancelled(ctx)
 	}
 	var fe firstErr
@@ -300,8 +322,11 @@ func ParallelRanges(ctx context.Context, span Span, n, workers int, fn func(star
 				}
 			}()
 			if err := fn(s, e); err != nil {
+				obsItemFails.Inc()
 				fe.set(s, span.err(s, err))
+				return
 			}
+			obsItemsDone.Add(uint64(e - s))
 		}(start, end)
 	}
 	wg.Wait()

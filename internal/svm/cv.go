@@ -3,7 +3,17 @@ package svm
 import (
 	"fmt"
 
+	"fcma/internal/obs"
 	"fcma/internal/tensor"
+)
+
+// CV health counters in the process-wide registry. One CrossValidate call
+// is one voxel's stage-3 work, so these count voxels, folds trained, and
+// folds skipped as degenerate (single-class training set) across the run.
+var (
+	obsCVRuns       = obs.Default().Counter("svm_cv_runs_total")
+	obsCVFolds      = obs.Default().Counter("svm_cv_folds_total")
+	obsCVDegenerate = obs.Default().Counter("svm_cv_degenerate_folds_total")
 )
 
 // Fold is one cross-validation split over kernel-matrix sample indices.
@@ -41,7 +51,7 @@ func LeaveOneSubjectOutFolds(subjects []int) []Fold {
 // online analysis, where leave-one-subject-out degenerates).
 func KFolds(n, k int) []Fold {
 	if k <= 1 || k > n {
-		k = minI(n, 2)
+		k = min(n, 2)
 	}
 	folds := make([]Fold, k)
 	for i := 0; i < n; i++ {
@@ -62,13 +72,6 @@ func KFolds(n, k int) []Fold {
 	return folds
 }
 
-func minI(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // CrossValidate trains on each fold and returns the overall accuracy: the
 // fraction of test samples across all folds whose predicted label matches.
 // Folds whose training set lacks a class are skipped (counted as chance,
@@ -80,15 +83,18 @@ func CrossValidate(tr KernelTrainer, K *tensor.Matrix, labels []int, folds []Fol
 	if len(folds) == 0 {
 		return 0, fmt.Errorf("svm: no folds")
 	}
+	obsCVRuns.Inc()
 	var correct, total float64
 	for _, f := range folds {
 		if len(f.Test) == 0 {
 			continue
 		}
 		total += float64(len(f.Test))
+		obsCVFolds.Inc()
 		model, err := tr.TrainKernel(K, labels, f.Train)
 		if err != nil {
 			// Degenerate fold (single-class training set): chance level.
+			obsCVDegenerate.Inc()
 			correct += float64(len(f.Test)) / 2
 			continue
 		}

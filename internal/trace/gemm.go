@@ -53,14 +53,14 @@ func GemmTallSkinny(m *mic.Machine, s Shape, colBlock int) {
 	c := m.Alloc(s.V * s.M * s.N * 4) // interleaved output buffer
 	for e := 0; e < s.M; e++ {
 		for j0 := 0; j0 < s.N; j0 += colBlock {
-			w := minInt(colBlock, s.N-j0)
+			w := min(colBlock, s.N-j0)
 			for i := 0; i < s.V; i++ {
 				// A row stays in registers across the strip.
 				for p := 0; p < s.T; p++ {
 					loadScalar(m, a+uint64((i*s.T+p)*4))
 				}
 				for j := j0; j < j0+w; j += lanes {
-					l := minInt(lanes, j0+w-j)
+					l := min(lanes, j0+w-j)
 					for p := 0; p < s.T; p++ {
 						loadVec(m, b+uint64((p*s.N+j)*4), l)
 						m.VectorOp(l, 2*l) // FMA
@@ -91,7 +91,7 @@ func GemmBaseline(m *mic.Machine, s Shape) {
 	packB := m.Alloc(s.T * nc * 4)
 	for e := 0; e < s.M; e++ {
 		for jc := 0; jc < s.N; jc += nc {
-			nb := minInt(nc, s.N-jc)
+			nb := min(nc, s.N-jc)
 			// Pack B panel: k=12 rows force the strided edge path —
 			// scalar element copies.
 			for j := 0; j < nb; j++ {
@@ -110,9 +110,9 @@ func GemmBaseline(m *mic.Machine, s Shape) {
 			}
 			// Micro-kernel sweep.
 			for i0 := 0; i0 < s.V; i0 += mr {
-				mh := minInt(mr, s.V-i0)
+				mh := min(mr, s.V-i0)
 				for j0 := 0; j0 < nb; j0 += nr {
-					w := minInt(nr, nb-j0)
+					w := min(nr, nb-j0)
 					for p := 0; p < s.T; p++ {
 						// Broadcast mh A values, one 8-lane B load,
 						// mh FMAs at 8 lanes, plus scalar loop overhead
@@ -136,11 +136,4 @@ func GemmBaseline(m *mic.Machine, s Shape) {
 			}
 		}
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -25,7 +25,7 @@ func normalizeSeparatedPass(m *mic.Machine, s Shape, lanes int, buf uint64) {
 			for e := 0; e < s.E; e++ {
 				rowAddr := buf + uint64(base+e*s.N*4)
 				for j := 0; j < s.N; j += lanes {
-					l := minInt(lanes, s.N-j)
+					l := min(lanes, s.N-j)
 					loadVec(m, rowAddr+uint64(j*4), l)
 					m.EMUOp(l)         // log for atanh
 					m.VectorOp(l, 2*l) // scale + divide of the transform
@@ -36,7 +36,7 @@ func normalizeSeparatedPass(m *mic.Machine, s Shape, lanes int, buf uint64) {
 			for e := 0; e < s.E; e++ {
 				rowAddr := buf + uint64(base+e*s.N*4)
 				for j := 0; j < s.N; j += lanes {
-					l := minInt(lanes, s.N-j)
+					l := min(lanes, s.N-j)
 					loadVec(m, rowAddr+uint64(j*4), l)
 					m.VectorOp(l, 2*l) // sum FMA
 					m.VectorOp(l, 2*l) // sum-of-squares FMA
@@ -50,7 +50,7 @@ func normalizeSeparatedPass(m *mic.Machine, s Shape, lanes int, buf uint64) {
 			for e := 0; e < s.E; e++ {
 				rowAddr := buf + uint64(base+e*s.N*4)
 				for j := 0; j < s.N; j += lanes {
-					l := minInt(lanes, s.N-j)
+					l := min(lanes, s.N-j)
 					loadVec(m, rowAddr+uint64(j*4), l)
 					m.VectorOp(l, 2*l)
 					storeVec(m, rowAddr+uint64(j*4), l)
@@ -88,7 +88,7 @@ func StagesMerged(m *mic.Machine, s Shape, colBlock int) {
 	subjects := s.Subjects()
 	for v := 0; v < s.V; v++ {
 		for j0 := 0; j0 < s.N; j0 += colBlock {
-			w := minInt(colBlock, s.N-j0)
+			w := min(colBlock, s.N-j0)
 			for subj := 0; subj < subjects; subj++ {
 				// Correlation rows, transformed in registers before the
 				// single store into the scratch block.
@@ -97,7 +97,7 @@ func StagesMerged(m *mic.Machine, s Shape, colBlock int) {
 						loadScalar(m, a+uint64((v*s.T+p)*4))
 					}
 					for j := 0; j < w; j += lanes {
-						l := minInt(lanes, w-j)
+						l := min(lanes, w-j)
 						for p := 0; p < s.T; p++ {
 							loadVec(m, b+uint64((p*s.N+j0+j)*4), l)
 							m.VectorOp(l, 2*l) // correlation FMA
@@ -117,7 +117,7 @@ func StagesMerged(m *mic.Machine, s Shape, colBlock int) {
 				// write-out to the big buffer.
 				for e := 0; e < s.E; e++ {
 					for j := 0; j < w; j += lanes {
-						l := minInt(lanes, w-j)
+						l := min(lanes, w-j)
 						loadVec(m, local+uint64((e*colBlock+j)*4), l)
 						m.VectorOp(l, 2*l)
 						storeVec(m, out+uint64(((v*s.M+subj*s.E+e)*s.N+j0+j)*4), l)

@@ -43,7 +43,7 @@ func (o SVMOptions) active(s Shape, m *mic.Machine) int {
 	if v <= 0 {
 		v = s.V
 	}
-	return minInt(v, m.Cfg.Threads())
+	return min(v, m.Cfg.Threads())
 }
 
 // SVMLibSVM traces the baseline solver (Table 1/8, "LibSVM"): scalar
@@ -167,7 +167,7 @@ func traceDenseSMO(m *mic.Machine, s Shape, opt SVMOptions, prof denseSMOProfile
 					for r := 0; r < 2; r++ {
 						row := k + uint64(((it+r)%s.M)*s.M*4)
 						for t := 0; t < n; t += lanes {
-							l := minInt(lanes, n-t)
+							l := min(lanes, n-t)
 							loadVec(m, row+uint64(t*4), l)
 							m.VectorOp(l, l)
 							storeVec(m, qbuf+uint64((r*n+t)*4), l)
@@ -177,7 +177,7 @@ func traceDenseSMO(m *mic.Machine, s Shape, opt SVMOptions, prof denseSMOProfile
 				// Selection scan over G (+α bounds) with vector max
 				// reductions and a scalar horizontal tail.
 				for t := 0; t < n; t += lanes {
-					l := minInt(lanes, n-t)
+					l := min(lanes, n-t)
 					loadVec(m, g+uint64(t*4), l)
 					loadVec(m, alpha+uint64(t*4), l)
 					m.VectorOp(l, l)
@@ -189,7 +189,7 @@ func traceDenseSMO(m *mic.Machine, s Shape, opt SVMOptions, prof denseSMOProfile
 					// WSS2's second scan walks the selected kernel row.
 					row := k + uint64((it%s.M)*s.M*4)
 					for t := 0; t < n; t += lanes {
-						l := minInt(lanes, n-t)
+						l := min(lanes, n-t)
 						loadVec(m, row+uint64(t*4), l)
 						loadVec(m, g+uint64(t*4), l)
 						m.VectorOp(l, 3*l)
@@ -201,7 +201,7 @@ func traceDenseSMO(m *mic.Machine, s Shape, opt SVMOptions, prof denseSMOProfile
 					// First-order min scan: cheaper (G only), but the
 					// reduction tail is scalar.
 					for t := 0; t < n; t += lanes {
-						l := minInt(lanes, n-t)
+						l := min(lanes, n-t)
 						loadVec(m, g+uint64(t*4), l)
 						m.VectorOp(l, l)
 					}
@@ -227,7 +227,7 @@ func traceDenseSMO(m *mic.Machine, s Shape, opt SVMOptions, prof denseSMOProfile
 					ri, rj = qbuf, qbuf+uint64(n*4)
 				}
 				for t := 0; t < n; t += lanes {
-					l := minInt(lanes, n-t)
+					l := min(lanes, n-t)
 					loadVec(m, ri+uint64(t*4), l)
 					loadVec(m, rj+uint64(t*4), l)
 					loadVec(m, g+uint64(t*4), l)

@@ -17,12 +17,12 @@ func SyrkTallSkinny(m *mic.Machine, ms, n, block int) {
 	clocal := m.Alloc(ms * ms * 4)
 	cglobal := m.Alloc(ms * ms * 4)
 	for j0 := 0; j0 < n; j0 += block {
-		w := minInt(block, n-j0)
+		w := min(block, n-j0)
 		// Stage the block transposed: read A row chunks with vector
 		// loads, write the transposed buffer with vector stores.
 		for i := 0; i < ms; i++ {
 			for j := 0; j < w; j += lanes {
-				l := minInt(lanes, w-j)
+				l := min(lanes, w-j)
 				loadVec(m, a+uint64((i*n+j0+j)*4), l)
 				storeVec(m, tbuf+uint64((j*ms+i)*4), l)
 			}
@@ -30,9 +30,9 @@ func SyrkTallSkinny(m *mic.Machine, ms, n, block int) {
 		// Outer-product updates over the lower triangle in lanes×lanes
 		// register tiles.
 		for i0 := 0; i0 < ms; i0 += lanes {
-			ih := minInt(lanes, ms-i0)
+			ih := min(lanes, ms-i0)
 			for j0t := 0; j0t <= i0; j0t += lanes {
-				jh := minInt(lanes, ms-j0t)
+				jh := min(lanes, ms-j0t)
 				for p := 0; p < w; p++ {
 					loadVec(m, tbuf+uint64((p*ms+i0)*4), ih)
 					loadVec(m, tbuf+uint64((p*ms+j0t)*4), jh)
@@ -52,7 +52,7 @@ func SyrkTallSkinny(m *mic.Machine, ms, n, block int) {
 	// Merge C_local into the shared C under the lock (one pass).
 	for i := 0; i < ms; i++ {
 		for j := 0; j <= i; j += lanes {
-			l := minInt(lanes, i-j+1)
+			l := min(lanes, i-j+1)
 			loadVec(m, clocal+uint64((i*ms+j)*4), l)
 			loadVec(m, cglobal+uint64((i*ms+j)*4), l)
 			storeVec(m, cglobal+uint64((i*ms+j)*4), l)
@@ -80,7 +80,7 @@ func SyrkBaseline(m *mic.Machine, ms, n int) {
 	// Explicit transpose: strided reads defeat vectorization.
 	for i := 0; i < ms; i++ {
 		for j := 0; j < n; j += lanes {
-			l := minInt(lanes, n-j)
+			l := min(lanes, n-j)
 			loadVec(m, a+uint64((i*n+j)*4), l)
 			for x := 0; x < l; x++ {
 				storeScalar(m, at+uint64(((j+x)*ms+i)*4))
@@ -89,11 +89,11 @@ func SyrkBaseline(m *mic.Machine, ms, n int) {
 	}
 	// Goto GEMM: C[ms×ms] = A[ms×n]·Aᵀ[n×ms], nc = ms (output is tiny).
 	for pc := 0; pc < n; pc += kc {
-		kb := minInt(kc, n-pc)
+		kb := min(kc, n-pc)
 		// Pack the B panel (Aᵀ rows pc..pc+kb): vector copies.
 		for p := 0; p < kb; p++ {
 			for j := 0; j < ms; j += lanes {
-				l := minInt(lanes, ms-j)
+				l := min(lanes, ms-j)
 				loadVec(m, at+uint64(((pc+p)*ms+j)*4), l)
 				storeVec(m, packB+uint64((p*ms+j)*4), l)
 			}
@@ -101,16 +101,16 @@ func SyrkBaseline(m *mic.Machine, ms, n int) {
 		// Pack the A panel.
 		for i := 0; i < ms; i++ {
 			for p := 0; p < kb; p += lanes {
-				l := minInt(lanes, kb-p)
+				l := min(lanes, kb-p)
 				loadVec(m, a+uint64((i*n+pc+p)*4), l)
 				storeVec(m, packA+uint64((i*kc+p)*4), l)
 			}
 		}
 		// Micro-kernel sweep over the full output.
 		for i0 := 0; i0 < ms; i0 += mr {
-			mh := minInt(mr, ms-i0)
+			mh := min(mr, ms-i0)
 			for j0 := 0; j0 < ms; j0 += nr {
-				w := minInt(nr, ms-j0)
+				w := min(nr, ms-j0)
 				for p := 0; p < kb; p++ {
 					for x := 0; x < mh; x++ {
 						loadScalar(m, packA+uint64(((i0+x)*kc+p)*4))
