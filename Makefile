@@ -25,11 +25,15 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # Quick end-to-end perf smoke: a tiny fcma-bench run that writes a
-# BENCH_fcma-bench.json summary into BENCHDIR (CI uploads it as an
-# artifact to track the perf trajectory).
+# BENCH_fcma-bench.json summary into BENCHDIR, plus a traced fcma-run
+# voxel selection that writes a Chrome-trace timeline next to it (open
+# trace.json in https://ui.perfetto.dev). CI uploads both as artifacts to
+# track the perf trajectory.
 BENCHDIR ?= .
 bench-smoke:
 	$(GO) run ./cmd/fcma-bench -scale 0.01 -json $(BENCHDIR) table1 table5 table7
+	$(GO) run ./cmd/fcma-run -mode select -synthetic face-scene -scale 0.01 \
+		-bench-out $(BENCHDIR) -trace-out $(BENCHDIR)/trace.json
 
 # Short native-fuzz pass over the untrusted-input parsers (NIfTI headers
 # and epoch files). FUZZTIME bounds each target's run.

@@ -14,6 +14,7 @@ import (
 	"fcma/internal/mpi"
 	"fcma/internal/mvpa"
 	"fcma/internal/norm"
+	"fcma/internal/obs/trace"
 	"fcma/internal/roi"
 	"fcma/internal/rt"
 	"fcma/internal/safe"
@@ -326,7 +327,7 @@ func SelectVoxelsByActivityContext(ctx context.Context, d *Data, cfg Config) ([]
 	} else {
 		trainer = svm.PhiSVM{Params: svm.Params{C: cfg.SVMCost}}
 	}
-	return mvpa.SelectVoxelsContext(ctx, d.ds, mvpa.Config{Trainer: trainer, Workers: cfg.Workers})
+	return mvpa.SelectVoxelsContext(cfg.traceCtx(ctx), d.ds, mvpa.Config{Trainer: trainer, Workers: cfg.Workers})
 }
 
 // ROI is a spatially contiguous region of selected voxels.
@@ -427,6 +428,8 @@ func RunClosedLoop(d *Data, clf *Classifier, tr time.Duration) (<-chan Feedback,
 // channel instead of killing the process.
 func RunClosedLoopContext(ctx context.Context, d *Data, clf *Classifier, tr time.Duration) (<-chan Feedback, <-chan error) {
 	frames := rt.NewScanner(d.ds, tr).StreamContext(ctx)
+	// The classify spans of the feedback loop record under whatever tracer
+	// the caller's ctx carries (RunClosedLoop passes none: tracing off).
 	return rt.RunFeedbackContext(ctx, frames, d.ds.Epochs, d.Voxels(), clf)
 }
 
@@ -478,6 +481,15 @@ func SelectVoxelsDistributedContext(ctx context.Context, d *Data, cfg Config, wo
 			comm.Rank(r).Close()
 		}
 	}()
+	// With tracing on, the master records into cfg.Trace and each
+	// in-process worker rank gets its own tracer; shipped worker buffers
+	// are absorbed back into cfg.Trace so one Drain covers the whole run.
+	var shipped cluster.ClusterTrace
+	var mopts cluster.MasterOptions
+	if cfg.Trace != nil {
+		mopts.Trace = cfg.Trace
+		mopts.Spans = &shipped
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
 	for r := 1; r <= workers; r++ {
@@ -490,12 +502,17 @@ func SelectVoxelsDistributedContext(ctx context.Context, d *Data, cfg Config, wo
 					comm.Rank(r).Close()
 					return err
 				}
-				return cluster.RunWorkerCtx(ctx, comm.Rank(r), w, cluster.WorkerOptions{})
+				var wopts cluster.WorkerOptions
+				if cfg.Trace != nil {
+					wopts.Trace = trace.New(r)
+				}
+				return cluster.RunWorkerCtx(ctx, comm.Rank(r), w, wopts)
 			})
 		}(r)
 	}
-	scores, err := cluster.RunMasterCtx(ctx, comm.Rank(0), stack.N, taskSize, cluster.MasterOptions{})
+	scores, err := cluster.RunMasterCtx(ctx, comm.Rank(0), stack.N, taskSize, mopts)
 	wg.Wait()
+	cfg.Trace.Absorb(shipped.Spans())
 	if err != nil {
 		return nil, err
 	}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sort"
@@ -37,6 +38,7 @@ import (
 	"fcma/internal/fmri"
 	"fcma/internal/mpi"
 	"fcma/internal/obs"
+	"fcma/internal/obs/trace"
 )
 
 func main() {
@@ -58,7 +60,13 @@ func main() {
 	taskRetries := flag.Int("task-retries", 3, "master: failures one task tolerates before the run aborts")
 	metricsListen := flag.String("metrics-listen", "", `serve /metrics and /debug/pprof/ on this address, e.g. ":9090" (the master's /metrics merges all workers' shipped snapshots)`)
 	benchOut := flag.String("bench-out", "", "master: directory to write an end-of-run BENCH_<name>.json summary into")
+	traceOut := flag.String("trace-out", "", "master: write the merged cluster timeline (master task spans + every worker's shipped stage spans) as Chrome trace-event JSON to this file")
+	traceWorker := flag.Bool("trace", true, "worker: record spans and ship them to the master (only reaches a file when the master runs with -trace-out)")
+	logFormat := flag.String("log-format", "text", `status log format: "text" or "json"`)
+	flightOut := flag.String("flight-out", "", "write flight-recorder crash dumps to this file instead of stderr (created only if a dump fires)")
 	flag.Parse()
+
+	logger := obs.BootstrapCLI("fcma-cluster", *logFormat, *flightOut, slog.String("role", *role))
 
 	// SIGINT/SIGTERM cancel the run cooperatively: the master broadcasts
 	// TagStop and flushes its checkpoint before exiting, a worker aborts
@@ -83,6 +91,13 @@ func main() {
 			TaskRetries:      *taskRetries,
 			Metrics:          cm,
 		}
+		var tracer *trace.Tracer
+		var shipped cluster.ClusterTrace
+		if *traceOut != "" {
+			tracer = trace.New(0)
+			opts.Trace = tracer
+			opts.Spans = &shipped
+		}
 		if *metricsListen != "" {
 			// The master's /metrics merges its own registry with the latest
 			// snapshot every worker has shipped — the cluster-wide view.
@@ -93,7 +108,7 @@ func main() {
 			})
 			fail(err)
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "fcma-cluster: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+			logger.Info("serving metrics", "url", "http://"+srv.Addr())
 		}
 		startTime := time.Now()
 		var cp *cluster.Checkpoint
@@ -106,17 +121,22 @@ func main() {
 			opts.Checkpoint = cp
 		}
 		scores, err := cluster.RunMasterCtx(ctx, master, d.Voxels(), *taskSize, opts)
+		if tracer != nil {
+			// Worker span buffers ship before each result, so by the time the
+			// run returns (even cancelled) the merged timeline is complete.
+			writeTrace(logger, *traceOut, append(tracer.Drain(), shipped.Spans()...))
+		}
 		if errors.Is(err, context.Canceled) {
 			// os.Exit skips defers, so flush the checkpoint here — the
 			// partial run must be resumable before we report cancellation.
 			if cp != nil {
 				if cerr := cp.Close(); cerr != nil {
-					fmt.Fprintln(os.Stderr, "fcma-cluster: checkpoint flush:", cerr)
+					logger.Error("checkpoint flush failed", "err", cerr)
 					os.Exit(1)
 				}
 				fmt.Printf("fcma-cluster: checkpoint flushed to %s (%d voxels done)\n", *checkpoint, cp.Done())
 			}
-			fmt.Fprintln(os.Stderr, "fcma-cluster: run cancelled")
+			logger.Warn("run cancelled")
 			os.Exit(130)
 		}
 		fail(err)
@@ -137,7 +157,7 @@ func main() {
 			srv, err := obs.Serve(*metricsListen, obs.Default())
 			fail(err)
 			defer srv.Close()
-			fmt.Fprintf(os.Stderr, "fcma-cluster: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+			logger.Info("serving metrics", "url", "http://"+srv.Addr())
 		}
 		stack, err := corr.BuildEpochStack(d, 0)
 		fail(err)
@@ -152,25 +172,40 @@ func main() {
 		for attempt := 0; ; attempt++ {
 			tr, err := mpi.DialWorkerRetry(*addr, mpi.DialOptions{Attempts: *retry})
 			fail(err)
-			fmt.Printf("fcma-cluster: worker rank %d of %d connected to %s\n", tr.Rank(), tr.Size(), *addr)
-			err = cluster.RunWorkerCtx(ctx, tr, w, cluster.WorkerOptions{HeartbeatInterval: *heartbeat})
+			logger.Info("worker connected", "rank", tr.Rank(), "size", tr.Size(), "addr", *addr)
+			wopts := cluster.WorkerOptions{HeartbeatInterval: *heartbeat}
+			if *traceWorker {
+				// Rank is assigned at connect time; RunWorkerCtx re-pins the
+				// tracer's pid to the transport's rank before recording.
+				wopts.Trace = trace.New(0)
+			}
+			err = cluster.RunWorkerCtx(ctx, tr, w, wopts)
 			tr.Close()
 			if err == nil {
 				break
 			}
 			if errors.Is(err, context.Canceled) {
-				fmt.Fprintln(os.Stderr, "fcma-cluster: run cancelled")
+				logger.Warn("run cancelled")
 				os.Exit(130)
 			}
 			if attempt+1 >= *retry {
 				fail(fmt.Errorf("giving up after %d connections: %w", attempt+1, err))
 			}
-			fmt.Fprintf(os.Stderr, "fcma-cluster: connection lost (%v); rejoining\n", err)
+			logger.Warn("connection lost; rejoining", "err", err)
 		}
 		fmt.Println("fcma-cluster: worker done")
 	default:
 		fail(fmt.Errorf("need -role master or -role worker"))
 	}
+}
+
+// writeTrace renders the merged span set as Chrome-trace JSON.
+func writeTrace(logger *slog.Logger, path string, spans []trace.Span) {
+	f, err := os.Create(path)
+	fail(err)
+	fail(trace.WriteChrome(f, spans))
+	fail(f.Close())
+	logger.Info("wrote trace", "path", path, "spans", len(spans))
 }
 
 // reportClusterMetrics prints the per-worker task counters and the merged
@@ -213,7 +248,7 @@ func reportClusterMetrics(cm *cluster.ClusterMetrics, elapsed time.Duration, ben
 		}
 		path, err := sum.WriteFile(benchOut)
 		fail(err)
-		fmt.Fprintf(os.Stderr, "fcma-cluster: wrote %s\n", path)
+		slog.Info("wrote bench summary", "path", path)
 	}
 }
 
@@ -238,7 +273,7 @@ func loadDataset(dataPath, epochPath string) *fmri.Dataset {
 
 func fail(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fcma-cluster:", err)
+		slog.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }

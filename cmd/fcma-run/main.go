@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -51,7 +52,12 @@ func main() {
 	listen := flag.String("listen", "", `serve /metrics (Prometheus text) and /debug/pprof/ on this address, e.g. ":9090" or ":0"`)
 	progress := flag.Duration("progress", 0, "print progress lines (voxels/sec, ETA) at this interval, e.g. 10s; 0 disables")
 	benchOut := flag.String("bench-out", "", "directory to write an end-of-run BENCH_<name>.json summary into")
+	traceOut := flag.String("trace-out", "", "write the run's span timeline as Chrome trace-event JSON (open in Perfetto) to this file")
+	logFormat := flag.String("log-format", "text", `status log format: "text" or "json"`)
+	flightOut := flag.String("flight-out", "", "write flight-recorder crash dumps to this file instead of stderr (created only if a dump fires)")
 	flag.Parse()
+
+	logger := obs.BootstrapCLI("fcma-run", *logFormat, *flightOut)
 
 	// SIGINT/SIGTERM cancel the analysis cooperatively: every pipeline
 	// goroutine stops at its next checkpoint and the run exits cleanly. A
@@ -61,6 +67,10 @@ func main() {
 
 	d := loadData(*dataPath, *epochPath, *niiPath, *maskPath, *subjects, *synthetic, *scale)
 	cfg := fcma.Config{Workers: *workers, TopK: *topK}
+	if *traceOut != "" {
+		cfg.Trace = fcma.NewTracer()
+		defer writeTrace(logger, cfg.Trace, *traceOut)
+	}
 	switch *engine {
 	case "optimized":
 		cfg.Engine = fcma.Optimized
@@ -74,7 +84,7 @@ func main() {
 		srv, err := fcma.ServeMetrics(*listen, nil)
 		fail(err)
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "fcma-run: serving /metrics and /debug/pprof/ on http://%s\n", srv.Addr())
+		logger.Info("serving metrics", "url", "http://"+srv.Addr())
 	}
 	if *progress > 0 {
 		// Voxel scoring dominates every mode's runtime; total is only known
@@ -112,7 +122,7 @@ func main() {
 			}
 			path, err := sum.WriteFile(*benchOut)
 			fail(err)
-			fmt.Fprintf(os.Stderr, "fcma-run: wrote %s\n", path)
+			logger.Info("wrote bench summary", "path", path)
 		}()
 	}
 
@@ -181,6 +191,16 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// writeTrace drains the tracer and renders the Chrome-trace JSON file.
+func writeTrace(logger *slog.Logger, tr *fcma.Tracer, path string) {
+	spans := tr.Drain()
+	f, err := os.Create(path)
+	fail(err)
+	fail(fcma.WriteTrace(f, spans))
+	fail(f.Close())
+	logger.Info("wrote trace", "path", path, "spans", len(spans))
 }
 
 func reportSelection(d *fcma.Data, cfg fcma.Config, scores []fcma.VoxelScore, topK, roiMin int) {
@@ -283,9 +303,9 @@ func fail(err error) {
 		return
 	}
 	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "fcma-run: run cancelled")
+		slog.Warn("run cancelled")
 		os.Exit(130)
 	}
-	fmt.Fprintln(os.Stderr, "fcma-run:", err)
+	slog.Error("fatal", "err", err)
 	os.Exit(1)
 }

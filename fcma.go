@@ -39,6 +39,7 @@ import (
 	"fcma/internal/corr"
 	"fcma/internal/fmri"
 	"fcma/internal/nifti"
+	"fcma/internal/obs/trace"
 	"fcma/internal/svm"
 )
 
@@ -207,6 +208,17 @@ type Config struct {
 	// Metrics, when non-nil, receives the run's stage timings and
 	// counters in isolation; nil records to DefaultMetrics().
 	Metrics *Metrics
+	// Trace, when non-nil, records a span timeline of the run (stage
+	// boundaries, kernel blocks, per-voxel cross-validation, cluster
+	// tasks); drain it with Drain and render with WriteTrace. Nil disables
+	// tracing at zero allocation cost.
+	Trace *Tracer
+}
+
+// traceCtx installs cfg.Trace into ctx so the internal layers pick it up;
+// a nil tracer leaves ctx untouched (tracing off).
+func (c Config) traceCtx(ctx context.Context) context.Context {
+	return trace.NewContext(ctx, c.Trace)
 }
 
 func (c Config) topK(voxels int) int {
@@ -253,6 +265,7 @@ func SelectVoxels(d *Data, cfg Config) ([]VoxelScore, error) {
 // returns ctx.Err(). A panic anywhere in the pipeline surfaces as a
 // *PipelineError instead of crashing the process.
 func SelectVoxelsContext(ctx context.Context, d *Data, cfg Config) ([]VoxelScore, error) {
+	ctx = cfg.traceCtx(ctx)
 	sd, report, err := sanitizeFor(d, cfg)
 	if err != nil {
 		return nil, err

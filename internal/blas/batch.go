@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fcma/internal/obs/trace"
 	"fcma/internal/tensor"
 )
 
@@ -50,9 +51,14 @@ func BatchSyrkContext(ctx context.Context, Cs, As []*tensor.Matrix, block, worke
 		}
 	}
 	locks := make([]sync.Mutex, len(Cs))
-	err := parallelForDynamicContext(ctx, len(items), workers, func(n int) {
+	err := parallelForDynamicContext(ctx, len(items), workers, func(ictx context.Context, n int) {
 		obsBatchSyrkItems.Inc()
 		it := items[n]
+		_, bsp := trace.StartSpan(ictx, "blas/syrk_block")
+		bsp.SetInt("mat", it.mat)
+		bsp.SetInt("j0", it.j0)
+		bsp.SetInt("w", it.w)
+		defer bsp.End()
 		A := As[it.mat]
 		m := A.Rows
 		local := tensor.NewMatrix(m, m)

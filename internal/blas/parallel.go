@@ -19,7 +19,7 @@ import (
 // above (which do have error returns) convert it to an ordinary error.
 func parallelFor(n, workers int, fn func(start, end int)) {
 	err := safe.ParallelRanges(context.Background(), safe.Span{Stage: "blas/kernel"}, n, workers,
-		func(s, e int) error { fn(s, e); return nil })
+		func(_ context.Context, s, e int) error { fn(s, e); return nil })
 	if err != nil {
 		panic(err)
 	}
@@ -30,7 +30,9 @@ func parallelFor(n, workers int, fn func(start, end int)) {
 // per-item cost (e.g. per-voxel SVM cross-validation). Panic containment
 // matches parallelFor.
 func parallelForDynamic(n, workers int, fn func(i int)) {
-	if err := parallelForDynamicContext(context.Background(), n, workers, fn); err != nil {
+	err := parallelForDynamicContext(context.Background(), n, workers,
+		func(_ context.Context, i int) { fn(i) })
+	if err != nil {
 		panic(err)
 	}
 }
@@ -38,7 +40,9 @@ func parallelForDynamic(n, workers int, fn func(i int)) {
 // parallelForDynamicContext is parallelForDynamic with cooperative
 // cancellation: a cancelled ctx stops the pool at the next work item and
 // returns ctx.Err(); a contained panic returns as a *safe.PipelineError.
-func parallelForDynamicContext(ctx context.Context, n, workers int, fn func(i int)) error {
+// Each item receives its pool goroutine's tracing context so callers can
+// record per-block spans on the right timeline lane.
+func parallelForDynamicContext(ctx context.Context, n, workers int, fn func(ctx context.Context, i int)) error {
 	return safe.ParallelDynamic(ctx, safe.Span{Stage: "blas/kernel"}, n, workers,
-		func(i int) error { fn(i); return nil })
+		func(ictx context.Context, i int) error { fn(ictx, i); return nil })
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -54,8 +55,8 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 			// record only ever appends complete newline-terminated lines, so
 			// an unterminated tail is a crash-torn write (even if its prefix
 			// happens to parse). Cut it off and recompute its task.
-			fmt.Fprintf(os.Stderr, "cluster: checkpoint %s line %d torn by an interrupted write; truncating %d bytes and resuming\n",
-				path, line, end-off)
+			slog.Warn("checkpoint line torn by an interrupted write; truncating and resuming",
+				"path", path, "line", line, "bytes", end-off)
 			if err := f.Truncate(int64(off)); err != nil {
 				f.Close()
 				return nil, fmt.Errorf("cluster: truncating torn checkpoint tail: %w", err)

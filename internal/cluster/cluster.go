@@ -37,12 +37,22 @@ import (
 	"fcma/internal/core"
 	"fcma/internal/mpi"
 	"fcma/internal/obs"
+	"fcma/internal/obs/trace"
 	"fcma/internal/safe"
 )
 
 // taskMsg and resultMsg are the gob payloads of the protocol.
 type taskMsg struct {
 	V0, V int
+	// Trace and Span carry the master's task-span context so the worker
+	// can parent its stage spans under it (zero when tracing is off; gob
+	// tolerates both directions across protocol versions).
+	Trace, Span uint64
+}
+
+// spanContext recovers the trace reference a task message carries.
+func (t taskMsg) spanContext() trace.SpanContext {
+	return trace.SpanContext{Trace: trace.TraceID(t.Trace), Span: trace.SpanID(t.Span)}
 }
 
 type resultMsg struct {
@@ -114,6 +124,15 @@ type MasterOptions struct {
 	// workers ship on mpi.TagMetrics, so the caller can report per-worker
 	// and merged cluster-wide metrics after the run.
 	Metrics *ClusterMetrics
+	// Trace, when non-nil, records the master's side of the distributed
+	// timeline: one span per task assignment (ended when the result, error,
+	// or death of the assignee retires it), all under one run-level span
+	// whose context is shipped inside every task message.
+	Trace *trace.Tracer
+	// Spans, when non-nil, collects the completed span buffers workers ship
+	// on mpi.TagSpans; together with Trace's own drain it yields the merged
+	// cluster-wide trace.
+	Spans *ClusterTrace
 }
 
 // RunMaster drives the task queue over the transport: voxels [0, totalVoxels)
@@ -134,10 +153,11 @@ const (
 
 type workerInfo struct {
 	state     int
-	task      taskMsg   // outstanding task when wsWorking
-	since     time.Time // when task was assigned or last speculated
-	lastHeard time.Time // last message of any kind
-	errors    int       // task failures reported by this worker
+	task      taskMsg       // outstanding task when wsWorking
+	span      *trace.Active // the task's master-side span when wsWorking
+	since     time.Time     // when task was assigned or last speculated
+	lastHeard time.Time     // last message of any kind
+	errors    int           // task failures reported by this worker
 }
 
 type master struct {
@@ -145,6 +165,7 @@ type master struct {
 	totalVoxels int
 	opts        MasterOptions
 	reg         *obs.Registry
+	runSpan     *trace.Active // run-level span every task span nests under
 
 	queue     []taskMsg
 	workers   map[int]*workerInfo
@@ -209,6 +230,13 @@ func RunMasterCtx(ctx context.Context, tr mpi.Transport, totalVoxels, taskSize i
 }
 
 func (m *master) run(ctx context.Context) ([]core.VoxelScore, error) {
+	m.runSpan = m.opts.Trace.StartRoot("cluster/run")
+	m.runSpan.SetInt("voxels", m.totalVoxels)
+	m.runSpan.SetInt("tasks", len(m.queue))
+	defer func() {
+		m.endTaskSpans("run-ended")
+		m.runSpan.End()
+	}()
 	// A dedicated receive pump lets the master loop also react to time
 	// (task deadlines, heartbeat timeouts) instead of blocking in Recv.
 	msgs := make(chan mpi.Message)
@@ -379,6 +407,12 @@ func (m *master) handle(msg mpi.Message) error {
 			m.opts.Metrics.record(msg.From, snap)
 		}
 		return nil
+	case mpi.TagSpans:
+		var spans []trace.Span
+		if err := decode(msg.Body, &spans); err == nil {
+			m.opts.Spans.record(spans)
+		}
+		return nil
 	case mpi.TagResult:
 		var res resultMsg
 		if err := decode(msg.Body, &res); err != nil {
@@ -393,6 +427,7 @@ func (m *master) handle(msg mpi.Message) error {
 		}
 		m.addScores(res.Scores)
 		if w.state == wsWorking {
+			m.endTaskSpan(w, "ok")
 			w.state = wsIdle
 			w.task = taskMsg{}
 		}
@@ -464,6 +499,7 @@ func (m *master) markDead(rank int) {
 		return
 	}
 	if w.state == wsWorking {
+		m.endTaskSpan(w, "worker-dead")
 		m.requeue(w.task)
 	}
 	w.state = wsDead
@@ -493,6 +529,7 @@ func (m *master) recordWorkerError(rank int, task taskMsg, detail string, now ti
 	w := m.workers[rank]
 	w.errors++
 	if w.state == wsWorking {
+		m.endTaskSpan(w, "error")
 		w.state = wsIdle
 		w.task = taskMsg{}
 	}
@@ -503,6 +540,12 @@ func (m *master) recordWorkerError(rank int, task taskMsg, detail string, now ti
 		}
 		m.taskAvoid[task.V0][rank] = true
 		if m.taskFails[task.V0] > m.opts.TaskRetries {
+			// A task failing everywhere is the run's deterministic abort
+			// path: preserve the lead-up in the black box before unwinding.
+			trace.DefaultFlight().Note("abort", fmt.Sprintf(
+				"task voxels [%d,%d) exhausted retry budget %d, last on rank %d: %s",
+				task.V0, task.V0+task.V, m.opts.TaskRetries, rank, detail))
+			trace.DumpNow(fmt.Sprintf("task [%d,%d) exhausted retry budget", task.V0, task.V0+task.V))
 			return fmt.Errorf("cluster: task voxels [%d,%d) failed %d times (budget %d), last on rank %d: %s",
 				task.V0, task.V0+task.V, m.taskFails[task.V0], m.opts.TaskRetries, rank, detail)
 		}
@@ -523,6 +566,7 @@ func (m *master) recordWorkerError(rank int, task taskMsg, detail string, now ti
 func (m *master) quarantine(rank int) {
 	w := m.workers[rank]
 	if w.state == wsWorking {
+		m.endTaskSpan(w, "quarantined")
 		m.requeue(w.task)
 	}
 	w.state = wsQuarantined
@@ -571,8 +615,17 @@ func (m *master) assign(rank int, now time.Time) {
 	// run completes.
 }
 
-// sendTask ships t to rank and books it as outstanding there.
+// sendTask ships t to rank and books it as outstanding there. Each
+// assignment (first issue, retry, speculative copy) gets its own span, so
+// the merged timeline shows exactly which rank held the task when.
 func (m *master) sendTask(rank int, w *workerInfo, t taskMsg, now time.Time) bool {
+	span := m.opts.Trace.StartChild("cluster/task", m.runSpan.Context())
+	span.SetInt("rank", rank)
+	span.SetInt("v0", t.V0)
+	span.SetInt("voxels", t.V)
+	if sc := span.Context(); sc.Valid() {
+		t.Trace, t.Span = uint64(sc.Trace), uint64(sc.Span)
+	}
 	body, err := encode(t)
 	if err != nil {
 		// Encoding a trivial struct cannot fail at runtime; treat it as a
@@ -580,13 +633,35 @@ func (m *master) sendTask(rank int, w *workerInfo, t taskMsg, now time.Time) boo
 		return false
 	}
 	if err := m.tr.Send(rank, mpi.TagTask, body); err != nil {
+		span.SetAttr("outcome", "send-failed")
+		span.End()
 		return false
 	}
 	m.reg.Counter("cluster_tasks_issued_total").Inc()
 	w.state = wsWorking
 	w.task = t
+	w.span = span
 	w.since = now
 	return true
+}
+
+// endTaskSpan retires the master-side span of w's outstanding task.
+func (m *master) endTaskSpan(w *workerInfo, outcome string) {
+	if w.span == nil {
+		return
+	}
+	w.span.SetAttr("outcome", outcome)
+	w.span.End()
+	w.span = nil
+}
+
+// endTaskSpans retires every outstanding task span (run teardown).
+func (m *master) endTaskSpans(outcome string) {
+	for _, w := range m.workers {
+		if w.state == wsWorking {
+			m.endTaskSpan(w, outcome)
+		}
+	}
 }
 
 // assignIdle drains the queue to every idle worker (used after requeues and
@@ -635,6 +710,12 @@ type WorkerOptions struct {
 	// DisableMetrics stops the worker from shipping TagMetrics snapshots
 	// (for masters that predate the tag).
 	DisableMetrics bool
+	// Trace, when non-nil, records this worker's side of the distributed
+	// timeline: a "worker/task" span per assignment, parented under the
+	// master's task span shipped inside the message, with every pipeline
+	// stage span nested inside. Completed buffers are drained and shipped
+	// to the master on mpi.TagSpans after each task, best-effort.
+	Trace *trace.Tracer
 }
 
 // RunWorker serves tasks until TagStop: announce readiness, process each
@@ -674,6 +755,20 @@ func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opt
 	tasksTotal := reg.Counter("worker_tasks_total")
 	taskFails := reg.Counter("worker_task_failures_total")
 	taskSeconds := reg.Histogram("worker_task_seconds", obs.DefaultLatencyBuckets)
+	// Spans record under this rank's pid lane; the rank is only known from
+	// the transport (and changes across a TCP rejoin).
+	opts.Trace.SetPID(tr.Rank())
+	// shipSpans drains the completed span buffer to the master,
+	// best-effort: tracing must never take a healthy worker down.
+	shipSpans := func() {
+		spans := opts.Trace.Drain()
+		if len(spans) == 0 {
+			return
+		}
+		if body, err := encode(spans); err == nil {
+			_ = tr.Send(0, mpi.TagSpans, body)
+		}
+	}
 	// shipMetrics sends the registry's current snapshot to the master,
 	// best-effort: metrics must never take a healthy worker down.
 	shipMetrics := func() {
@@ -767,15 +862,25 @@ func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opt
 			var scores []core.VoxelScore
 			tasksTotal.Inc()
 			tt := taskSeconds.Start()
+			// Parent this task's spans under the master's task span carried
+			// in the message; all no-ops when tracing is off.
+			tctx := trace.WithRemoteParent(ctx, opts.Trace, tm.spanContext())
+			tctx, tspan := trace.StartSpan(tctx, "worker/task")
+			tspan.SetInt("v0", tm.V0)
+			tspan.SetInt("voxels", tm.V)
 			perr := safe.Do("cluster/worker", tm.V0, tm.V, func() error {
 				var err error
 				if cp, ok := proc.(ContextProcessor); ok {
-					scores, err = cp.ProcessContext(ctx, core.Task{V0: tm.V0, V: tm.V})
+					scores, err = cp.ProcessContext(tctx, core.Task{V0: tm.V0, V: tm.V})
 				} else {
 					scores, err = proc.Process(core.Task{V0: tm.V0, V: tm.V})
 				}
 				return err
 			})
+			if perr != nil {
+				tspan.SetAttr("outcome", "error")
+			}
+			tspan.End()
 			tt.Stop()
 			if perr != nil && ctx.Err() != nil && errors.Is(perr, ctx.Err()) {
 				return ctx.Err() // cancelled mid-task: shut down, don't report
@@ -789,6 +894,7 @@ func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opt
 				// Ship the snapshot before the error so the master's view
 				// already covers this task when it books the failure (both
 				// transports deliver per-sender in order).
+				shipSpans()
 				shipMetrics()
 				if err := tr.Send(0, mpi.TagError, body); err != nil {
 					return err
@@ -800,7 +906,9 @@ func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opt
 				return err
 			}
 			// Snapshot-then-result ordering: when the final result completes
-			// the run, every rank's last snapshot has already been handled.
+			// the run, every rank's last snapshot (and span buffer) has
+			// already been handled.
+			shipSpans()
 			shipMetrics()
 			if err := tr.Send(0, mpi.TagResult, body); err != nil {
 				return err

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"sync"
+
+	"fcma/internal/obs/trace"
+)
+
+// ClusterTrace collects the completed span buffers workers ship to the
+// master on mpi.TagSpans. Allocate one and hand it to the master via
+// MasterOptions.Spans; after the run, Spans returns every rank's spans,
+// ready to concatenate with the master's own tracer drain into one
+// cluster-wide Chrome trace (trace.WriteChrome). All methods are safe for
+// concurrent use with a running master; a nil collector drops everything.
+type ClusterTrace struct {
+	mu    sync.Mutex
+	spans []trace.Span
+}
+
+// record appends a shipped span buffer. Workers drain after every task,
+// so buffers arrive incrementally and append is the correct merge.
+func (c *ClusterTrace) record(spans []trace.Span) {
+	if c == nil || len(spans) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.spans = append(c.spans, spans...)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of every span collected so far.
+func (c *ClusterTrace) Spans() []trace.Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]trace.Span, len(c.spans))
+	copy(out, c.spans)
+	return out
+}
+
+// Len reports how many spans have been collected.
+func (c *ClusterTrace) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans)
+}

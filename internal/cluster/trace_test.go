@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"fcma/internal/core"
+	"fcma/internal/mpi"
+	"fcma/internal/obs/trace"
+)
+
+// TestClusterTraceMergesAcrossRanks is the acceptance test for the
+// distributed timeline: a 2-worker in-process run with tracing on must
+// yield one merged span set where every worker task span carries the
+// master's trace id and parents under the master's matching cluster/task
+// span, with pipeline stage spans nested below.
+func TestClusterTraceMergesAcrossRanks(t *testing.T) {
+	st := testStack(t)
+	comm, err := mpi.NewLocalComm(3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans ClusterTrace
+	masterTr := trace.New(0)
+	var wg sync.WaitGroup
+	for r := 1; r <= 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w, err := core.NewWorker(core.Optimized(), st, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			err = RunWorkerCtx(context.Background(), comm.Rank(r), w,
+				WorkerOptions{Trace: trace.New(r)})
+			if err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	scores, err := RunMasterOpts(comm.Rank(0), st.N, 5,
+		MasterOptions{Trace: masterTr, Spans: &spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(scores) != st.N {
+		t.Fatalf("scores = %d, want %d", len(scores), st.N)
+	}
+
+	merged := append(masterTr.Drain(), spans.Spans()...)
+	runID := masterTr.TraceID()
+	byID := make(map[trace.SpanID]trace.Span, len(merged))
+	byName := make(map[string][]trace.Span)
+	for _, s := range merged {
+		byID[s.ID] = s
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	if len(byName["cluster/run"]) != 1 {
+		t.Fatalf("got %d cluster/run spans, want 1", len(byName["cluster/run"]))
+	}
+	if len(byName["cluster/task"]) == 0 || len(byName["worker/task"]) == 0 {
+		t.Fatalf("missing task spans: %d cluster/task, %d worker/task",
+			len(byName["cluster/task"]), len(byName["worker/task"]))
+	}
+	// Every span of the merged timeline shares the run's trace id.
+	for _, s := range merged {
+		if s.Trace != runID {
+			t.Fatalf("span %s carries trace %v, want run trace %v", s.Name, s.Trace, runID)
+		}
+	}
+	// Worker task spans parent under master task spans on other pids.
+	workerPids := make(map[int]bool)
+	for _, ws := range byName["worker/task"] {
+		parent, ok := byID[ws.Parent]
+		if !ok {
+			t.Fatalf("worker/task span (v0=%s) has unknown parent %v", ws.Attr("v0"), ws.Parent)
+		}
+		if parent.Name != "cluster/task" {
+			t.Fatalf("worker/task parents under %q, want cluster/task", parent.Name)
+		}
+		if parent.PID != 0 {
+			t.Fatalf("master task span recorded on pid %d, want 0", parent.PID)
+		}
+		if ws.PID == 0 {
+			t.Fatal("worker task span recorded on master pid")
+		}
+		if ws.Attr("v0") != parent.Attr("v0") {
+			t.Fatalf("task mismatch: worker v0=%s under master v0=%s", ws.Attr("v0"), parent.Attr("v0"))
+		}
+		workerPids[ws.PID] = true
+	}
+	if len(workerPids) != 2 {
+		t.Fatalf("worker spans came from %d ranks, want 2", len(workerPids))
+	}
+	// Pipeline stage spans arrived from the workers and nest (transitively)
+	// under worker/task spans on the same rank.
+	for _, stage := range []string{"core/task", "corr/merged", "core/svm", "svm/cv"} {
+		if len(byName[stage]) == 0 {
+			t.Fatalf("no %s spans in merged timeline (names: %v)", stage, names(byName))
+		}
+	}
+	for _, cs := range byName["core/task"] {
+		parent, ok := byID[cs.Parent]
+		if !ok || parent.Name != "worker/task" {
+			t.Fatalf("core/task parents under %q (found=%v), want worker/task", parent.Name, ok)
+		}
+	}
+
+	// The merged set renders to Chrome JSON with one pid lane per rank.
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rank 0 (master)", "rank 1", "rank 2"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("chrome export missing %q lane", want)
+		}
+	}
+}
+
+func names(byName map[string][]trace.Span) []string {
+	var out []string
+	for n := range byName {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Tracing off must leave the protocol bit-identical: task messages carry
+// zero span ids and no TagSpans traffic appears.
+func TestClusterTraceDisabledShipsNothing(t *testing.T) {
+	var spans ClusterTrace
+	st := testStack(t)
+	comm, err := mpi.NewLocalComm(2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w, err := core.NewWorker(core.Optimized(), st, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := RunWorker(comm.Rank(1), w); err != nil {
+			t.Error(err)
+		}
+	}()
+	if _, err := RunMasterOpts(comm.Rank(0), st.N, 8, MasterOptions{Spans: &spans}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if spans.Len() != 0 {
+		t.Fatalf("tracing disabled but %d spans collected", spans.Len())
+	}
+}
+
+func TestClusterTraceNilSafe(t *testing.T) {
+	var c *ClusterTrace
+	c.record([]trace.Span{{Name: "x"}})
+	if c.Spans() != nil || c.Len() != 0 {
+		t.Fatal("nil ClusterTrace leaked state")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fcma/internal/blas"
 	"fcma/internal/corr"
 	"fcma/internal/obs"
+	"fcma/internal/obs/trace"
 	"fcma/internal/safe"
 	"fcma/internal/svm"
 	"fcma/internal/tensor"
@@ -154,6 +155,10 @@ func (w *Worker) ProcessContext(ctx context.Context, t Task) ([]VoxelScore, erro
 	reg.Counter("core_tasks_total").Inc()
 	taskTimer := reg.Stage("core/task").Start()
 	defer taskTimer.Stop()
+	ctx, taskSpan := trace.StartSpan(ctx, "core/task")
+	taskSpan.SetInt("v0", t.V0)
+	taskSpan.SetInt("voxels", t.V)
+	defer taskSpan.End()
 	// Stages 1+2.
 	p := &corr.Pipeline{
 		Gemm:    w.cfg.Gemm,
@@ -188,7 +193,10 @@ func (w *Worker) ProcessContext(ctx context.Context, t Task) ([]VoxelScore, erro
 			kernels[v] = tensor.NewMatrix(M, M)
 		}
 		syrkTimer := reg.Stage("core/syrk").Start()
-		err := blas.BatchSyrkContext(ctx, kernels, As, blas.DefaultSyrkBlock, w.cfg.Workers)
+		sctx, syrkSpan := trace.StartSpan(ctx, "core/syrk")
+		syrkSpan.SetInt("kernels", t.V)
+		err := blas.BatchSyrkContext(sctx, kernels, As, blas.DefaultSyrkBlock, w.cfg.Workers)
+		syrkSpan.End()
 		syrkTimer.Stop()
 		if err != nil {
 			if ctx.Err() != nil && err == ctx.Err() {
@@ -200,7 +208,9 @@ func (w *Worker) ProcessContext(ctx context.Context, t Task) ([]VoxelScore, erro
 	voxelsScored := reg.Counter("core_voxels_scored_total")
 	cvSeconds := reg.Histogram("svm_cv_seconds", obs.DefaultLatencyBuckets)
 	svmTimer := reg.Stage("core/svm").Start()
-	err = safe.ParallelDynamic(ctx, safe.Span{Stage: "svm/cv", Base: t.V0}, t.V, w.cfg.Workers, func(v int) error {
+	svmCtx, svmSpan := trace.StartSpan(ctx, "core/svm")
+	defer svmSpan.End()
+	err = safe.ParallelDynamic(svmCtx, safe.Span{Stage: "svm/cv", Base: t.V0}, t.V, w.cfg.Workers, func(ictx context.Context, v int) error {
 		var K *tensor.Matrix
 		if kernels != nil {
 			K = kernels[v]
@@ -209,7 +219,7 @@ func (w *Worker) ProcessContext(ctx context.Context, t Task) ([]VoxelScore, erro
 			K = svm.PrecomputeKernel(data, w.cfg.Syrk)
 		}
 		vt := cvSeconds.Start()
-		acc, err := svm.CrossValidate(w.cfg.Trainer, K, labels, w.folds)
+		acc, err := svm.CrossValidateContext(ictx, w.cfg.Trainer, K, labels, w.folds)
 		vt.Stop()
 		if err != nil {
 			return fmt.Errorf("core: voxel %d: %w", t.V0+v, err)

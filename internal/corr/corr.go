@@ -131,7 +131,7 @@ func BuildEpochStackContext(ctx context.Context, d *fmri.Dataset, workers int) (
 		E:        e0,
 		Norm:     make([]*tensor.Matrix, len(d.Epochs)),
 	}
-	err = parallelEpochs(ctx, "corr/stack", len(d.Epochs), workers, func(e int) {
+	err = parallelEpochs(ctx, "corr/stack", len(d.Epochs), workers, func(_ context.Context, e int) {
 		ep := d.Epochs[e]
 		src := d.EpochData(ep) // N×T view
 		out := tensor.NewMatrix(st.T, st.N)

@@ -8,6 +8,7 @@ import (
 	"fcma/internal/blas"
 	"fcma/internal/norm"
 	"fcma/internal/obs"
+	"fcma/internal/obs/trace"
 	"fcma/internal/safe"
 	"fcma/internal/tensor"
 )
@@ -105,7 +106,11 @@ func (p *Pipeline) computeCorrelations(ctx context.Context, st *EpochStack, v0, 
 	reg := p.obsReg()
 	gemmCalls := reg.Counter("corr_gemm_calls_total")
 	timer := reg.Stage("corr/correlate").Start()
-	err := parallelEpochs(ctx, "corr/correlate", M, p.workers(), func(e int) {
+	sctx, span := trace.StartSpan(ctx, "corr/correlate")
+	span.SetInt("v0", v0)
+	span.SetInt("voxels", V)
+	span.SetInt("epochs", M)
+	err := parallelEpochs(sctx, "corr/correlate", M, p.workers(), func(_ context.Context, e int) {
 		A := tensor.NewMatrix(V, st.T)
 		st.GatherAssigned(e, v0, V, A)
 		// Interleave epoch e's V×N product into every M-th row starting
@@ -114,6 +119,7 @@ func (p *Pipeline) computeCorrelations(ctx context.Context, st *EpochStack, v0, 
 		g.Gemm(view, A, st.Norm[e])
 		gemmCalls.Inc()
 	})
+	span.End()
 	timer.Stop()
 	if err != nil {
 		return nil, err
@@ -139,7 +145,10 @@ func (p *Pipeline) normalizeSeparated(ctx context.Context, st *EpochStack, buf *
 	normBlocks := reg.Counter("corr_norm_blocks_total")
 	timer := reg.Stage("corr/normalize").Start()
 	defer timer.Stop()
-	return parallelEpochs(ctx, "corr/normalize", V, p.workers(), func(v int) {
+	sctx, span := trace.StartSpan(ctx, "corr/normalize")
+	span.SetInt("voxels", V)
+	defer span.End()
+	return parallelEpochs(sctx, "corr/normalize", V, p.workers(), func(_ context.Context, v int) {
 		for s := 0; s < st.Subjects; s++ {
 			block := buf.Data[(v*M+s*E)*buf.Stride : (v*M+s*E+E-1)*buf.Stride+N]
 			normBlockStrided(block, E, N, buf.Stride)
@@ -174,12 +183,16 @@ func (p *Pipeline) runMerged(ctx context.Context, st *EpochStack, v0, V int) (*t
 	normBlocks := reg.Counter("corr_norm_blocks_total")
 	timer := reg.Stage("corr/merged").Start()
 	defer timer.Stop()
+	sctx, span := trace.StartSpan(ctx, "corr/merged")
+	span.SetInt("v0", v0)
+	span.SetInt("voxels", V)
+	defer span.End()
 	nBlocks := (N + cb - 1) / cb
 	vBlocks := (V + vb - 1) / vb
 	// Work items are (voxel block, column block) pairs; each normalization
 	// population (one subject's E epochs of one voxel) lives entirely
 	// inside one item, so items are independent.
-	err := parallelEpochs(ctx, "corr/merged", vBlocks*nBlocks, p.workers(), func(item int) {
+	err := parallelEpochs(sctx, "corr/merged", vBlocks*nBlocks, p.workers(), func(_ context.Context, item int) {
 		vblk := item / nBlocks
 		b := item % nBlocks
 		vs := vblk * vb
@@ -260,7 +273,7 @@ func normBlockStrided(data []float32, rows, cols, stride int) {
 // goroutines with static chunking. Worker panics are contained and
 // returned as *safe.PipelineError under the given stage label; a
 // cancelled ctx stops the pool at the next item and returns ctx.Err().
-func parallelEpochs(ctx context.Context, stage string, n, workers int, fn func(i int)) error {
+func parallelEpochs(ctx context.Context, stage string, n, workers int, fn func(ctx context.Context, i int)) error {
 	return safe.ParallelChunks(ctx, safe.Span{Stage: stage}, n, workers,
-		func(i int) error { fn(i); return nil })
+		func(ictx context.Context, i int) error { fn(ictx, i); return nil })
 }

@@ -1,0 +1,49 @@
+package mic
+
+import (
+	"strings"
+
+	"fcma/internal/obs"
+)
+
+// ExportObs publishes the machine's simulator counters and derived
+// metrics as gauges named mic_<prefix>_<stat> in r, making a trace run's
+// vTune-style quantities visible on /metrics and in BENCH_*.json
+// summaries alongside the pipeline's own instruments. Gauges (not
+// counters) because each export describes one machine's point-in-time
+// state: re-running a stage overwrites rather than accumulates.
+func (m *Machine) ExportObs(r *obs.Registry, prefix string) {
+	p := "mic_" + SanitizeMetricName(prefix) + "_"
+	set := func(name string, v float64) { r.Gauge(p + name).Set(v) }
+	set("mem_refs", float64(m.MemRefs))
+	set("l1_misses", float64(m.L1Misses))
+	set("l2_misses", float64(m.L2Misses))
+	set("remote_l2_hits", float64(m.RemoteL2Hits))
+	set("vpu_instructions", float64(m.VPUInstructions))
+	set("vectorized_elements", float64(m.VectorizedElements))
+	set("emu_instructions", float64(m.EMUInstructions))
+	set("flops", float64(m.Flops))
+	set("vector_intensity", m.VectorIntensity())
+	set("gflops", m.GFLOPS())
+	set("est_seconds", m.EstimateTime().Seconds())
+}
+
+// SanitizeMetricName lowercases s and folds every non-alphanumeric run
+// into a single underscore, yielding a Prometheus-safe name fragment
+// ("Xeon Phi 5110P|syrk-tallskinny" -> "xeon_phi_5110p_syrk_tallskinny").
+func SanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastUnderscore := true // trim a leading run too
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnderscore = false
+		case !lastUnderscore:
+			b.WriteByte('_')
+			lastUnderscore = true
+		}
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}

@@ -35,11 +35,15 @@ const (
 	// TagMetrics carries a gob-encoded obs.Snapshot of a worker's metrics
 	// registry so the master can report a merged cluster-wide view.
 	TagMetrics
+	// TagSpans carries a gob-encoded buffer of completed trace spans from
+	// worker to master, so the master can merge every rank's spans into one
+	// cluster-wide timeline.
+	TagSpans
 )
 
 // maxTag is the highest tag the protocol defines; frames carrying anything
 // else are rejected at the wire layer.
-const maxTag = TagMetrics
+const maxTag = TagSpans
 
 // ValidTag reports whether t is a tag this protocol version defines.
 func ValidTag(t Tag) bool { return t >= TagReady && t <= maxTag }
@@ -65,6 +69,8 @@ func (t Tag) String() string {
 		return "heartbeat"
 	case TagMetrics:
 		return "metrics"
+	case TagSpans:
+		return "spans"
 	default:
 		return fmt.Sprintf("Tag(%d)", uint32(t))
 	}

@@ -72,7 +72,7 @@ func SelectVoxelsContext(ctx context.Context, d *fmri.Dataset, cfg Config) ([]Vo
 
 	N := d.Voxels()
 	scores := make([]VoxelScore, N)
-	err := safe.ParallelDynamic(ctx, safe.Span{Stage: "mvpa/select"}, N, cfg.Workers, func(v int) error {
+	err := safe.ParallelDynamic(ctx, safe.Span{Stage: "mvpa/select"}, N, cfg.Workers, func(ictx context.Context, v int) error {
 		// Samples: the voxel's epoch time courses relative to its session
 		// mean.
 		sessionMean := float32(tensor.Mean(d.Data.Row(v)))
@@ -85,7 +85,7 @@ func SelectVoxelsContext(ctx context.Context, d *fmri.Dataset, cfg Config) ([]Vo
 			}
 		}
 		K := svm.PrecomputeKernel(X, nil)
-		acc, err := svm.CrossValidate(trainer, K, labels, folds)
+		acc, err := svm.CrossValidateContext(ictx, trainer, K, labels, folds)
 		if err != nil {
 			return fmt.Errorf("mvpa: voxel %d: %w", v, err)
 		}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fcma/internal/obs/trace"
+)
+
+// BootstrapCLI wires the observability glue every command shares:
+//
+//   - a flight-teed structured logger (see NewLogger) writing to stderr
+//     in the chosen format, installed as the process default so library
+//     layers logging via slog.Default() follow the same -log-format;
+//   - crash dumps armed at stderr — or at flightOut when non-empty, in
+//     which case the file is only created if a dump actually fires — so a
+//     contained panic or a fatal cluster abort leaves a black-box readout;
+//   - a SIGQUIT handler that dumps the flight recorder on demand without
+//     killing the process (the classic "what is it doing right now" probe).
+//
+// component is attached to every log record; extra attrs (rank, role)
+// ride along. Returns the logger for the command's own use.
+func BootstrapCLI(component, format, flightOut string, attrs ...slog.Attr) *slog.Logger {
+	attrs = append([]slog.Attr{slog.String("component", component)}, attrs...)
+	logger := SetDefaultLogger(os.Stderr, format, attrs...)
+	if flightOut != "" {
+		trace.ArmCrashDumpFile(flightOut)
+	} else {
+		trace.ArmCrashDump(os.Stderr)
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			trace.DumpNow("SIGQUIT")
+		}
+	}()
+	return logger
+}

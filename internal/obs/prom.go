@@ -101,8 +101,10 @@ func ServeFunc(addr string, snap func() Snapshot) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = writeBuildInfoProm(w)
 		_ = snap().WritePrometheus(w)
 	})
+	mux.HandleFunc("/healthz", handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

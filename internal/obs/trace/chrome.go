@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// dialect chrome://tracing and Perfetto load). "X" complete events carry
+// a start and duration in microseconds; "M" metadata events name the
+// process and thread lanes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object form of the format ({"traceEvents": [...]})
+// which both viewers accept and which leaves room for metadata.
+type chromeTrace struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// WriteChrome renders spans as Chrome trace-event JSON: one pid lane per
+// cluster rank ("rank N", rank 0 labeled master), one tid lane per worker
+// goroutine, and each span's trace/span/parent ids and attributes in its
+// args so the viewer's selection panel shows the full context. Spans from
+// several ranks (the master's own plus every worker's shipped buffer)
+// merge into one timeline by simple concatenation before the call.
+func WriteChrome(w io.Writer, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans)+8)
+	pids := make(map[int]bool)
+	for _, s := range spans {
+		if !pids[s.PID] {
+			pids[s.PID] = true
+			name := fmt.Sprintf("rank %d", s.PID)
+			if s.PID == 0 {
+				name = "rank 0 (master)"
+			}
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: s.PID,
+				Args: map[string]any{"name": name},
+			})
+		}
+		args := map[string]any{
+			"trace": s.Trace.String(),
+			"span":  s.ID.String(),
+		}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent.String()
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			Pid:  s.PID,
+			Tid:  s.TID,
+			Args: args,
+		})
+	}
+	// Deterministic order: by pid, then start time — viewers don't care,
+	// tests and diffs do.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ph != events[j].Ph {
+			return events[i].Ph == "M"
+		}
+		if events[i].Pid != events[j].Pid {
+			return events[i].Pid < events[j].Pid
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events})
+}
+
+// ReadChrome parses Chrome trace-event JSON produced by WriteChrome and
+// returns the complete ("X") events as spans — enough round-trip fidelity
+// for the smoke tests that assert on an emitted trace file. Attribute
+// values and ids are best-effort (args carry them as strings).
+func ReadChrome(r io.Reader) ([]Span, error) {
+	var ct chromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, fmt.Errorf("trace: parsing chrome trace: %w", err)
+	}
+	var spans []Span
+	for _, e := range ct.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		s := Span{
+			Name:    e.Name,
+			PID:     e.Pid,
+			TID:     e.Tid,
+			StartNS: int64(e.Ts * 1e3),
+			DurNS:   int64(e.Dur * 1e3),
+		}
+		for k, v := range e.Args {
+			str, ok := v.(string)
+			if !ok {
+				continue
+			}
+			switch k {
+			case "trace":
+				fmt.Sscanf(str, "%016x", (*uint64)(&s.Trace))
+			case "span":
+				fmt.Sscanf(str, "%016x", (*uint64)(&s.ID))
+			case "parent":
+				fmt.Sscanf(str, "%016x", (*uint64)(&s.Parent))
+			default:
+				s.Attrs = append(s.Attrs, Attr{Key: k, Value: str})
+			}
+		}
+		spans = append(spans, s)
+	}
+	return spans, nil
+}

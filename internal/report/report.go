@@ -14,6 +14,7 @@ import (
 
 	"fcma/internal/cluster"
 	"fcma/internal/mic"
+	"fcma/internal/obs"
 	"fcma/internal/trace"
 )
 
@@ -81,7 +82,9 @@ func (o *Runner) cached(key string, fn func() *mic.Machine) *mic.Machine {
 func (o *Runner) stage(cfg mic.Config, name string, full trace.Shape, work func(trace.Shape) float64, driver func(*mic.Machine, trace.Shape)) *mic.Machine {
 	key := fmt.Sprintf("%s|%s|%+v", cfg.Name, name, full)
 	return o.cached(key, func() *mic.Machine {
-		return trace.RunScaled(cfg, full, o.opt.scale(), work, driver)
+		m := trace.RunScaled(cfg, full, o.opt.scale(), work, driver)
+		m.ExportObs(obs.Default(), cfg.Name+"_"+name)
+		return m
 	})
 }
 
@@ -111,6 +114,7 @@ func (o *Runner) svmStage(cfg mic.Config, name string, full trace.Shape, activeV
 		scale := float64(full.V) / float64(opts.Voxels) * float64(full.Folds) / float64(folds)
 		m.Counters.Scale(scale * o.opt.svmCalibration())
 		m.ActiveThreads = active
+		m.ExportObs(obs.Default(), cfg.Name+"_svm_"+name)
 		return m
 	})
 }

@@ -16,6 +16,7 @@ import (
 
 	"fcma/internal/fmri"
 	"fcma/internal/obs"
+	"fcma/internal/obs/trace"
 	"fcma/internal/safe"
 	"fcma/internal/tensor"
 )
@@ -261,9 +262,12 @@ func RunFeedbackContext(ctx context.Context, frames <-chan Frame, epochs []fmri.
 			obsWindows.Add(uint64(len(wins)))
 			obsPending.Set(float64(asm.Pending()))
 			for _, w := range wins {
+				_, csp := trace.StartSpan(ctx, "rt/classify")
+				csp.SetInt("epoch", w.EpochIndex)
 				start := time.Now()
 				label, decision := clf.ClassifyWindow(w.Data)
 				lat := time.Since(start)
+				csp.End()
 				obsEpochLat.Observe(lat.Seconds())
 				p := Prediction{
 					EpochIndex: w.EpochIndex,

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"fcma/internal/obs"
+	"fcma/internal/obs/trace"
 )
 
 // Driver-level health counters in the process-wide registry: every
@@ -81,6 +82,13 @@ func Recovered(stage string, v0, v int, r any) *PipelineError {
 	} else {
 		err = fmt.Errorf("panic: %w", err)
 	}
+	// The containment path doubles as the crash hook: note the panic in
+	// the flight recorder and, when a command has armed crash dumps,
+	// write the black-box readout before the error propagates (the
+	// layers above may retry, quarantine, or abort — the dump preserves
+	// what led up to the panic either way).
+	trace.DefaultFlight().Note("panic", fmt.Sprintf("stage %s voxels [%d,%d): %v", stage, v0, v0+v, r))
+	trace.DumpNow(fmt.Sprintf("panic contained in stage %s", stage))
 	return &PipelineError{Stage: stage, V0: v0, V: v, Err: err, Stack: debug.Stack()}
 }
 
@@ -160,16 +168,24 @@ func cancelled(ctx context.Context) error {
 	}
 }
 
-// ParallelDynamic runs fn(i) for i in [0, n) across at most `workers`
-// goroutines with dynamic (work-stealing) assignment — for workloads with
-// data-dependent per-item cost such as per-voxel SMO cross-validation.
+// ParallelDynamic runs fn(ctx, i) for i in [0, n) across at most
+// `workers` goroutines with dynamic (work-stealing) assignment — for
+// workloads with data-dependent per-item cost such as per-voxel SMO
+// cross-validation.
+//
+// The ctx handed to each item is the spawning goroutine's tracing
+// context: when the caller's ctx carries a tracer, every pool goroutine
+// opens a span of the stage's name on its own timeline lane (one tid per
+// worker goroutine) and items started from it nest there, so the merged
+// trace shows per-goroutine occupancy. With tracing disabled the drivers
+// add one context poll per goroutine and nothing else.
 //
 // Every item runs with panic containment; the first failure (by item
 // index) is returned as a *PipelineError after all goroutines have
 // joined. Cancellation is checked before each item is taken, so a cancel
 // stops the pool within one work item per goroutine and returns
 // ctx.Err(). Remaining items are skipped once any item has failed.
-func ParallelDynamic(ctx context.Context, span Span, n, workers int, fn func(i int) error) error {
+func ParallelDynamic(ctx context.Context, span Span, n, workers int, fn func(ctx context.Context, i int) error) error {
 	workers = clampWorkers(n, workers)
 	var fe firstErr
 	var next int64
@@ -181,13 +197,13 @@ func ParallelDynamic(ctx context.Context, span Span, n, workers int, fn func(i i
 		next++
 		return v
 	}
-	runItem := func(i int) {
+	runItem := func(ictx context.Context, i int) {
 		defer func() {
 			if pe := Recovered(span.Stage, span.Base+i, 1, recover()); pe != nil {
 				fe.set(i, pe)
 			}
 		}()
-		if err := fn(i); err != nil {
+		if err := fn(ictx, i); err != nil {
 			obsItemFails.Inc()
 			fe.set(i, span.err(i, err))
 			return
@@ -202,7 +218,7 @@ func ParallelDynamic(ctx context.Context, span Span, n, workers int, fn func(i i
 			if fe.get() != nil {
 				break
 			}
-			runItem(i)
+			runItem(ctx, i)
 		}
 		if err := fe.get(); err != nil {
 			return err
@@ -214,6 +230,8 @@ func ParallelDynamic(ctx context.Context, span Span, n, workers int, fn func(i i
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			gctx, gsp := trace.StartWorkerSpan(ctx, span.Stage)
+			defer gsp.End()
 			for {
 				if cancelled(ctx) != nil || fe.get() != nil {
 					return
@@ -222,7 +240,7 @@ func ParallelDynamic(ctx context.Context, span Span, n, workers int, fn func(i i
 				if i >= n {
 					return
 				}
-				runItem(i)
+				runItem(gctx, i)
 			}
 		}()
 	}
@@ -233,24 +251,25 @@ func ParallelDynamic(ctx context.Context, span Span, n, workers int, fn func(i i
 	return cancelled(ctx)
 }
 
-// ParallelChunks runs fn(i) for i in [0, n) with static chunking: chunk k
-// covers the k-th of `workers` equal ranges, matching the static
-// partitioning the paper's kernels use within a coprocessor. Containment
-// and cancellation behave as in ParallelDynamic; cancellation is checked
-// between items inside each chunk.
-func ParallelChunks(ctx context.Context, span Span, n, workers int, fn func(i int) error) error {
+// ParallelChunks runs fn(ctx, i) for i in [0, n) with static chunking:
+// chunk k covers the k-th of `workers` equal ranges, matching the static
+// partitioning the paper's kernels use within a coprocessor. Containment,
+// cancellation, and the per-goroutine tracing context behave as in
+// ParallelDynamic; cancellation is checked between items inside each
+// chunk.
+func ParallelChunks(ctx context.Context, span Span, n, workers int, fn func(ctx context.Context, i int) error) error {
 	workers = clampWorkers(n, workers)
 	if workers <= 1 {
 		return ParallelDynamic(ctx, span, n, 1, fn)
 	}
 	var fe firstErr
-	runItem := func(i int) {
+	runItem := func(ictx context.Context, i int) {
 		defer func() {
 			if pe := Recovered(span.Stage, span.Base+i, 1, recover()); pe != nil {
 				fe.set(i, pe)
 			}
 		}()
-		if err := fn(i); err != nil {
+		if err := fn(ictx, i); err != nil {
 			obsItemFails.Inc()
 			fe.set(i, span.err(i, err))
 			return
@@ -267,11 +286,13 @@ func ParallelChunks(ctx context.Context, span Span, n, workers int, fn func(i in
 		wg.Add(1)
 		go func(s, e int) {
 			defer wg.Done()
+			gctx, gsp := trace.StartWorkerSpan(ctx, span.Stage)
+			defer gsp.End()
 			for i := s; i < e; i++ {
 				if cancelled(ctx) != nil || fe.get() != nil {
 					return
 				}
-				runItem(i)
+				runItem(gctx, i)
 			}
 		}(start, end)
 	}
@@ -282,11 +303,13 @@ func ParallelChunks(ctx context.Context, span Span, n, workers int, fn func(i in
 	return cancelled(ctx)
 }
 
-// ParallelRanges runs fn(start, end) over [0, n) split into contiguous
-// per-worker ranges — the driver for kernels that want the whole chunk at
-// once. Panics are contained; cancellation is only checked between
-// chunks (a kernel chunk is one checkpoint interval).
-func ParallelRanges(ctx context.Context, span Span, n, workers int, fn func(start, end int) error) error {
+// ParallelRanges runs fn(ctx, start, end) over [0, n) split into
+// contiguous per-worker ranges — the driver for kernels that want the
+// whole chunk at once. The ctx each chunk receives is its goroutine's
+// tracing context, as in ParallelDynamic. Panics are contained;
+// cancellation is only checked between chunks (a kernel chunk is one
+// checkpoint interval).
+func ParallelRanges(ctx context.Context, span Span, n, workers int, fn func(ctx context.Context, start, end int) error) error {
 	workers = clampWorkers(n, workers)
 	if workers <= 1 {
 		if n <= 0 {
@@ -295,7 +318,7 @@ func ParallelRanges(ctx context.Context, span Span, n, workers int, fn func(star
 		if err := cancelled(ctx); err != nil {
 			return err
 		}
-		if err := Do(span.Stage, span.Base, n, func() error { return fn(0, n) }); err != nil {
+		if err := Do(span.Stage, span.Base, n, func() error { return fn(ctx, 0, n) }); err != nil {
 			obsItemFails.Inc()
 			return span.err(0, err)
 		}
@@ -316,12 +339,14 @@ func ParallelRanges(ctx context.Context, span Span, n, workers int, fn func(star
 			if cancelled(ctx) != nil {
 				return
 			}
+			gctx, gsp := trace.StartWorkerSpan(ctx, span.Stage)
+			defer gsp.End()
 			defer func() {
 				if pe := Recovered(span.Stage, span.Base+s, e-s, recover()); pe != nil {
 					fe.set(s, pe)
 				}
 			}()
-			if err := fn(s, e); err != nil {
+			if err := fn(gctx, s, e); err != nil {
 				obsItemFails.Inc()
 				fe.set(s, span.err(s, err))
 				return

@@ -11,7 +11,7 @@ import (
 )
 
 func TestParallelDynamicContainsPanic(t *testing.T) {
-	err := ParallelDynamic(context.Background(), Span{Stage: "test/stage", Base: 100}, 32, 4, func(i int) error {
+	err := ParallelDynamic(context.Background(), Span{Stage: "test/stage", Base: 100}, 32, 4, func(_ context.Context, i int) error {
 		if i == 7 {
 			panic("boom")
 		}
@@ -33,7 +33,7 @@ func TestParallelDynamicContainsPanic(t *testing.T) {
 }
 
 func TestParallelDynamicReportsLowestFailure(t *testing.T) {
-	err := ParallelDynamic(context.Background(), Span{Stage: "s"}, 64, 1, func(i int) error {
+	err := ParallelDynamic(context.Background(), Span{Stage: "s"}, 64, 1, func(_ context.Context, i int) error {
 		if i == 3 || i == 5 {
 			return fmt.Errorf("item %d failed", i)
 		}
@@ -46,18 +46,18 @@ func TestParallelDynamicReportsLowestFailure(t *testing.T) {
 }
 
 func TestParallelDriversCancellation(t *testing.T) {
-	for name, driver := range map[string]func(ctx context.Context, n, w int, fn func(int) error) error{
-		"dynamic": func(ctx context.Context, n, w int, fn func(int) error) error {
+	for name, driver := range map[string]func(ctx context.Context, n, w int, fn func(context.Context, int) error) error{
+		"dynamic": func(ctx context.Context, n, w int, fn func(context.Context, int) error) error {
 			return ParallelDynamic(ctx, Span{Stage: "s"}, n, w, fn)
 		},
-		"chunks": func(ctx context.Context, n, w int, fn func(int) error) error {
+		"chunks": func(ctx context.Context, n, w int, fn func(context.Context, int) error) error {
 			return ParallelChunks(ctx, Span{Stage: "s"}, n, w, fn)
 		},
 	} {
 		t.Run(name, func(t *testing.T) {
 			ctx, cancel := context.WithCancel(context.Background())
 			var ran atomic.Int64
-			err := driver(ctx, 10_000, 4, func(i int) error {
+			err := driver(ctx, 10_000, 4, func(_ context.Context, i int) error {
 				if ran.Add(1) == 8 {
 					cancel()
 				}
@@ -75,7 +75,7 @@ func TestParallelDriversCancellation(t *testing.T) {
 }
 
 func TestParallelRangesContainsPanicAndCancels(t *testing.T) {
-	err := ParallelRanges(context.Background(), Span{Stage: "kernel"}, 100, 4, func(s, e int) error {
+	err := ParallelRanges(context.Background(), Span{Stage: "kernel"}, 100, 4, func(_ context.Context, s, e int) error {
 		if s == 0 {
 			panic(errors.New("kernel fault"))
 		}
@@ -87,7 +87,7 @@ func TestParallelRangesContainsPanicAndCancels(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := ParallelRanges(ctx, Span{}, 100, 4, func(s, e int) error { return nil }); !errors.Is(err, context.Canceled) {
+	if err := ParallelRanges(ctx, Span{}, 100, 4, func(_ context.Context, s, e int) error { return nil }); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

@@ -1,9 +1,11 @@
 package svm
 
 import (
+	"context"
 	"fmt"
 
 	"fcma/internal/obs"
+	"fcma/internal/obs/trace"
 	"fcma/internal/tensor"
 )
 
@@ -77,6 +79,14 @@ func KFolds(n, k int) []Fold {
 // Folds whose training set lacks a class are skipped (counted as chance,
 // 50% of their test samples correct), mirroring degenerate-design handling.
 func CrossValidate(tr KernelTrainer, K *tensor.Matrix, labels []int, folds []Fold) (float64, error) {
+	return CrossValidateContext(context.Background(), tr, K, labels, folds)
+}
+
+// CrossValidateContext is CrossValidate recording an "svm/cv" span (fold
+// and degenerate-fold counts as attributes) when ctx carries a tracer —
+// the stage-3 per-voxel unit of the merged timeline. The solver itself is
+// not cancellable; ctx is tracing context only.
+func CrossValidateContext(ctx context.Context, tr KernelTrainer, K *tensor.Matrix, labels []int, folds []Fold) (float64, error) {
 	if K.Rows != K.Cols || K.Rows != len(labels) {
 		return 0, fmt.Errorf("svm: kernel %dx%d vs %d labels", K.Rows, K.Cols, len(labels))
 	}
@@ -84,6 +94,13 @@ func CrossValidate(tr KernelTrainer, K *tensor.Matrix, labels []int, folds []Fol
 		return 0, fmt.Errorf("svm: no folds")
 	}
 	obsCVRuns.Inc()
+	_, span := trace.StartSpan(ctx, "svm/cv")
+	degenerate := 0
+	defer func() {
+		span.SetInt("folds", len(folds))
+		span.SetInt("degenerate", degenerate)
+		span.End()
+	}()
 	var correct, total float64
 	for _, f := range folds {
 		if len(f.Test) == 0 {
@@ -95,6 +112,7 @@ func CrossValidate(tr KernelTrainer, K *tensor.Matrix, labels []int, folds []Fol
 		if err != nil {
 			// Degenerate fold (single-class training set): chance level.
 			obsCVDegenerate.Inc()
+			degenerate++
 			correct += float64(len(f.Test)) / 2
 			continue
 		}

@@ -14,7 +14,11 @@ import (
 // errors.As:
 //
 //	var pe *fcma.PipelineError
-//	if errors.As(err, &pe) { log.Printf("stage %s: %v", pe.Stage, pe.Err) }
+//	if errors.As(err, &pe) { slog.Error("stage panicked", "stage", pe.Stage, "err", pe.Err) }
+//
+// A contained panic also lands in the flight recorder (see
+// FlightRecorderDump), so the crash context survives even when the error
+// is swallowed upstream.
 type PipelineError = safe.PipelineError
 
 // SanitizePolicy selects how defective input data — NaN/Inf samples and

@@ -1,0 +1,37 @@
+package fcma
+
+import (
+	"io"
+
+	"fcma/internal/obs/trace"
+)
+
+// Tracer records the distributed timeline of a run: one span per pipeline
+// stage, kernel block, cluster task, and voxel cross-validation, each
+// carrying the run's trace id and its parent span (see DESIGN.md §11).
+// Attach one to Config.Trace and the pipeline threads it through every
+// layer; leave it nil and tracing is off — the disabled path costs one
+// context lookup and zero allocations on kernel hot paths.
+type Tracer = trace.Tracer
+
+// TraceSpan is one completed span of a Tracer's timeline.
+type TraceSpan = trace.Span
+
+// NewTracer returns a tracer with a fresh run id, recording as rank 0
+// (the single-node process, or the cluster master).
+func NewTracer() *Tracer { return trace.New(0) }
+
+// WriteTrace renders spans as Chrome trace-event JSON, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing: one process
+// lane per cluster rank, one thread lane per worker goroutine.
+func WriteTrace(w io.Writer, spans []TraceSpan) error {
+	return trace.WriteChrome(w, spans)
+}
+
+// FlightRecorderDump writes the process flight recorder — the bounded
+// ring of the most recent span and log events — to w, framed with the
+// reason. The commands arm automatic dumps on panic and SIGQUIT; library
+// users can call this directly in their own failure paths.
+func FlightRecorderDump(w io.Writer, reason string) {
+	trace.DefaultFlight().Dump(w, reason)
+}
