@@ -1,13 +1,29 @@
-# Developer entry points. `make check` is what CI should run: vet, build,
-# and the full test suite (including the chaos soak) under the race
-# detector. `make test-short` is the fast tier — the soak and other slow
-# tests are gated behind -short.
+# Developer entry points. `make check` is what CI should run: lint
+# (gofmt + go vet + fcmavet), build, and the full test suite. The race
+# detector runs as its own CI job via `make test-race`; `make test-short`
+# is the fast tier — the soak and other slow tests are gated behind
+# -short.
 
 GO ?= go
 
-.PHONY: check vet build test test-short bench bench-smoke fuzz
+.PHONY: check lint fcmavet vet build test test-race test-short bench bench-smoke fuzz
 
-check: vet build test
+check: lint build test
+
+# lint is a hard gate: unformatted files, vet findings, or fcmavet
+# contract violations all fail the build.
+lint:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/fcmavet ./...
+
+# fcmavet alone, for iterating on contract fixes.
+fcmavet:
+	$(GO) run ./cmd/fcmavet ./...
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +32,9 @@ build:
 	$(GO) build ./...
 
 test:
+	$(GO) test ./...
+
+test-race:
 	$(GO) test -race ./...
 
 test-short:

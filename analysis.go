@@ -494,9 +494,9 @@ func SelectVoxelsDistributedContext(ctx context.Context, d *Data, cfg Config, wo
 	errs := make([]error, workers)
 	for r := 1; r <= workers; r++ {
 		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			errs[r-1] = safe.Do("fcma/dist-worker", 0, stack.N, func() error {
+		r := r
+		safe.Go("fcma/dist-worker", func() error {
+			return safe.Do("fcma/dist-worker", 0, stack.N, func() error {
 				w, err := core.NewWorker(cfg.coreConfig(), stack, folds)
 				if err != nil {
 					comm.Rank(r).Close()
@@ -508,7 +508,10 @@ func SelectVoxelsDistributedContext(ctx context.Context, d *Data, cfg Config, wo
 				}
 				return cluster.RunWorkerCtx(ctx, comm.Rank(r), w, wopts)
 			})
-		}(r)
+		}, func(err error) {
+			errs[r-1] = err
+			wg.Done()
+		})
 	}
 	scores, err := cluster.RunMasterCtx(ctx, comm.Rank(0), stack.N, taskSize, mopts)
 	wg.Wait()

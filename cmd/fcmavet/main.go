@@ -1,0 +1,94 @@
+// Command fcmavet runs the repo's custom static-analysis suite: ~9
+// AST+type-based analyzers (internal/lint) that mechanically enforce the
+// contracts earlier PRs established by convention — panic containment via
+// internal/safe, context threading, float32 kernel determinism,
+// nil-is-off observability, MPI wire-protocol completeness, simulator
+// clock discipline, obs-routed logging, and lock hygiene.
+//
+// Usage:
+//
+//	fcmavet [-json] [-C dir] [./...]
+//	fcmavet -list
+//
+// The package pattern is informational: fcmavet always analyzes every
+// package of the enclosing module (the invariants are module-wide, and
+// several analyzers need the whole program). Exit status is 0 on a clean
+// tree, 1 when any diagnostic is reported, 2 on load/internal errors.
+// With -json, diagnostics are emitted as a JSON array for CI annotation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fcma/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array instead of file:line text")
+		list    = flag.Bool("list", false, "print the analyzer registry with one-line docs and exit")
+		dir     = flag.String("C", ".", "analyze the module containing this directory")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	prog, err := lint.Load(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fcmavet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := prog.Run(analyzers)
+	diags = append(diags, lint.CheckDirectives(prog, analyzers)...)
+	lint.SortDiagnostics(diags)
+
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: relPath(prog.Dir, d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "fcmavet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", relPath(prog.Dir, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fcmavet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// relPath renders file paths relative to the module root for stable,
+// readable output.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return file
+}

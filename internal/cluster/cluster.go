@@ -243,7 +243,7 @@ func (m *master) run(ctx context.Context) ([]core.VoxelScore, error) {
 	recvErr := make(chan error, 1)
 	quit := make(chan struct{})
 	defer close(quit)
-	go func() {
+	safe.Go("cluster/recv-pump", func() error {
 		for {
 			msg, err := m.tr.Recv()
 			if err != nil {
@@ -251,15 +251,24 @@ func (m *master) run(ctx context.Context) ([]core.VoxelScore, error) {
 				case recvErr <- err:
 				case <-quit:
 				}
-				return
+				return nil
 			}
 			select {
 			case msgs <- msg:
 			case <-quit:
-				return
+				return nil
 			}
 		}
-	}()
+	}, func(err error) {
+		// A panic in the pump surfaces like a transport failure so the
+		// master loop unblocks instead of waiting forever.
+		if err != nil {
+			select {
+			case recvErr <- err:
+			case <-quit:
+			}
+		}
+	})
 
 	var tick <-chan time.Time
 	if g := m.tickGranularity(); g > 0 {
@@ -790,20 +799,20 @@ func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opt
 	if hb > 0 {
 		stop := make(chan struct{})
 		defer close(stop)
-		go func() {
+		safe.Go("cluster/heartbeat", func() error {
 			t := time.NewTicker(hb)
 			defer t.Stop()
 			for {
 				select {
 				case <-stop:
-					return
+					return nil
 				case <-t.C:
 					if err := tr.Send(0, mpi.TagHeartbeat, nil); err != nil {
-						return
+						return nil
 					}
 				}
 			}
-		}()
+		}, nil)
 	}
 	recv := func() (mpi.Message, error) { return tr.Recv() }
 	if ctx.Done() != nil {
@@ -812,19 +821,19 @@ func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opt
 			err error
 		}
 		pump := make(chan recvResult)
-		go func() {
+		safe.Go("cluster/worker-recv", func() error {
 			for {
 				msg, err := tr.Recv()
 				select {
 				case pump <- recvResult{msg, err}:
 				case <-ctx.Done():
-					return
+					return nil
 				}
 				if err != nil {
-					return
+					return nil
 				}
 			}
-		}()
+		}, nil)
 		recv = func() (mpi.Message, error) {
 			select {
 			case r := <-pump:

@@ -23,6 +23,8 @@ import (
 // a zero-variance (constant or empty) vector has correlation 0 by
 // convention, and any non-finite sample (NaN/Inf from masked or corrupt
 // voxels) also yields 0 instead of propagating NaN into the ranking.
+//
+//lint:allow f32purity reference correctness oracle; float64 by design and never on the hot path
 func Pearson(x, y []float32) float64 {
 	if len(x) != len(y) {
 		panic("corr: Pearson over unequal-length vectors")
@@ -63,6 +65,10 @@ func NormalizeEpochRows(dst, src *tensor.Matrix) {
 	}
 }
 
+// normalizeVector mean-centers src into dst and scales by the inverse
+// root sum of squares; the rss accumulation runs in float64 for headroom.
+//
+//lint:allow f32purity float64 rss accumulation for numerical stability; outputs stay float32
 func normalizeVector(dst, src []float32) {
 	mean := float32(tensor.Mean(src))
 	var rss float64

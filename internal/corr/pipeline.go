@@ -235,6 +235,8 @@ func (p *Pipeline) runMerged(ctx context.Context, st *EpochStack, v0, V int) (*t
 // normBlockStrided applies Fisher + z-scoring to an E×N block whose rows
 // are stride apart in data (the separated pass works on the full-width
 // buffer in place).
+//
+//lint:allow f32purity float64 moment accumulation (E[X²]−E[X]²) needs the headroom; scale/shift re-enter float32
 func normBlockStrided(data []float32, rows, cols, stride int) {
 	sum := make([]float64, cols)
 	sumSq := make([]float64, cols)

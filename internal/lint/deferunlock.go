@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeferUnlock checks lock pairing function-by-function: every
+// mutex.Lock() (or RLock) must have a matching Unlock (or RUnlock) on the
+// same lock expression somewhere in the same function — deferred or, for
+// the hand-unlocked hot paths the obs instruments use, inline. A Lock
+// whose function contains no unlock at all, or whose only counterpart is
+// of the wrong read/write flavor, is the deadlock (or rwmutex
+// corruption) the analyzer exists to catch. Cross-function locking
+// schemes must say so with //lint:allow deferunlock <reason>.
+var DeferUnlock = &Analyzer{
+	Name: "deferunlock",
+	Doc:  "Lock/RLock without a matching Unlock/RUnlock in the same function",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			if p.TestFile(f) {
+				continue
+			}
+			// Visit each function body independently; nested function
+			// literals are separate scopes (a lock taken in the outer
+			// function and released in a closure is cross-function locking).
+			var visit func(body *ast.BlockStmt, inner []*ast.BlockStmt)
+			type lockOp struct {
+				recv string
+				name string
+				pos  ast.Node
+			}
+			collect := func(body *ast.BlockStmt, skip []*ast.BlockStmt) []lockOp {
+				var ops []lockOp
+				ast.Inspect(body, func(n ast.Node) bool {
+					for _, s := range skip {
+						if n == s {
+							return false
+						}
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					name := sel.Sel.Name
+					if name != "Lock" && name != "Unlock" && name != "RLock" && name != "RUnlock" {
+						return true
+					}
+					if tv, ok := p.Info.Types[sel.X]; !ok ||
+						(!typeIs(tv.Type, "sync", "Mutex") && !typeIs(tv.Type, "sync", "RWMutex")) {
+						return true
+					}
+					ops = append(ops, lockOp{recv: types.ExprString(sel.X), name: name, pos: call})
+					return true
+				})
+				return ops
+			}
+			check := func(body *ast.BlockStmt, skip []*ast.BlockStmt) {
+				ops := collect(body, skip)
+				for _, op := range ops {
+					var want string
+					switch op.name {
+					case "Lock":
+						want = "Unlock"
+					case "RLock":
+						want = "RUnlock"
+					default:
+						continue
+					}
+					matched, mismatched := false, false
+					for _, other := range ops {
+						if other.recv != op.recv {
+							continue
+						}
+						switch other.name {
+						case want:
+							matched = true
+						case "Unlock", "RUnlock":
+							mismatched = true
+						}
+					}
+					switch {
+					case matched:
+					case mismatched:
+						p.Reportf(op.pos.Pos(), "%s.%s has no matching %s in this function (found the other read/write flavor — rwmutex misuse)", op.recv, op.name, want)
+					default:
+						p.Reportf(op.pos.Pos(), "%s.%s has no matching %s in this function; pair it (ideally `defer %s.%s()`) or annotate cross-function locking with //lint:allow deferunlock <reason>", op.recv, op.name, want, op.recv, want)
+					}
+				}
+			}
+			visit = func(body *ast.BlockStmt, _ []*ast.BlockStmt) {
+				// Find directly nested function literals: their bodies are
+				// excluded from this scope and visited on their own.
+				var nested []*ast.BlockStmt
+				ast.Inspect(body, func(n ast.Node) bool {
+					if n == body {
+						return true
+					}
+					if lit, ok := n.(*ast.FuncLit); ok {
+						nested = append(nested, lit.Body)
+						visit(lit.Body, nil)
+						return false
+					}
+					return true
+				})
+				check(body, nested)
+			}
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					visit(fd.Body, nil)
+				}
+			}
+		}
+	},
+}

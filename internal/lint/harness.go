@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// TB is the subset of *testing.T the golden harness needs. Taking the
+// interface instead of *testing.T lets the harness itself be tested: a
+// fake TB proves that wrong expectations actually fail (see
+// TestHarnessDetectsBrokenExpectations).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantRE matches one expectation inside a `// want` comment: a
+// double-quoted regular expression.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// RunGolden loads the synthetic module rooted at dir (it must contain its
+// own go.mod), runs the analyzer over it, and diffs the reported
+// diagnostics against `// want "regexp"` comments: every diagnostic must
+// match a want on its line, and every want must be matched by a
+// diagnostic. Allow directives are honored, so fixtures can hold both
+// flagged and deliberately allowed cases.
+func RunGolden(t TB, a *Analyzer, dir string) {
+	t.Helper()
+	prog, err := Load(dir)
+	if err != nil {
+		t.Fatalf("lint golden %s: load %s: %v", a.Name, dir, err)
+		return
+	}
+	diags := prog.Run([]*Analyzer{a})
+	CompareGolden(t, a, prog, diags)
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// CompareGolden diffs diagnostics against the program's want comments.
+// Split out of RunGolden so driver-level diagnostics (CheckDirectives)
+// can be golden-tested the same way.
+func CompareGolden(t TB, a *Analyzer, prog *Program, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, prog)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		ws := wants[key]
+		matched := false
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", key, d.Message, d.Analyzer)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}
+
+// collectWants extracts `// want "..."` expectations from every fixture
+// file, keyed by file:line.
+func collectWants(t TB, prog *Program) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, pass := range prog.Passes {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(body, "want ") {
+						continue
+					}
+					// A want comment trails the line it constrains.
+					pos := prog.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantRE.FindAllStringSubmatch(body, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+							return nil
+						}
+						wants[key] = append(wants[key], &want{re: re, raw: m[1]})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noCopySyncTypes are the sync/sync-atomic types whose values must not be
+// copied after first use.
+var noCopySyncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+	"Cond": true, "Map": true, "Pool": true,
+}
+
+// holdsLock reports whether a value of type t contains a sync primitive
+// (directly, in a struct field, embedded, or as an array element).
+func holdsLock(t types.Type, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	if n := namedType(t); n != nil {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				if noCopySyncTypes[obj.Name()] {
+					return true
+				}
+			case "sync/atomic":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsLock(u.Field(i).Type(), depth-1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return holdsLock(u.Elem(), depth-1)
+	}
+	return false
+}
+
+// LockCopy flags value copies of lock-bearing types — parameters, plain
+// assignments from existing values, and range-clause element copies. A
+// copied mutex guards nothing: the copy and the original lock
+// independently, which is a data race that only loses races in
+// production. (Fresh composite literals and pointer passing are fine.)
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "value copies of mutex/waitgroup-bearing types guard nothing",
+	Run: func(p *Pass) {
+		exprType := func(e ast.Expr) types.Type {
+			if tv, ok := p.Info.Types[e]; ok {
+				return tv.Type
+			}
+			return nil
+		}
+		// copiesValue reports whether evaluating e yields a copy of an
+		// existing value (rather than a freshly constructed one).
+		copiesValue := func(e ast.Expr) bool {
+			switch ast.Unparen(e).(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				return true
+			}
+			return false
+		}
+		for _, f := range p.Files {
+			if p.TestFile(f) {
+				continue
+			}
+			checkFuncType := func(ft *ast.FuncType) {
+				if ft.Params == nil {
+					return
+				}
+				for _, field := range ft.Params.List {
+					t := exprType(field.Type)
+					if t == nil {
+						continue
+					}
+					if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+						continue
+					}
+					if holdsLock(t, 4) {
+						p.Reportf(field.Type.Pos(), "parameter passes a lock-bearing value by value; take a pointer so the caller and callee share one lock")
+					}
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.FuncDecl:
+					checkFuncType(s.Type)
+				case *ast.FuncLit:
+					checkFuncType(s.Type)
+				case *ast.AssignStmt:
+					for i, rhs := range s.Rhs {
+						if !copiesValue(rhs) {
+							continue
+						}
+						t := exprType(rhs)
+						if t == nil {
+							continue
+						}
+						if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+							continue
+						}
+						if holdsLock(t, 4) {
+							p.Reportf(s.Rhs[i].Pos(), "assignment copies a lock-bearing value; keep a pointer to the original instead")
+						}
+					}
+				case *ast.RangeStmt:
+					if s.Value != nil {
+						// A := range clause defines its value variable, so its
+						// type lives in Defs rather than Types.
+						var t types.Type
+						if id, ok := ast.Unparen(s.Value).(*ast.Ident); ok {
+							if obj := p.Info.Defs[id]; obj != nil {
+								t = obj.Type()
+							} else if obj := p.Info.Uses[id]; obj != nil {
+								t = obj.Type()
+							}
+						}
+						if t == nil {
+							t = exprType(s.Value)
+						}
+						if t != nil && holdsLock(t, 4) {
+							p.Reportf(s.Value.Pos(), "range clause copies lock-bearing elements; iterate by index and take pointers")
+						}
+					}
+				}
+				return true
+			})
+		}
+	},
+}

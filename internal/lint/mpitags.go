@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MPITags guards the cluster wire protocol. It runs on the package named
+// "mpi" (the protocol's home) and checks two contracts program-wide:
+//
+//  1. Every exported constant of the mpi Tag type must be handled
+//     somewhere — appear in a switch case or an ==/!= comparison outside
+//     the Tag type's own String method. A tag constant with no handler
+//     is a message the protocol can emit but no rank will ever act on.
+//
+//  2. Every concrete struct type handed to a gob encoder (a
+//     (*gob.Encoder).Encode call or an encodeGob-style helper) whose
+//     fields include an interface type must have a matching gob.Register
+//     call in the program; gob refuses interface-typed fields at runtime
+//     unless a concrete implementation was registered, which is exactly
+//     the failure mode that only shows up on the first real cluster run.
+var MPITags = &Analyzer{
+	Name: "mpitags",
+	Doc:  "every mpi.Tag constant needs a handler; gob payloads with interface fields need gob.Register",
+	Run: func(p *Pass) {
+		if p.Pkg.Name() != "mpi" {
+			return
+		}
+		tagType, _ := p.Pkg.Scope().Lookup("Tag").(*types.TypeName)
+		if tagType == nil {
+			return
+		}
+		checkTagHandlers(p, tagType)
+		checkGobPayloads(p)
+	},
+}
+
+func checkTagHandlers(p *Pass, tagType *types.TypeName) {
+	// Collect the exported Tag constants in declaration order.
+	var tags []*types.Const
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		if named, ok := c.Type().(*types.Named); ok && named.Obj() == tagType {
+			tags = append(tags, c)
+		}
+	}
+	if len(tags) == 0 {
+		return
+	}
+	// The Tag type's String method enumerates every tag by design; its
+	// cases don't count as handling.
+	var stringLo, stringHi token.Pos
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "String" {
+				continue
+			}
+			if tv, ok := p.Info.Types[fd.Recv.List[0].Type]; ok {
+				if n := namedType(tv.Type); n != nil && n.Obj() == tagType {
+					stringLo, stringHi = fd.Pos(), fd.End()
+				}
+			}
+		}
+	}
+	handled := make(map[*types.Const]bool)
+	markUses := func(pass *Pass, e ast.Expr) {
+		var id *ast.Ident
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		default:
+			return
+		}
+		if c, ok := pass.Info.Uses[id].(*types.Const); ok {
+			for _, t := range tags {
+				if c == t {
+					handled[c] = true
+				}
+			}
+		}
+	}
+	for _, sib := range p.Prog.Passes {
+		for _, f := range sib.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n != nil && stringHi.IsValid() && n.Pos() >= stringLo && n.Pos() < stringHi {
+					return false
+				}
+				switch e := n.(type) {
+				case *ast.CaseClause:
+					for _, expr := range e.List {
+						markUses(sib, expr)
+					}
+				case *ast.BinaryExpr:
+					if e.Op == token.EQL || e.Op == token.NEQ {
+						markUses(sib, e.X)
+						markUses(sib, e.Y)
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, t := range tags {
+		if !handled[t] {
+			p.Reportf(t.Pos(), "mpi tag %s is declared but never handled: no switch case or comparison outside Tag.String consumes it", t.Name())
+		}
+	}
+}
+
+// checkGobPayloads scans the whole program for gob-encoded payloads with
+// interface-typed fields lacking a gob.Register of a compatible concrete
+// type.
+func checkGobPayloads(p *Pass) {
+	// First pass: collect the concrete types registered with gob.
+	var registered []types.Type
+	forEachCall(p.Prog, func(pass *Pass, call *ast.CallExpr) {
+		if isPkgFunc(pass, call, "encoding/gob", "Register", "RegisterName") && len(call.Args) > 0 {
+			arg := call.Args[len(call.Args)-1]
+			if tv, ok := pass.Info.Types[arg]; ok {
+				registered = append(registered, tv.Type)
+			}
+		}
+	})
+	// Second pass: inspect every encode call's payload type.
+	forEachCall(p.Prog, func(pass *Pass, call *ast.CallExpr) {
+		fn := calleeFunc(pass, call)
+		if fn == nil || len(call.Args) == 0 {
+			return
+		}
+		isEncode := false
+		if fn.Name() == "Encode" && fn.Pkg() != nil && fn.Pkg().Path() == "encoding/gob" {
+			if sig := fn.Type().(*types.Signature); sig.Recv() != nil && typeIs(sig.Recv().Type(), "encoding/gob", "Encoder") {
+				isEncode = true
+			}
+		}
+		if fn.Name() == "encodeGob" || fn.Name() == "EncodeGob" {
+			isEncode = true
+		}
+		if !isEncode {
+			return
+		}
+		tv, ok := pass.Info.Types[call.Args[0]]
+		if !ok {
+			return
+		}
+		named := namedType(tv.Type)
+		if named == nil {
+			return
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		if fieldName, iface := interfaceField(st, 3); iface != nil {
+			ok := false
+			for _, rt := range registered {
+				if types.AssignableTo(rt, iface) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				p.withPass(pass).Reportf(call.Pos(), "gob-encoded payload %s has interface-typed field %s but no gob.Register call provides a concrete type for it", named.Obj().Name(), fieldName)
+			}
+		}
+	})
+}
+
+// withPass rebinds the reporting pass (for cross-package diagnostics)
+// while keeping the analyzer and sink of the current run.
+func (p *Pass) withPass(other *Pass) *Pass {
+	q := *other
+	q.analyzer = p.analyzer
+	q.sink = p.sink
+	return &q
+}
+
+// forEachCall visits every call expression in the program.
+func forEachCall(prog *Program, fn func(pass *Pass, call *ast.CallExpr)) {
+	for _, pass := range prog.Passes {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					fn(pass, call)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// interfaceField returns the first interface-typed field reachable in the
+// struct (descending into named struct fields up to depth levels), along
+// with its name.
+func interfaceField(st *types.Struct, depth int) (string, *types.Interface) {
+	if depth == 0 {
+		return "", nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		t := f.Type()
+		if iface, ok := t.Underlying().(*types.Interface); ok {
+			return f.Name(), iface
+		}
+		if inner, ok := t.Underlying().(*types.Struct); ok {
+			if name, iface := interfaceField(inner, depth-1); iface != nil {
+				return f.Name() + "." + name, iface
+			}
+		}
+	}
+	return "", nil
+}

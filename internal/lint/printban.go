@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// bannedLogFuncs are the package-level "log" functions that write to the
+// process stderr through the default logger, bypassing obs.
+var bannedLogFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// PrintBan enforces the logging route from the observability PRs: library
+// code must log through obs.NewLogger (log/slog), which tees every record
+// into the flight-recorder ring so crash dumps include the lead-up.
+// Direct console output — fmt.Print*, the print/println builtins,
+// Fprint* aimed at os.Stderr/os.Stdout, os.Stderr.Write*, or the legacy
+// "log" package — never reaches the ring and is reserved for package
+// main (cmd/ and examples/) and tests.
+var PrintBan = &Analyzer{
+	Name: "printban",
+	Doc:  "direct console output outside cmd/ and tests bypasses the obs logging route",
+	Run: func(p *Pass) {
+		if p.Pkg.Name() == "main" {
+			return
+		}
+		for _, f := range p.Files {
+			if p.TestFile(f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// print/println builtins.
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if b, ok := p.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+						p.Reportf(call.Pos(), "builtin %s writes to stderr; log through obs.NewLogger so records reach the flight ring", b.Name())
+						return true
+					}
+				}
+				fn := calleeFunc(p, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "fmt":
+					name := fn.Name()
+					switch {
+					case name == "Print" || name == "Printf" || name == "Println":
+						p.Reportf(call.Pos(), "fmt.%s outside cmd/; log through obs.NewLogger so records reach the flight ring", name)
+					case strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 &&
+						(pkgLevelVar(p, call.Args[0], "os", "Stderr") || pkgLevelVar(p, call.Args[0], "os", "Stdout")):
+						p.Reportf(call.Pos(), "fmt.%s to the process console outside cmd/; log through obs.NewLogger so records reach the flight ring", name)
+					}
+				case "log":
+					if bannedLogFuncs[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+						p.Reportf(call.Pos(), "log.%s writes to stderr around obs; use obs.NewLogger / log/slog instead", fn.Name())
+					}
+				case "os":
+					// os.Stderr.Write / os.Stdout.WriteString etc.
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && strings.HasPrefix(fn.Name(), "Write") &&
+						(pkgLevelVar(p, sel.X, "os", "Stderr") || pkgLevelVar(p, sel.X, "os", "Stdout")) {
+						p.Reportf(call.Pos(), "direct os.%s write outside cmd/; log through obs.NewLogger so records reach the flight ring", exprIdentName(sel.X))
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+func exprIdentName(e ast.Expr) string {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "Stderr"
+}

@@ -1,0 +1,18 @@
+package lint
+
+// All returns the full fcmavet analyzer suite in stable order. Each
+// analyzer enforces one contract a prior PR established by convention;
+// see DESIGN.md §12 for the invariant-to-PR map.
+func All() []*Analyzer {
+	return []*Analyzer{
+		RawGoroutine,
+		CtxFlow,
+		F32Purity,
+		NilSafeObs,
+		MPITags,
+		NoClock,
+		PrintBan,
+		LockCopy,
+		DeferUnlock,
+	}
+}

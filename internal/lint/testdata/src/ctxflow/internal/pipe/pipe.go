@@ -1,0 +1,30 @@
+package pipe
+
+import "context"
+
+// Process already receives a context; minting a fresh root severs
+// cancellation for everything downstream.
+func Process(ctx context.Context, n int) error {
+	_ = ctx
+	bg := context.Background() // want "context.Background.. inside a function that already receives a context.Context"
+	_ = bg
+	return nil
+}
+
+// Helper shows the TODO variant of the same bug.
+func Helper(ctx context.Context) {
+	_ = ctx
+	_ = context.TODO() // want "context.TODO.. inside a function that already receives a context.Context"
+}
+
+// Entry has no context parameter, so minting the root context is its job.
+func Entry() context.Context {
+	return context.Background()
+}
+
+// Detached documents a deliberate root context with an allow directive.
+func Detached(ctx context.Context) context.Context {
+	_ = ctx
+	//lint:allow ctxflow audit span must outlive the request on purpose
+	return context.Background()
+}

@@ -1,0 +1,61 @@
+// Package pipe exercises lock-pairing shapes: every Lock needs a
+// matching Unlock of the same flavor in the same function.
+package pipe
+
+import "sync"
+
+// Table is the shared structure under test.
+type Table struct {
+	mu   sync.RWMutex
+	rows map[string]int
+}
+
+// Leak locks and never unlocks: the deadlock the analyzer exists for.
+func (t *Table) Leak(k string) {
+	t.mu.Lock() // want "has no matching Unlock in this function"
+	t.rows[k]++
+}
+
+// Deferred pairs the lock the idiomatic way: clean.
+func (t *Table) Deferred(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+// Inline hand-unlocks on the hot path: clean, the pair just has to exist.
+func (t *Table) Inline(k string) int {
+	t.mu.RLock()
+	v := t.rows[k]
+	t.mu.RUnlock()
+	return v
+}
+
+// Mixed releases the wrong flavor: rwmutex corruption, not pairing.
+func (t *Table) Mixed(k string) int {
+	t.mu.RLock() // want "found the other read/write flavor"
+	v := t.rows[k]
+	t.mu.Unlock()
+	return v
+}
+
+// Crossed locks here and unlocks in a closure: the closure is its own
+// scope, so the outer Lock is unpaired (a lone Unlock is not flagged —
+// it cannot deadlock by itself).
+func (t *Table) Crossed(k string) func() {
+	t.mu.Lock() // want "has no matching Unlock in this function"
+	t.rows[k]++
+	return func() {
+		t.mu.Unlock()
+	}
+}
+
+// Handoff documents a sanctioned cross-function scheme with a directive.
+func (t *Table) Handoff(k string) func() {
+	//lint:allow deferunlock lock handed to the returned closure by design
+	t.mu.Lock()
+	t.rows[k]++
+	return func() {
+		t.mu.Unlock()
+	}
+}

@@ -1,0 +1,48 @@
+// Package corr sits on a kernel path (internal/corr), so float64 must
+// not appear without an annotation.
+package corr
+
+// Dot is the float32 hot loop the contract protects: clean.
+func Dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func widen(a []float32) float64 {
+	return float64(a[0]) // want "float64 conversion on the float32 hot path"
+}
+
+func buffer(n int) []float64 {
+	return make([]float64, n) // want "float64 buffer allocation on the float32 hot path"
+}
+
+func arith(x, y float64) float64 {
+	return x * y // want "float64 arithmetic on the float32 hot path"
+}
+
+func accum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x // want "float64 compound assignment on the float32 hot path"
+	}
+	return s
+}
+
+func literal() []float64 {
+	return []float64{1, 2} // want "float64 literal buffer on the float32 hot path"
+}
+
+// Mean is a deliberately double accumulator; the doc-comment directive
+// covers the whole declaration.
+//
+//lint:allow f32purity float64 moment accumulation for stability; result re-enters float32
+func Mean(a []float32) float32 {
+	var s float64
+	for _, v := range a {
+		s += float64(v)
+	}
+	return float32(s / float64(len(a)))
+}

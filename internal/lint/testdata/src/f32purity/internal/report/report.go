@@ -1,0 +1,15 @@
+// Package report is outside the kernel paths, where float64 is the norm
+// and nothing is flagged.
+package report
+
+// Summarize aggregates in double precision, as reporting code should.
+func Summarize(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,66 @@
+// Package pipe exercises lock-copy shapes: a copied mutex guards
+// nothing, so lock-bearing values move by pointer only.
+package pipe
+
+import "sync"
+
+// Shard embeds a mutex, so Shard values are lock-bearing.
+type Shard struct {
+	mu   sync.Mutex
+	hits int
+}
+
+// Consume takes the shard by value: caller and callee lock different
+// mutexes.
+func Consume(s Shard) int { // want "parameter passes a lock-bearing value by value"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// ConsumePtr shares one lock with the caller: clean.
+func ConsumePtr(s *Shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// Snapshot copies an existing shard (and its mutex) into a local.
+func Snapshot(s *Shard) int {
+	local := *s // want "assignment copies a lock-bearing value"
+	return local.hits
+}
+
+// Sweep's range clause copies each element, mutex included.
+func Sweep(shards []Shard) int {
+	total := 0
+	for _, s := range shards { // want "range clause copies lock-bearing elements"
+		total += s.hits
+	}
+	return total
+}
+
+// SweepByIndex iterates by index and takes pointers: clean.
+func SweepByIndex(shards []Shard) int {
+	total := 0
+	for i := range shards {
+		total += shards[i].hits
+	}
+	return total
+}
+
+// Fresh constructs a new value rather than copying one: clean.
+func Fresh() *Shard {
+	s := Shard{}
+	return &s
+}
+
+// Transfer documents a sanctioned copy: the prototype is copied before
+// first use, so no goroutine has ever locked it. The doc-comment
+// directive covers the whole declaration (parameter and assignment).
+//
+//lint:allow lockcopy prototype copied before first use; no goroutine has locked it
+func Transfer(proto Shard) Shard {
+	dup := proto
+	return dup
+}

@@ -1,0 +1,17 @@
+// Package consumer handles a subset of the protocol tags; handling
+// counts program-wide, from any package.
+package consumer
+
+import "example.test/mpi"
+
+// Handle routes one message tag.
+func Handle(t mpi.Tag) string {
+	switch t {
+	case mpi.TagReady:
+		return "ready"
+	}
+	if t == mpi.TagStop {
+		return "stop"
+	}
+	return ""
+}

@@ -1,0 +1,94 @@
+// Package mpi mirrors the real wire protocol: every exported Tag
+// constant needs a handler somewhere in the program, and gob payloads
+// with interface fields need a gob.Register.
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Tag classifies a message.
+type Tag uint32
+
+const (
+	// TagReady is handled by the consumer's switch.
+	TagReady Tag = iota + 1
+	// TagStop is handled by the consumer's == comparison.
+	TagStop
+	// TagOrphan has no handler anywhere in the program.
+	TagOrphan // want "mpi tag TagOrphan is declared but never handled"
+	// TagReserved is a deliberate wire-format placeholder.
+	//lint:allow mpitags reserved wire slot; renumbering would break compatibility
+	TagReserved
+)
+
+// String enumerates every tag by design; its cases do not count as
+// handling.
+func (t Tag) String() string {
+	switch t {
+	case TagReady:
+		return "ready"
+	case TagStop:
+		return "stop"
+	case TagOrphan:
+		return "orphan"
+	case TagReserved:
+		return "reserved"
+	}
+	return "unknown"
+}
+
+// Payload is the registered plug-in interface: ScoreSlab implements it
+// and is gob.Register'd, so Handled encodes cleanly.
+type Payload interface {
+	Kind() string
+}
+
+// secretPayload has no registered implementation.
+type secretPayload interface {
+	secret() string
+}
+
+// ScoreSlab is the registered concrete payload.
+type ScoreSlab struct {
+	Values []float32
+}
+
+// Kind implements Payload.
+func (ScoreSlab) Kind() string { return "scores" }
+
+func init() {
+	gob.Register(ScoreSlab{})
+}
+
+// Handled carries a registered interface field: clean.
+type Handled struct {
+	Inner Payload
+}
+
+// Orphaned carries an interface field nothing registers.
+type Orphaned struct {
+	Inner secretPayload
+}
+
+// Flat has no interface fields at all: clean.
+type Flat struct {
+	Body []byte
+}
+
+// Ship exercises the three encode shapes.
+func Ship(h Handled, o Orphaned, f Flat) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(h); err != nil {
+		return nil, err
+	}
+	if err := enc.Encode(o); err != nil { // want "gob-encoded payload Orphaned has interface-typed field Inner"
+		return nil, err
+	}
+	if err := enc.Encode(f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

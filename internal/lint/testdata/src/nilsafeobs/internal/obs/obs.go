@@ -1,0 +1,48 @@
+// Package obs mirrors the real observability package's nil-is-off
+// contract: a nil *Registry disables instrumentation, so pointer-receiver
+// methods must stay no-ops on nil.
+package obs
+
+// Registry opts into the contract: Inc opens with a nil guard.
+type Registry struct {
+	counters map[string]int
+}
+
+// Inc is the guarded archetype every sibling method must follow.
+func (r *Registry) Inc(name string) {
+	if r == nil {
+		return
+	}
+	r.counters[name]++
+}
+
+// Count forgets the guard and touches a field — the exact shape of the
+// bug where a newly added method panics the first uninstrumented run.
+func (r *Registry) Count(name string) int { // want "dereferences its receiver without a leading nil guard"
+	return r.counters[name]
+}
+
+// Bump only delegates to a guarded method; delegation is nil-safe and
+// needs no guard of its own.
+func (r *Registry) Bump(name string) {
+	r.Inc(name)
+}
+
+// reset documents a deliberate exception with a reasoned directive.
+//
+//lint:allow nilsafeobs only reachable from guarded methods holding a non-nil receiver
+func (r *Registry) reset(name string) {
+	delete(r.counters, name)
+}
+
+// Gauge never opted in (no guarded methods), so the contract does not
+// bind it.
+type Gauge struct {
+	v float64
+}
+
+// Set touches a field without a guard, legally: Gauge is outside the
+// contract.
+func (g *Gauge) Set(v float64) {
+	g.v = v
+}

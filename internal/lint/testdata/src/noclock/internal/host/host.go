@@ -1,0 +1,9 @@
+// Package host is outside internal/mic; wall-clock reads are its job.
+package host
+
+import "time"
+
+// Stamp reads real time, legally.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,34 @@
+// Package mic mirrors the simulator: time is modeled from counted work
+// and randomness comes from explicitly seeded sources, so the same inputs
+// replay bit-for-bit.
+package mic
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Step advances simulated time; reading the wall clock here would make
+// every run different.
+func Step() time.Duration {
+	start := time.Now()      // want "wall-clock call time.Now inside internal/mic"
+	return time.Since(start) // want "wall-clock call time.Since inside internal/mic"
+}
+
+// Jitter draws from the global, non-deterministically seeded source.
+func Jitter() float64 {
+	return rand.Float64() // want "globally seeded rand.Float64 inside internal/mic"
+}
+
+// Seeded draws from an explicitly seeded generator: clean, including the
+// rand.New / rand.NewSource constructors themselves.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Calibrate documents a sanctioned wall-clock read with a directive.
+func Calibrate() time.Time {
+	//lint:allow noclock one-time host calibration outside the simulated timeline
+	return time.Now()
+}

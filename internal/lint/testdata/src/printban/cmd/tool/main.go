@@ -1,0 +1,9 @@
+// Command tool is package main: console output is its interface, so
+// nothing here is flagged.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("tool: done")
+}

@@ -1,0 +1,29 @@
+// Package pipe is library code: console output must route through the
+// obs logger so records reach the flight ring.
+package pipe
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// Shout hits every banned console route.
+func Shout(msg string) {
+	println(msg)                // want "builtin println writes to stderr"
+	fmt.Println(msg)            // want "fmt.Println outside cmd/"
+	fmt.Fprintf(os.Stderr, msg) // want "fmt.Fprintf to the process console outside cmd/"
+	log.Printf("%s", msg)       // want "log.Printf writes to stderr around obs"
+	_, _ = os.Stderr.Write(nil) // want "direct os.Stderr write outside cmd/"
+}
+
+// Format writes to a caller-supplied sink: clean, the caller decides.
+func Format(buf *os.File, msg string) {
+	fmt.Fprintln(buf, msg)
+}
+
+// CrashDump documents the sanctioned last-resort stderr write.
+func CrashDump(msg string) {
+	//lint:allow printban crash path; stderr is the only sink left
+	fmt.Fprintln(os.Stderr, msg)
+}

@@ -1,0 +1,24 @@
+package pipe
+
+import "example.test/internal/safe"
+
+// FanOut spawns raw goroutines — the exact shape the contract forbids.
+func FanOut(work []func()) {
+	for _, w := range work {
+		go w() // want "raw go statement outside internal/safe"
+	}
+}
+
+// Routed spawns through the safe driver: clean.
+func Routed(fn func()) {
+	safe.Go(fn)
+}
+
+// Drain shows the audited escape hatch: a reasoned allow directive.
+func Drain(ch chan int) {
+	//lint:allow rawgoroutine audited pump; the loop body cannot panic
+	go func() {
+		for range ch {
+		}
+	}()
+}

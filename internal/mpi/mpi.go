@@ -22,6 +22,7 @@ const (
 	// TagStop tells a worker to shut down.
 	TagStop
 	// TagData carries a serialized dataset broadcast.
+	//lint:allow mpitags reserved protocol slot for dataset broadcast; no handler ships yet and renumbering would break the wire
 	TagData
 	// TagError carries a worker-side failure description.
 	TagError

@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"fcma/internal/safe"
 )
 
 // TCP wire format per message:
@@ -149,7 +151,7 @@ func (m *TCPMaster) Accept() error {
 	if tl != nil {
 		tl.SetDeadline(time.Time{})
 	}
-	go m.acceptLoop()
+	safe.Go("mpi/accept", func() error { m.acceptLoop(); return nil }, nil)
 	return nil
 }
 
@@ -188,7 +190,7 @@ func (m *TCPMaster) admit(conn net.Conn) error {
 		m.mu.Unlock()
 		return fmt.Errorf("mpi: handshake with rank %d: %w", rank, err)
 	}
-	go m.pump(rank, conn)
+	safe.Go("mpi/pump", func() error { m.pump(rank, conn); return nil }, nil)
 	return nil
 }
 

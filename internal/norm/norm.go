@@ -18,6 +18,8 @@ const ClampR = 1 - 1e-6
 
 // FisherZ applies the Fisher transformation z = ½·ln((1+r)/(1−r)) = atanh(r)
 // with |r| clamped to ClampR.
+//
+//lint:allow f32purity math.Atanh is float64-only; the clamp+transform round-trips through float64 deterministically
 func FisherZ(r float32) float32 {
 	rf := float64(r)
 	if rf > ClampR {
@@ -40,6 +42,8 @@ func FisherZSlice(xs []float32) {
 // mean 0 and scaled to standard deviation 1. Columns with zero variance
 // become all zeros. It runs in two passes using the one-pass E[X²]−E[X]²
 // moment accumulation the paper describes (§4.3).
+//
+//lint:allow f32purity float64 moment accumulation per the paper's §4.3; scale/shift re-enter float32
 func ZScoreColumns(data []float32, rows, cols int) {
 	if rows == 0 || cols == 0 {
 		return
@@ -86,6 +90,8 @@ func ZScoreColumns(data []float32, rows, cols int) {
 // FisherThenZScore fuses the Fisher transform with column z-scoring over a
 // rows×cols block, the in-cache operation of the merged pipeline: the block
 // is read once for the transform+moments and once for the scaling.
+//
+//lint:allow f32purity float64 moment accumulation per the paper's §4.3; scale/shift re-enter float32
 func FisherThenZScore(data []float32, rows, cols int) {
 	if rows == 0 || cols == 0 {
 		return

@@ -32,10 +32,10 @@ func BootstrapCLI(component, format, flightOut string, attrs ...slog.Attr) *slog
 	}
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGQUIT)
-	go func() {
+	spawn("obs/sigquit", func() {
 		for range ch {
 			trace.DumpNow("SIGQUIT")
 		}
-	}()
+	})
 	return logger
 }

@@ -59,7 +59,7 @@ func StartProgress(opts ProgressOptions) (stop func()) {
 		fmt.Fprintf(opts.W, "%s: %d %s, %.1f %s/sec\n", opts.Label, n, opts.Unit, rate, opts.Unit)
 	}
 	wg.Add(1)
-	go func() {
+	spawn("obs/progress", func() {
 		defer wg.Done()
 		t := time.NewTicker(opts.Interval)
 		defer t.Stop()
@@ -71,7 +71,7 @@ func StartProgress(opts ProgressOptions) (stop func()) {
 				line()
 			}
 		}
-	}()
+	})
 	var once sync.Once
 	return func() {
 		once.Do(func() {

@@ -111,6 +111,6 @@ func ServeFunc(addr string, snap func() Snapshot) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
+	spawn("obs/metrics-server", func() { _ = srv.Serve(ln) })
 	return &Server{ln: ln, srv: srv}, nil
 }

@@ -20,17 +20,22 @@ type Snapshot struct {
 	Hists    map[string]HistogramSnapshot
 }
 
-// Snapshot copies the registry's current state. A nil registry snapshots
-// empty.
-func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{
+// emptySnapshot returns a Snapshot with allocated (mergeable) maps.
+func emptySnapshot() Snapshot {
+	return Snapshot{
 		Counters: make(map[string]uint64),
 		Gauges:   make(map[string]float64),
 		Hists:    make(map[string]HistogramSnapshot),
 	}
+}
+
+// Snapshot copies the registry's current state. A nil registry snapshots
+// empty.
+func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
-		return s
+		return emptySnapshot()
 	}
+	s := emptySnapshot()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for name, c := range r.counters {

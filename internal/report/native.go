@@ -131,9 +131,9 @@ func runLocalCluster(stack *corr.EpochStack, workers, taskSize int) (time.Durati
 	start := time.Now()
 	for r := 1; r <= workers; r++ {
 		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			errs[r-1] = safe.Do("report/cluster-worker", 0, stack.N, func() error {
+		r := r
+		safe.Go("report/cluster-worker", func() error {
+			return safe.Do("report/cluster-worker", 0, stack.N, func() error {
 				cfg := core.Optimized()
 				cfg.Workers = 1 // one goroutine per simulated node
 				w, err := core.NewWorker(cfg, stack, nil)
@@ -142,7 +142,10 @@ func runLocalCluster(stack *corr.EpochStack, workers, taskSize int) (time.Durati
 				}
 				return cluster.RunWorker(comm.Rank(r), w)
 			})
-		}(r)
+		}, func(err error) {
+			errs[r-1] = err
+			wg.Done()
+		})
 	}
 	_, err = cluster.RunMaster(comm.Rank(0), stack.N, taskSize)
 	wg.Wait()

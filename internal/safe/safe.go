@@ -363,7 +363,8 @@ func ParallelRanges(ctx context.Context, span Span, n, workers int, fn func(ctx 
 
 // Go spawns fn on its own goroutine with panic containment and reports
 // its outcome (the returned error, or a *PipelineError for a panic) to
-// report exactly once. It is the building block for long-lived service
+// report exactly once. A nil report discards the outcome but keeps the
+// containment. It is the building block for long-lived service
 // goroutines (streamers, feedback loops, cluster workers) that must
 // never take the process down.
 func Go(stage string, fn func() error, report func(error)) {
@@ -373,7 +374,9 @@ func Go(stage string, fn func() error, report func(error)) {
 			if pe := Recovered(stage, 0, 0, recover()); pe != nil {
 				err = pe
 			}
-			report(err)
+			if report != nil {
+				report(err)
+			}
 		}()
 		err = fn()
 	}()

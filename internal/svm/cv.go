@@ -86,6 +86,8 @@ func CrossValidate(tr KernelTrainer, K *tensor.Matrix, labels []int, folds []Fol
 // and degenerate-fold counts as attributes) when ctx carries a tracer —
 // the stage-3 per-voxel unit of the merged timeline. The solver itself is
 // not cancellable; ctx is tracing context only.
+//
+//lint:allow f32purity accuracy scoring is final reporting, not kernel math
 func CrossValidateContext(ctx context.Context, tr KernelTrainer, K *tensor.Matrix, labels []int, folds []Fold) (float64, error) {
 	if K.Rows != K.Cols || K.Rows != len(labels) {
 		return 0, fmt.Errorf("svm: kernel %dx%d vs %d labels", K.Rows, K.Cols, len(labels))

@@ -1,5 +1,13 @@
 package svm
 
+// The float32-kernel SMO solver deliberately keeps its alpha/gradient
+// state in float64, matching LIBSVM practice: the kernel matrix stays
+// float32 (the paper's determinism contract) while the iterative
+// optimizer accumulates in double so convergence is stable. The whole
+// file is annotated rather than each of the ~45 sites.
+//
+//lint:file-allow f32purity deliberate float64 alpha/gradient accumulation per LIBSVM practice; kernel data stays float32
+
 import (
 	"fmt"
 	"math"

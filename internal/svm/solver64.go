@@ -1,5 +1,10 @@
 package svm
 
+// This file is the float64 reference solver — the correctness oracle the
+// float32 path is validated against — so it is float64 by definition.
+//
+//lint:file-allow f32purity float64 reference solver by definition; the float32 path is checked against it
+
 import (
 	"fmt"
 	"math"

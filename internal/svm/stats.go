@@ -19,6 +19,8 @@ type FoldStats struct {
 }
 
 // Accuracy returns the fold's test accuracy.
+//
+//lint:allow f32purity final accuracy reporting, not kernel math
 func (f FoldStats) Accuracy() float64 {
 	if f.Total == 0 {
 		return 0
@@ -33,6 +35,8 @@ type CVStats struct {
 
 // Accuracy returns the pooled accuracy across folds (the quantity FCMA
 // assigns to a voxel).
+//
+//lint:allow f32purity final accuracy reporting, not kernel math
 func (s CVStats) Accuracy() float64 {
 	var correct, total int
 	for _, f := range s.Folds {

@@ -99,6 +99,8 @@ type Model struct {
 }
 
 // Decide evaluates the decision value for kernel-matrix sample t.
+//
+//lint:allow f32purity float64 decision-value accumulation for stability; only the sign classifies
 func (m *Model) Decide(K *tensor.Matrix, t int) float64 {
 	var sum float64
 	row := K.Row(t)
