@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check lint fcmavet vet build test test-race test-short bench bench-smoke fuzz
+.PHONY: check lint fcmavet vet build test test-race test-short bench bench-smoke fuzz chaos-soak
 
 check: lint build test
 
@@ -53,6 +53,18 @@ bench-smoke:
 	$(GO) run ./cmd/fcma-bench -scale 0.01 -json $(BENCHDIR) table1 table5 table7
 	$(GO) run ./cmd/fcma-run -mode select -synthetic face-scene -scale 0.01 \
 		-bench-out $(BENCHDIR) -trace-out $(BENCHDIR)/trace.json
+
+# Long-form crash-recovery soak behind the chaossoak build tag: a TCP
+# cluster whose master is chaos-killed ten times and resumed from its
+# journal, under transport + filesystem fault injection, asserting
+# bit-exact completion with zero recomputation. Runs under the race
+# detector and stays well inside the 2-minute timeout. CHAOSDIR receives
+# the journal and Chrome-trace artifacts for CI to upload on failure.
+CHAOSDIR ?= chaos-out
+chaos-soak:
+	FCMA_CHAOS_ARTIFACTS=$(CHAOSDIR) $(GO) test -race -tags chaossoak \
+		-run 'TestChaosSoakMasterKills|TestMasterKillResumeBitExact' \
+		-timeout 2m -v ./internal/cluster/
 
 # Short native-fuzz pass over the untrusted-input parsers (NIfTI headers
 # and epoch files). FUZZTIME bounds each target's run.

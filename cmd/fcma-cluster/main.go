@@ -29,9 +29,11 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"fcma/internal/chaos"
 	"fcma/internal/cluster"
 	"fcma/internal/core"
 	"fcma/internal/corr"
@@ -50,6 +52,15 @@ func main() {
 	epochPath := flag.String("epochs", "", "epoch label file")
 	taskSize := flag.Int("task-size", 120, "voxels per task (the paper assigns 120)")
 	checkpoint := flag.String("checkpoint", "", "master: checkpoint file for resumable analyses")
+	journal := flag.String("journal", "", "master: write-ahead journal for crash recovery; a restarted master replays it and never recomputes completed ranges")
+	resume := flag.Bool("resume", false, "master: expect the journal to hold a prior run's state (use with -journal after a master crash)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault-injection seed; 0 disables the chaos plan entirely")
+	chaosKillTasks := flag.String("chaos-kill-tasks", "", `master: comma-separated cumulative completed-task counts at which the master simulates a crash (e.g. "3,7,11")`)
+	chaosFSTorn := flag.Float64("chaos-fs-torn", 0, "probability a journal/checkpoint write is torn (partial write + EIO)")
+	chaosFSENOSPC := flag.Float64("chaos-fs-enospc", 0, "probability a journal/checkpoint write fails with ENOSPC")
+	chaosFSSlowSync := flag.Float64("chaos-fs-slow-sync", 0, "probability an fsync is delayed")
+	chaosFSRenameFail := flag.Float64("chaos-fs-rename-fail", 0, "probability a rename fails with EIO")
+	chaosSchedDelay := flag.Float64("chaos-sched-delay", 0, "probability a cluster scheduling point is delayed")
 	engine := flag.String("engine", "optimized", `worker kernels: "optimized" or "baseline"`)
 	topK := flag.Int("topk", 20, "master: voxels to report")
 	retry := flag.Int("retry", 5, "worker: dial attempts with exponential backoff; also rejoin attempts after a lost connection")
@@ -76,6 +87,27 @@ func main() {
 
 	d := loadDataset(*dataPath, *epochPath)
 
+	// The chaos plan is shared by the journal's filesystem seam and the
+	// master's scheduling points; seed 0 leaves every probe inert.
+	var plan *chaos.Plan
+	if *chaosSeed != 0 {
+		killTasks, err := parseKillTasks(*chaosKillTasks)
+		fail(err)
+		plan, err = chaos.NewPlan(chaos.Config{
+			Seed: *chaosSeed,
+			FS: chaos.FSConfig{
+				TornWrite:  *chaosFSTorn,
+				ENOSPC:     *chaosFSENOSPC,
+				SlowSync:   *chaosFSSlowSync,
+				RenameFail: *chaosFSRenameFail,
+			},
+			Sched:     chaos.SchedConfig{Delay: *chaosSchedDelay},
+			KillTasks: killTasks,
+		})
+		fail(err)
+		logger.Warn("fault injection armed", "seed", *chaosSeed, "kill_tasks", *chaosKillTasks)
+	}
+
 	switch *role {
 	case "master":
 		master, err := mpi.ListenMaster(*listen, *workers+1)
@@ -83,7 +115,7 @@ func main() {
 		defer master.Close()
 		master.SetAcceptTimeout(*acceptTimeout)
 		fmt.Printf("fcma-cluster: master on %s waiting for %d workers\n", master.Addr(), *workers)
-		fail(master.Accept())
+		fail(master.AcceptCtx(ctx))
 		cm := &cluster.ClusterMetrics{}
 		opts := cluster.MasterOptions{
 			TaskDeadline:     *deadline,
@@ -120,14 +152,38 @@ func main() {
 			}
 			opts.Checkpoint = cp
 		}
+		var jn *cluster.Journal
+		if *resume && *journal == "" {
+			fail(fmt.Errorf("-resume needs -journal"))
+		}
+		if *journal != "" {
+			jn, err = cluster.OpenJournalFS(plan.FS(chaos.OS()), *journal)
+			fail(err)
+			switch {
+			case jn.Done() > 0:
+				fmt.Printf("fcma-cluster: resuming from journal %s (%d voxels complete, %d assignments in flight)\n",
+					*journal, jn.Done(), jn.ReplayedAssigns())
+			case *resume:
+				logger.Warn("journal holds no prior state; starting fresh", "path", *journal)
+			}
+			opts.Journal = jn
+		}
+		opts.Chaos = plan
 		scores, err := cluster.RunMasterCtx(ctx, master, d.Voxels(), *taskSize, opts)
 		if tracer != nil {
 			// Worker span buffers ship before each result, so by the time the
 			// run returns (even cancelled) the merged timeline is complete.
 			writeTrace(logger, *traceOut, append(tracer.Drain(), shipped.Spans()...))
 		}
+		if errors.Is(err, chaos.ErrKilled) {
+			// Simulated crash: leave the journal exactly as a real crash
+			// would (no clean close, no TagStop broadcast) and exit hard.
+			// Restart with -journal/-resume to pick the run back up.
+			logger.Error("master killed by chaos plan", "kills", plan.Kills(), "journal", *journal)
+			os.Exit(137)
+		}
 		if errors.Is(err, context.Canceled) {
-			// os.Exit skips defers, so flush the checkpoint here — the
+			// os.Exit skips defers, so flush the durable state here — the
 			// partial run must be resumable before we report cancellation.
 			if cp != nil {
 				if cerr := cp.Close(); cerr != nil {
@@ -136,12 +192,27 @@ func main() {
 				}
 				fmt.Printf("fcma-cluster: checkpoint flushed to %s (%d voxels done)\n", *checkpoint, cp.Done())
 			}
+			if jn != nil {
+				if jerr := jn.Close(); jerr != nil {
+					logger.Error("journal flush failed", "err", jerr)
+					os.Exit(1)
+				}
+				fmt.Printf("fcma-cluster: journal flushed to %s (%d voxels complete)\n", *journal, jn.Done())
+			}
 			logger.Warn("run cancelled")
 			os.Exit(130)
 		}
 		fail(err)
 		if cp != nil {
 			fail(cp.Close())
+		}
+		if jn != nil {
+			// The run completed; a kept journal would make a rerun resume
+			// into an instantly finished state, so retire it.
+			fail(jn.Close())
+			if err := jn.Remove(); err != nil {
+				logger.Warn("could not remove completed journal", "path", *journal, "err", err)
+			}
 		}
 		top := core.TopVoxels(scores, *topK)
 		fmt.Printf("analysis complete: %d voxels scored; top %d:\n", len(scores), len(top))
@@ -170,7 +241,11 @@ func main() {
 		// Serve until the master says stop; a lost connection is rejoined
 		// (with a fresh rank) as long as the retry budget lasts.
 		for attempt := 0; ; attempt++ {
-			tr, err := mpi.DialWorkerRetry(*addr, mpi.DialOptions{Attempts: *retry})
+			tr, err := mpi.DialWorkerRetryCtx(ctx, *addr, mpi.DialOptions{Attempts: *retry})
+			if errors.Is(err, context.Canceled) {
+				logger.Warn("run cancelled")
+				os.Exit(130)
+			}
 			fail(err)
 			logger.Info("worker connected", "rank", tr.Rank(), "size", tr.Size(), "addr", *addr)
 			wopts := cluster.WorkerOptions{HeartbeatInterval: *heartbeat}
@@ -197,6 +272,24 @@ func main() {
 	default:
 		fail(fmt.Errorf("need -role master or -role worker"))
 	}
+}
+
+// parseKillTasks parses the -chaos-kill-tasks list ("3,7,11") into the
+// strictly increasing cumulative completed-task counts chaos.Config wants.
+func parseKillTasks(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -chaos-kill-tasks entry %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // writeTrace renders the merged span set as Chrome-trace JSON.

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"fcma/internal/chaos"
 	"fcma/internal/core"
 	"fcma/internal/mpi"
 )
@@ -28,7 +29,7 @@ import (
 // present) is real corruption and still refuses to load.
 type Checkpoint struct {
 	path      string
-	f         *os.File
+	f         chaos.File
 	have      map[int]float64
 	truncated bool
 }
@@ -36,7 +37,17 @@ type Checkpoint struct {
 // OpenCheckpoint opens (or creates) the checkpoint at path and loads any
 // scores a previous run recorded.
 func OpenCheckpoint(path string) (*Checkpoint, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenCheckpointFS(chaos.OS(), path)
+}
+
+// OpenCheckpointFS is OpenCheckpoint through an explicit filesystem seam,
+// so chaos tests can tear checkpoint appends mid-record and prove the
+// torn-tail recovery below actually recovers.
+func OpenCheckpointFS(fsys chaos.FS, path string) (*Checkpoint, error) {
+	if fsys == nil {
+		fsys = chaos.OS()
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: opening checkpoint: %w", err)
 	}
@@ -104,23 +115,35 @@ func (c *Checkpoint) Has(v int) bool {
 	return ok
 }
 
-// record appends freshly completed scores and syncs them to disk.
+// record appends freshly completed scores and syncs them to disk. The
+// in-memory index is updated only after the write and sync succeed, so a
+// torn or failed append leaves memory agreeing with disk (the voxels are
+// simply not checkpointed yet).
 func (c *Checkpoint) record(scores []core.VoxelScore) error {
 	var b strings.Builder
+	batch := make([]core.VoxelScore, 0, len(scores))
+	seen := make(map[int]bool, len(scores))
 	for _, s := range scores {
-		if _, ok := c.have[s.Voxel]; ok {
+		if _, ok := c.have[s.Voxel]; ok || seen[s.Voxel] {
 			continue
 		}
+		seen[s.Voxel] = true
 		fmt.Fprintf(&b, "%d,%.6f\n", s.Voxel, s.Accuracy)
-		c.have[s.Voxel] = s.Accuracy
+		batch = append(batch, s)
 	}
 	if b.Len() == 0 {
 		return nil
 	}
-	if _, err := c.f.WriteString(b.String()); err != nil {
+	if _, err := io.WriteString(c.f, b.String()); err != nil {
 		return err
 	}
-	return c.f.Sync()
+	if err := c.f.Sync(); err != nil {
+		return err
+	}
+	for _, s := range batch {
+		c.have[s.Voxel] = s.Accuracy
+	}
+	return nil
 }
 
 // scores returns everything the checkpoint holds.

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"time"
 
+	"fcma/internal/chaos"
 	"fcma/internal/core"
 	"fcma/internal/mpi"
 	"fcma/internal/obs"
@@ -98,6 +99,19 @@ type MasterOptions struct {
 	// are recorded before the next assignment and covered tasks are
 	// skipped on resume.
 	Checkpoint *Checkpoint
+	// Journal, when non-nil, is the master's write-ahead log: assignments
+	// and completions (with their merged result blocks) are recorded as
+	// they happen, completions durably before the master acts on them. A
+	// master restarted on a journal re-issues only in-flight tasks and
+	// never recomputes a journaled-complete voxel range; the resumed
+	// scores are bit-exact with an uninterrupted run.
+	Journal *Journal
+	// Chaos, when non-nil, injects the plan's scheduling-point delays into
+	// the master loop and kills the master (RunMasterCtx returns
+	// chaos.ErrKilled without any shutdown protocol) when a kill event
+	// fires. Production runs leave it nil; soaks use it to prove the
+	// journal recovery path.
+	Chaos *chaos.Plan
 	// TaskDeadline is how long a task may stay outstanding on one worker
 	// before a speculative copy is issued to an idle worker. Zero disables
 	// speculation.
@@ -213,6 +227,10 @@ func RunMasterCtx(ctx context.Context, tr mpi.Transport, totalVoxels, taskSize i
 		taskAvoid:   make(map[int]map[int]bool),
 	}
 	cp := opts.Checkpoint
+	jn := opts.Journal
+	if jn != nil {
+		jn.attach(reg)
+	}
 	for v0 := 0; v0 < totalVoxels; v0 += taskSize {
 		v := taskSize
 		if v0+v > totalVoxels {
@@ -221,10 +239,19 @@ func RunMasterCtx(ctx context.Context, tr mpi.Transport, totalVoxels, taskSize i
 		if cp != nil && taskCovered(cp, v0, v) {
 			continue
 		}
+		if jn != nil && taskJournaled(jn, v0, v) {
+			// Journaled-complete ranges are never re-issued: the counter is
+			// what the recovery tests assert zero recomputation against.
+			reg.Counter("cluster_tasks_skipped_journaled_total").Inc()
+			continue
+		}
 		m.queue = append(m.queue, taskMsg{V0: v0, V: v})
 	}
 	if cp != nil {
 		m.addScores(cp.scores())
+	}
+	if jn != nil {
+		m.addScores(jn.Scores())
 	}
 	return m.run(ctx)
 }
@@ -289,6 +316,12 @@ func (m *master) run(ctx context.Context) ([]core.VoxelScore, error) {
 			err = m.onTick(now)
 		case msg := <-msgs:
 			err = m.handle(msg)
+		}
+		if errors.Is(err, chaos.ErrKilled) {
+			// A chaos kill is a simulated crash: no stop broadcast, no
+			// graceful teardown — workers must discover the death through
+			// the transport, exactly as with a real master crash.
+			return nil, err
 		}
 		if err != nil {
 			m.broadcastStop()
@@ -429,12 +462,24 @@ func (m *master) handle(msg mpi.Message) error {
 			return m.recordWorkerError(msg.From, w.task, fmt.Sprintf("undecodable result: %v", err), now)
 		}
 		m.reg.Counter("cluster_tasks_completed_total").Inc()
+		m.opts.Chaos.Point("master/result")
+		// Durability before action: the completion must be on disk before
+		// the master acknowledges it by assigning this worker new work —
+		// a crash after this line never recomputes the range.
+		if jn := m.opts.Journal; jn != nil {
+			if err := jn.RecordComplete(res.Task.V0, res.Task.V, res.Scores); err != nil {
+				return fmt.Errorf("cluster: journaling completion: %w", err)
+			}
+		}
 		if cp := m.opts.Checkpoint; cp != nil {
 			if err := cp.record(res.Scores); err != nil {
 				return fmt.Errorf("cluster: recording checkpoint: %w", err)
 			}
 		}
 		m.addScores(res.Scores)
+		if m.opts.Chaos.TaskDone() {
+			return chaos.ErrKilled
+		}
 		if w.state == wsWorking {
 			m.endTaskSpan(w, "ok")
 			w.state = wsIdle
@@ -458,6 +503,7 @@ func (m *master) handle(msg mpi.Message) error {
 // onTick runs the time-based recovery paths: heartbeat liveness, task
 // deadlines, and draining the queue to any idle workers.
 func (m *master) onTick(now time.Time) error {
+	m.opts.Chaos.Point("master/tick")
 	if hb := m.opts.HeartbeatTimeout; hb > 0 {
 		for rank, w := range m.workers {
 			if (w.state == wsIdle || w.state == wsWorking) && now.Sub(w.lastHeard) > hb {
@@ -492,6 +538,23 @@ func (m *master) speculate(slow int, w *workerInfo, now time.Time) {
 			w.since = now // back off before speculating the same task again
 			return
 		}
+	}
+	// No idle candidate. A lost result wedges its rank — the master sees
+	// wsWorking forever while the worker waits for a task that will never
+	// come — and enough lost results wedge the whole pool with no idle
+	// worker left to speculate onto. Re-issue the task to its own rank: for
+	// a merely slow worker it is a harmless duplicate whose result dedups,
+	// for a wedged one it is the renewal that unsticks the run.
+	if m.taskAvoid[w.task.V0][slow] {
+		return
+	}
+	old := w.span
+	if m.sendTask(slow, w, w.task, now) {
+		if old != nil {
+			old.SetAttr("outcome", "renewed")
+			old.End()
+		}
+		m.reg.Counter("cluster_tasks_renewed_total").Inc()
 	}
 }
 
@@ -641,10 +704,18 @@ func (m *master) sendTask(rank int, w *workerInfo, t taskMsg, now time.Time) boo
 		// dead send for uniformity.
 		return false
 	}
+	m.opts.Chaos.Point("master/assign")
 	if err := m.tr.Send(rank, mpi.TagTask, body); err != nil {
 		span.SetAttr("outcome", "send-failed")
 		span.End()
 		return false
+	}
+	if jn := m.opts.Journal; jn != nil {
+		// Assignments are advisory (a lost one is just re-issued on
+		// resume), so an append failure is survivable and unsynced.
+		if err := jn.RecordAssign(t.V0, t.V, rank); err != nil {
+			m.reg.Counter("cluster_journal_errors_total").Inc()
+		}
 	}
 	m.reg.Counter("cluster_tasks_issued_total").Inc()
 	w.state = wsWorking
@@ -933,6 +1004,17 @@ func RunWorkerCtx(ctx context.Context, tr mpi.Transport, proc TaskProcessor, opt
 func taskCovered(cp *Checkpoint, v0, v int) bool {
 	for i := v0; i < v0+v; i++ {
 		if !cp.Has(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// taskJournaled reports whether every voxel of the task is recorded
+// complete in the journal.
+func taskJournaled(jn *Journal, v0, v int) bool {
+	for i := v0; i < v0+v; i++ {
+		if !jn.Has(i) {
 			return false
 		}
 	}

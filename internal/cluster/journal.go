@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"math"
+	"os"
+	"path/filepath"
+
+	"fcma/internal/chaos"
+	"fcma/internal/core"
+	"fcma/internal/obs"
+)
+
+// Journal is the master's write-ahead log: a binary, CRC-framed record of
+// task assignments, completions, and their merged result blocks. It is
+// what makes the *master* expendable the way PR 1 made workers
+// expendable — a restarted master (`fcma-cluster -resume`) replays the
+// journal, skips every voxel range already recorded complete, and
+// re-issues only in-flight work, so the resumed run's scores are
+// bit-exact with an uninterrupted one (completion records carry the raw
+// float64 bits, unlike the human-readable checkpoint CSV, which rounds).
+//
+// Layering: the Journal complements the existing Checkpoint rather than
+// replacing it. The checkpoint is the inspectable, portable artifact; the
+// journal is the recovery log. A master may run with either or both.
+//
+// Format: an 8-byte magic header, then self-delimiting records:
+//
+//	len uint32 | crc32(payload) uint32 | payload
+//
+// little endian, CRC-32 (IEEE). Payloads are versioned by the magic.
+//
+// Crash consistency: records are appended through the chaos.FS seam and
+// fsynced before the master acts on them (completions before the next
+// assignment is issued). A crash can tear the final record — a torn tail
+// (short frame or CRC mismatch) is detected on open, truncated, and the
+// affected task recomputed; everything before it is trusted. The journal
+// file itself is created atomically (temp + fsync + rename + dir fsync),
+// so a crash during creation leaves either no journal or a valid empty
+// one.
+type Journal struct {
+	fsys chaos.FS
+	f    chaos.File
+	path string
+	reg  *obs.Registry // attached by the master; nil-safe
+
+	completed map[int]float64 // voxel -> accuracy from completion records
+	assigns   int             // assignment records replayed
+	replayed  int             // completion records replayed
+	truncated bool            // open discarded a torn/corrupt tail
+}
+
+const (
+	journalMagic = "FCMAJNL1"
+	// journalMaxRecord caps one record's payload well above any real task
+	// result; a corrupt length header must not OOM the master.
+	journalMaxRecord = 16 << 20
+
+	jrAssign   = 1
+	jrComplete = 2
+)
+
+// OpenJournal opens (or atomically creates) the journal at path on the
+// real filesystem and replays any records a previous master wrote.
+func OpenJournal(path string) (*Journal, error) {
+	return OpenJournalFS(chaos.OS(), path)
+}
+
+// OpenJournalFS is OpenJournal through an explicit filesystem seam, so
+// chaos tests can inject torn writes, ENOSPC, and slow fsync into every
+// durability decision the journal makes.
+func OpenJournalFS(fsys chaos.FS, path string) (*Journal, error) {
+	if fsys == nil {
+		fsys = chaos.OS()
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		// Create atomically: a crash between "file exists" and "header
+		// written" must not leave a journal that later refuses to open.
+		if cerr := chaos.WriteFileAtomic(fsys, path, []byte(journalMagic), 0o644); cerr != nil {
+			return nil, fmt.Errorf("cluster: creating journal: %w", cerr)
+		}
+		f, err = fsys.OpenFile(path, os.O_RDWR, 0o644)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening journal: %w", err)
+	}
+	j := &Journal{fsys: fsys, f: f, path: path, completed: make(map[int]float64)}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay loads every intact record and truncates a torn or corrupt tail.
+func (j *Journal) replay() error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("cluster: reading journal: %w", err)
+	}
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != string(journalMagic) {
+		return fmt.Errorf("cluster: %s is not a journal (bad magic)", j.path)
+	}
+	off := len(journalMagic)
+	end := len(data)
+	truncateAt := -1
+	var reason string
+	for off < end {
+		if off+8 > end {
+			truncateAt, reason = off, "short frame header"
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > journalMaxRecord {
+			truncateAt, reason = off, fmt.Sprintf("implausible record length %d", n)
+			break
+		}
+		if off+8+int(n) > end {
+			truncateAt, reason = off, "torn record body"
+			break
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			truncateAt, reason = off, "CRC mismatch"
+			break
+		}
+		if err := j.apply(payload); err != nil {
+			truncateAt, reason = off, err.Error()
+			break
+		}
+		off += 8 + int(n)
+	}
+	if truncateAt >= 0 {
+		// Everything from the first bad frame on is untrusted: a torn tail
+		// from a crash mid-append, or corruption. Cut it off and let the
+		// master recompute the affected tasks — recovery trades a little
+		// recomputation for never trusting a damaged record.
+		slog.Warn("journal tail unreadable; truncating and resuming from last intact record",
+			"path", j.path, "offset", truncateAt, "discarded_bytes", end-truncateAt, "reason", reason)
+		if err := j.f.Truncate(int64(truncateAt)); err != nil {
+			return fmt.Errorf("cluster: truncating damaged journal tail: %w", err)
+		}
+		j.truncated = true
+		end = truncateAt
+	}
+	if _, err := j.f.Seek(int64(end), io.SeekStart); err != nil {
+		return fmt.Errorf("cluster: seeking journal end: %w", err)
+	}
+	return nil
+}
+
+// apply folds one decoded record into the replay state.
+func (j *Journal) apply(payload []byte) error {
+	if len(payload) < 1 {
+		return errors.New("empty record")
+	}
+	switch payload[0] {
+	case jrAssign:
+		if len(payload) != 13 {
+			return fmt.Errorf("assign record of %d bytes", len(payload))
+		}
+		j.assigns++
+	case jrComplete:
+		if len(payload) < 13 {
+			return fmt.Errorf("completion record of %d bytes", len(payload))
+		}
+		count := binary.LittleEndian.Uint32(payload[9:])
+		if len(payload) != 13+int(count)*12 {
+			return fmt.Errorf("completion record of %d bytes for %d scores", len(payload), count)
+		}
+		for i := 0; i < int(count); i++ {
+			p := payload[13+i*12:]
+			v := int(binary.LittleEndian.Uint32(p))
+			acc := bitsToFloat(binary.LittleEndian.Uint64(p[4:]))
+			j.completed[v] = acc
+		}
+		j.replayed++
+	default:
+		return fmt.Errorf("unknown record kind %d", payload[0])
+	}
+	return nil
+}
+
+// append frames payload with length + CRC and writes it. sync controls
+// whether the record is fsynced before returning.
+func (j *Journal) append(payload []byte, sync bool) error {
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("cluster: journal append: %w", err)
+	}
+	j.reg.Counter("cluster_journal_records_total").Inc()
+	j.reg.Counter("cluster_journal_bytes_total").Add(uint64(len(frame)))
+	if !sync {
+		return nil
+	}
+	st := j.reg.Stage("journal_sync").Start()
+	err := j.f.Sync()
+	st.Stop()
+	if err != nil {
+		return fmt.Errorf("cluster: journal sync: %w", err)
+	}
+	return nil
+}
+
+// RecordAssign journals a task assignment. Assignments are advisory —
+// losing one to a crash only means the resumed master re-issues the task,
+// which is always safe — so they are written without an fsync and the
+// master treats append failures as survivable.
+func (j *Journal) RecordAssign(v0, v, rank int) error {
+	var p [13]byte
+	p[0] = jrAssign
+	binary.LittleEndian.PutUint32(p[1:], uint32(v0))
+	binary.LittleEndian.PutUint32(p[5:], uint32(v))
+	binary.LittleEndian.PutUint32(p[9:], uint32(rank))
+	return j.append(p[:], false)
+}
+
+// RecordComplete journals a completed task with its merged result block
+// (the raw float64 score bits) and fsyncs before returning: once the
+// master acts on a completion — acknowledging it, assigning the worker
+// new work — a crash must not forget it, or a resumed run would
+// recompute (and a checkpoint-round-tripped score could differ in the
+// low bits).
+func (j *Journal) RecordComplete(v0, v int, scores []core.VoxelScore) error {
+	payload := make([]byte, 13+len(scores)*12)
+	payload[0] = jrComplete
+	binary.LittleEndian.PutUint32(payload[1:], uint32(v0))
+	binary.LittleEndian.PutUint32(payload[5:], uint32(v))
+	binary.LittleEndian.PutUint32(payload[9:], uint32(len(scores)))
+	for i, s := range scores {
+		p := payload[13+i*12:]
+		binary.LittleEndian.PutUint32(p, uint32(s.Voxel))
+		binary.LittleEndian.PutUint64(p[4:], floatToBits(s.Accuracy))
+	}
+	if err := j.append(payload, true); err != nil {
+		return err
+	}
+	for _, s := range scores {
+		j.completed[s.Voxel] = s.Accuracy
+	}
+	j.reg.Counter("cluster_journal_completions_total").Inc()
+	return nil
+}
+
+// Has reports whether voxel v is recorded complete.
+func (j *Journal) Has(v int) bool {
+	_, ok := j.completed[v]
+	return ok
+}
+
+// Done returns how many voxels the journal records complete.
+func (j *Journal) Done() int { return len(j.completed) }
+
+// Truncated reports whether opening the journal had to discard a torn or
+// corrupt tail.
+func (j *Journal) Truncated() bool { return j.truncated }
+
+// ReplayedAssigns returns how many assignment records the open replayed —
+// the in-flight tasks of the crashed incarnation, which the resumed
+// master re-issues.
+func (j *Journal) ReplayedAssigns() int { return j.assigns }
+
+// ReplayedCompletions returns how many completion records the open
+// replayed.
+func (j *Journal) ReplayedCompletions() int { return j.replayed }
+
+// Scores returns every journaled score, the rehydrated state a resumed
+// master seeds its merge with.
+func (j *Journal) Scores() []core.VoxelScore {
+	out := make([]core.VoxelScore, 0, len(j.completed))
+	for v, acc := range j.completed {
+		out = append(out, core.VoxelScore{Voxel: v, Accuracy: acc})
+	}
+	return out
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// attach points the journal's instruments at the master's registry and
+// publishes the replay outcome.
+func (j *Journal) attach(reg *obs.Registry) {
+	j.reg = reg
+	reg.Gauge("cluster_journal_replayed_voxels").Set(float64(len(j.completed)))
+	reg.Gauge("cluster_journal_replayed_assigns").Set(float64(j.assigns))
+	if j.truncated {
+		reg.Counter("cluster_journal_torn_recoveries_total").Inc()
+	}
+}
+
+// Close fsyncs and releases the journal file.
+func (j *Journal) Close() error {
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// Remove deletes the journal file; call it after a run completes so a
+// later run does not resume from finished state.
+func (j *Journal) Remove() error {
+	return j.fsys.Remove(j.path)
+}
+
+// SyncDir fsyncs the journal's directory, making its creation durable on
+// filesystems where the rename alone is not.
+func (j *Journal) SyncDir() error {
+	return j.fsys.SyncDir(filepath.Dir(j.path))
+}
+
+// floatToBits and bitsToFloat isolate the raw-bit round trip the
+// journal's bit-exactness guarantee rests on.
+func floatToBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsToFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"fcma/internal/chaos"
+	"fcma/internal/core"
+)
+
+// TestJournalRoundTripBitExact proves completion records rehydrate with
+// the raw float64 bits intact — the property the resumed master's
+// bit-exactness guarantee rests on (and the one the %.6f checkpoint CSV
+// cannot give).
+func TestJournalRoundTripBitExact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jnl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := []core.VoxelScore{
+		{Voxel: 0, Accuracy: 1.0 / 3.0},
+		{Voxel: 1, Accuracy: 0.1 + 0.2}, // not representable at 6 decimals
+		{Voxel: 2, Accuracy: 0.7499999999999991},
+	}
+	if err := j.RecordAssign(0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordComplete(0, 3, scores); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordAssign(3, 3, 2); err != nil { // in-flight at crash
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Truncated() {
+		t.Fatal("clean journal reported a truncated tail")
+	}
+	if r.Done() != 3 || r.ReplayedCompletions() != 1 || r.ReplayedAssigns() != 2 {
+		t.Fatalf("replay: done=%d completions=%d assigns=%d", r.Done(), r.ReplayedCompletions(), r.ReplayedAssigns())
+	}
+	got := map[int]float64{}
+	for _, s := range r.Scores() {
+		got[s.Voxel] = s.Accuracy
+	}
+	for _, s := range scores {
+		if got[s.Voxel] != s.Accuracy {
+			t.Fatalf("voxel %d: accuracy %x, want bit-exact %x", s.Voxel, got[s.Voxel], s.Accuracy)
+		}
+	}
+}
+
+// TestJournalTornTailRecovery crashes mid-append (simulated by writing a
+// partial frame) and proves reopening truncates the torn tail, keeps
+// every intact record, and accepts new appends at the cut.
+func TestJournalTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jnl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordComplete(0, 2, []core.VoxelScore{{Voxel: 0, Accuracy: 0.5}, {Voxel: 1, Accuracy: 0.75}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear: a frame header promising more bytes than exist.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0x12, 0x34}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn journal must recover, got %v", err)
+	}
+	if !r.Truncated() {
+		t.Fatal("recovery did not report the torn tail")
+	}
+	if r.Done() != 2 {
+		t.Fatalf("recovered %d voxels, want the 2 intact ones", r.Done())
+	}
+	// The journal must be appendable right where recovery cut it.
+	if err := r.RecordComplete(2, 1, []core.VoxelScore{{Voxel: 2, Accuracy: 0.25}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Truncated() || r2.Done() != 3 {
+		t.Fatalf("post-recovery journal: truncated=%v done=%d, want clean with 3", r2.Truncated(), r2.Done())
+	}
+}
+
+// TestJournalCorruptCRCRecovery flips a payload byte and proves the
+// damaged record (and everything after it) is discarded rather than
+// trusted.
+func TestJournalCorruptCRCRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jnl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordComplete(0, 1, []core.VoxelScore{{Voxel: 0, Accuracy: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordComplete(1, 1, []core.VoxelScore{{Voxel: 1, Accuracy: 0.75}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the accuracy bits of the SECOND record: its CRC no longer
+	// matches, so replay must stop before it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("corrupt-CRC journal must recover, got %v", err)
+	}
+	defer r.Close()
+	if !r.Truncated() {
+		t.Fatal("recovery did not report the corrupt record")
+	}
+	if r.Done() != 1 || !r.Has(0) || r.Has(1) {
+		t.Fatalf("recovered done=%d has0=%v has1=%v; the corrupt record must not be trusted",
+			r.Done(), r.Has(0), r.Has(1))
+	}
+}
+
+// TestJournalBadMagicRefuses proves a non-journal file is rejected
+// outright instead of being "recovered" into an empty journal.
+func TestJournalBadMagicRefuses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notajournal")
+	if err := os.WriteFile(path, []byte("voxel,accuracy\n1,0.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("journal opened a file with the wrong magic")
+	}
+}
+
+// TestJournalTornWriteThroughChaosFS drives the chaosfs seam end to end:
+// a completion append torn by the fault plan surfaces as an error (the
+// master treats it as a crash), and reopening on a clean filesystem
+// recovers exactly the records that were durably synced before the tear.
+func TestJournalTornWriteThroughChaosFS(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jnl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordComplete(0, 1, []core.VoxelScore{{Voxel: 0, Accuracy: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := chaos.NewPlan(chaos.Config{Seed: 5, FS: chaos.FSConfig{TornWrite: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := OpenJournalFS(plan.FS(chaos.OS()), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = jc.RecordComplete(1, 1, []core.VoxelScore{{Voxel: 1, Accuracy: 0.75}})
+	if err == nil {
+		t.Fatal("torn completion append reported success")
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn append error = %v, want the injected EIO", err)
+	}
+	jc.f.Close() // simulate the crash: no clean Close/Sync
+
+	r, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal with a chaos-torn tail must recover, got %v", err)
+	}
+	defer r.Close()
+	if r.Done() != 1 || !r.Has(0) || r.Has(1) {
+		t.Fatalf("recovered done=%d; only the pre-tear record may survive", r.Done())
+	}
+}
+
+// TestJournalCreateSurvivesRenameFault proves atomic creation: when the
+// chaos plan fails the rename, no half-created journal is left behind and
+// a retry on a healthy filesystem starts clean.
+func TestJournalCreateSurvivesRenameFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jnl")
+	plan, err := chaos.NewPlan(chaos.Config{Seed: 7, FS: chaos.FSConfig{RenameFail: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournalFS(plan.FS(chaos.OS()), path); err == nil {
+		t.Fatal("journal creation succeeded through a failed rename")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed creation left a journal behind: %v", err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("retry on a healthy filesystem: %v", err)
+	}
+	j.Close()
+}
+
+// TestCheckpointTornWriteThroughChaosFS is the satellite audit test: a
+// checkpoint append torn mid-record by chaosfs must error without
+// desynchronizing the in-memory index, and reopening must truncate the
+// torn line and resume from the last complete record.
+func TestCheckpointTornWriteThroughChaosFS(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.csv")
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.record([]core.VoxelScore{{Voxel: 0, Accuracy: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := chaos.NewPlan(chaos.Config{Seed: 9, FS: chaos.FSConfig{TornWrite: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := OpenCheckpointFS(plan.FS(chaos.OS()), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.record([]core.VoxelScore{{Voxel: 1, Accuracy: 0.75}}); err == nil {
+		t.Fatal("torn checkpoint append reported success")
+	}
+	if cc.Has(1) {
+		t.Fatal("failed append still updated the in-memory index")
+	}
+	cc.f.Close() // crash, no clean shutdown
+
+	r, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("checkpoint with a torn tail must recover, got %v", err)
+	}
+	defer r.Close()
+	if r.Done() != 1 || !r.Has(0) || r.Has(1) {
+		t.Fatalf("recovered done=%d; only the pre-tear voxel may survive", r.Done())
+	}
+	// And it must be appendable after recovery.
+	if err := r.record([]core.VoxelScore{{Voxel: 1, Accuracy: 0.75}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"fcma/internal/chaos"
+	"fcma/internal/core"
+	"fcma/internal/corr"
+	"fcma/internal/fmri"
+	"fcma/internal/mpi"
+	"fcma/internal/obs"
+)
+
+// recoveryHarness is the shared machinery of the master-kill tests: a
+// pool of worker goroutines that redial a fixed address across master
+// incarnations, with a processor that records every voxel range it is
+// asked to compute so the tests can prove journaled-complete ranges are
+// never recomputed.
+type recoveryHarness struct {
+	t     *testing.T
+	st    *corr.EpochStack
+	done  atomic.Bool
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	procs map[int]int // V0 -> times processed across all incarnations
+
+	// frozen holds the set of journal-complete V0s as of the current
+	// master incarnation; a Process call on a frozen range is a
+	// recomputation violation.
+	frozen     atomic.Pointer[map[int]bool]
+	violations atomic.Int64
+}
+
+func newRecoveryHarness(t *testing.T, st *corr.EpochStack) *recoveryHarness {
+	h := &recoveryHarness{t: t, st: st, procs: make(map[int]int)}
+	empty := map[int]bool{}
+	h.frozen.Store(&empty)
+	return h
+}
+
+// freeze snapshots the journal's completed ranges at incarnation start.
+func (h *recoveryHarness) freeze(jn *Journal, totalVoxels, taskSize int) map[int]bool {
+	f := make(map[int]bool)
+	for v0 := 0; v0 < totalVoxels; v0 += taskSize {
+		v := taskSize
+		if v0+v > totalVoxels {
+			v = totalVoxels - v0
+		}
+		if taskJournaled(jn, v0, v) {
+			f[v0] = true
+		}
+	}
+	h.frozen.Store(&f)
+	return f
+}
+
+// processor returns a TaskProcessor that computes real scores while
+// booking every call and flagging recomputation of frozen ranges.
+func (h *recoveryHarness) processor() TaskProcessor {
+	return funcProcessor(func(task core.Task) ([]core.VoxelScore, error) {
+		if (*h.frozen.Load())[task.V0] {
+			h.violations.Add(1)
+		}
+		h.mu.Lock()
+		h.procs[task.V0]++
+		h.mu.Unlock()
+		return mustWorker(h.t, h.st).Process(task)
+	})
+}
+
+// startWorker runs one worker goroutine that keeps redialing addr (with
+// the existing DialWorkerRetry backoff path) and serving tasks until the
+// harness is done — exactly how a real worker rides out a master crash
+// and reconnects to its replacement. chaosSeed != 0 wraps every
+// incarnation's transport in a seeded ChaosTransport.
+func (h *recoveryHarness) startWorker(addr string, chaosSeed int64) {
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		proc := h.processor()
+		seq := int64(0)
+		for !h.done.Load() {
+			tr, err := mpi.DialWorkerRetry(addr, mpi.DialOptions{
+				Attempts: 20, BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Seed: chaosSeed + 1,
+			})
+			if err != nil {
+				continue // master between incarnations; keep trying until done
+			}
+			var wtr mpi.Transport = tr
+			if chaosSeed != 0 {
+				seq++
+				ct, cerr := mpi.NewChaosTransport(tr, mpi.ChaosConfig{
+					Seed:      chaosSeed + seq,
+					Drop:      0.02,
+					Delay:     0.10,
+					Duplicate: 0.03,
+					Error:     0.02,
+					MaxDelay:  2 * time.Millisecond,
+				})
+				if cerr != nil {
+					h.t.Error(cerr)
+					tr.Close()
+					return
+				}
+				wtr = ct
+			}
+			err = RunWorkerOpts(wtr, proc, WorkerOptions{
+				HeartbeatInterval: 20 * time.Millisecond,
+				Obs:               obs.NewRegistry(),
+			})
+			wtr.Close()
+			if err == nil && h.done.Load() {
+				return // clean TagStop after the run completed
+			}
+		}
+	}()
+}
+
+// TestMasterKillResumeBitExact is the tentpole's end-to-end proof: an
+// in-process cluster whose master is killed mid-run at least three times
+// (chaos kill events at chosen completed-task counts, under
+// ChaosTransport message faults and chaosfs journal faults) and resumed
+// from its journal must
+//
+//   - complete with scores bit-exact to an uninterrupted run,
+//   - never recompute a journaled-complete voxel range (asserted both at
+//     the processors, which book every range they compute, and via the
+//     master's task-issue/skip counters), and
+//   - keep reconnecting workers through the existing DialWorkerRetry
+//     backoff path.
+func TestMasterKillResumeBitExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("master-kill recovery soak skipped in -short mode")
+	}
+	d, err := fmri.Generate(fmri.Spec{
+		Name:             "kill-resume",
+		Voxels:           48,
+		Subjects:         3,
+		EpochsPerSubject: 6,
+		EpochLen:         12,
+		RestLen:          2,
+		SignalVoxels:     8,
+		Coupling:         0.8,
+		Seed:             23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := corr.BuildEpochStack(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := mustWorker(t, st).Process(core.Task{V0: 0, V: st.N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const taskSize = 3
+
+	plan, err := chaos.NewPlan(chaos.Config{
+		Seed: 41,
+		// Kill the master after 3, 7, and 11 cumulative completions.
+		KillTasks: []int{3, 7, 11},
+		// Journal writes run through chaosfs: occasional torn appends
+		// (surfacing as extra master crashes) and slow fsyncs.
+		FS:    chaos.FSConfig{TornWrite: 0.02, SlowSync: 0.2, MaxDelay: time.Millisecond},
+		Sched: chaos.SchedConfig{Delay: 0.05, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jpath := t.TempDir() + "/run.jnl"
+	h := newRecoveryHarness(t, st)
+
+	// The first incarnation picks the port; workers redial it across every
+	// master restart.
+	first, err := mpi.ListenMaster("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := first.Addr()
+	h.startWorker(addr, 0)    // one stable worker
+	h.startWorker(addr, 9000) // one worker behind a seeded ChaosTransport
+
+	var (
+		scores     []core.VoxelScore
+		crashes    int
+		lastErr    error
+		totalSkips uint64
+	)
+	for incarnation := 0; ; incarnation++ {
+		if incarnation >= 40 {
+			t.Fatalf("master did not finish within 40 incarnations; last error: %v", lastErr)
+		}
+		master := first
+		if master == nil {
+			master, err = listenRetry(addr, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		first = nil
+		jn, err := OpenJournalFS(plan.FS(chaos.OS()), jpath)
+		if err != nil {
+			// Chaos can tear journal creation; that too is a crash to ride out.
+			master.Close()
+			crashes++
+			lastErr = err
+			continue
+		}
+		frozen := h.freeze(jn, st.N, taskSize)
+		if err := master.Accept(); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		scores, err = RunMasterOpts(master, st.N, taskSize, MasterOptions{
+			Journal:          jn,
+			Chaos:            plan,
+			HeartbeatTimeout: 500 * time.Millisecond,
+			TaskDeadline:     300 * time.Millisecond,
+			TaskRetries:      1000,
+			WorkerErrorLimit: 1000,
+			Obs:              reg,
+		})
+		// Counter-level zero-recompute assertion: the master must have
+		// skipped exactly the journaled-complete tasks and issued no
+		// assignment for any of them.
+		if got := reg.Counter("cluster_tasks_skipped_journaled_total").Value(); got != uint64(len(frozen)) {
+			t.Fatalf("incarnation %d: skipped %d journaled tasks, want %d", incarnation, got, len(frozen))
+		}
+		totalSkips += uint64(len(frozen))
+		master.Close()
+		jn.Close()
+		if err == nil {
+			break
+		}
+		crashes++
+		lastErr = err
+		// Only chaos kills and chaos-faulted journal writes may take an
+		// incarnation down; anything else is a real protocol failure.
+		if !errors.Is(err, chaos.ErrKilled) && !errors.Is(err, syscall.EIO) && !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("incarnation %d died with unexpected error: %v", incarnation, err)
+		}
+	}
+	h.done.Store(true)
+	h.wg.Wait()
+
+	if plan.Kills() < 3 {
+		t.Fatalf("plan fired %d kills, want >= 3", plan.Kills())
+	}
+	if crashes < 3 {
+		t.Fatalf("master crashed %d times, want >= 3", crashes)
+	}
+	if totalSkips == 0 {
+		t.Fatal("no incarnation resumed journaled state; the recovery path never ran")
+	}
+	if v := h.violations.Load(); v != 0 {
+		t.Fatalf("%d journaled-complete voxel ranges were recomputed; the journal must prevent every one", v)
+	}
+	if len(scores) != st.N {
+		t.Fatalf("final run scored %d of %d voxels", len(scores), st.N)
+	}
+	for i, s := range scores {
+		if s != ref[i] {
+			t.Fatalf("voxel %d: %+v, want bit-exact %+v (crash recovery must not perturb scores)", i, s, ref[i])
+		}
+	}
+}
+
+// listenRetry rebinds the master's fixed address, tolerating the brief
+// window where the previous incarnation's socket is still closing.
+func listenRetry(addr string, size int) (*mpi.TCPMaster, error) {
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		m, err := mpi.ListenMaster(addr, size)
+		if err == nil {
+			return m, nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, lastErr
+}

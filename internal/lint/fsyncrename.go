@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FsyncRename guards the crash-durability contract PR 6 established: a
+// file that was just written and is then renamed into place must be
+// fsynced first, or a crash between the two can publish an empty or
+// truncated file under the final name (the classic rename-without-fsync
+// bug). The analyzer flags a Rename call — os.Rename or a Rename method,
+// e.g. through the chaos.FS seam — in any function that earlier produced a
+// written file (os.Create / os.OpenFile / os.WriteFile or an OpenFile /
+// Create method) without an intervening Sync / SyncDir / WriteFileAtomic.
+// Requiring the write to be in the same function keeps pure delegating
+// wrappers (like chaosFS.Rename) clean; genuinely cross-function flows are
+// out of reach and must be covered by review or a directive.
+var FsyncRename = &Analyzer{
+	Name: "fsyncrename",
+	Doc:  "rename of a freshly written file needs a preceding fsync (or chaos.WriteFileAtomic)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFsyncRename(p, fd)
+			}
+		}
+	},
+}
+
+// checkFsyncRename scans one function body in source order and reports
+// every Rename that follows a write-producing call with no durability
+// point in between.
+func checkFsyncRename(p *Pass, fd *ast.FuncDecl) {
+	type callSite struct {
+		pos  token.Pos
+		name string
+		pkg  bool // package-level function (vs method)
+		path string
+	}
+	var calls []callSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return true
+		}
+		cs := callSite{pos: call.Pos(), name: fn.Name()}
+		if fn.Pkg() != nil {
+			cs.path = fn.Pkg().Path()
+		}
+		cs.pkg = fn.Type().(*types.Signature).Recv() == nil
+		calls = append(calls, cs)
+		return true
+	})
+	// ast.Inspect visits nested expressions outside strict source order in
+	// some shapes (e.g. call arguments); sort by position to be safe.
+	for i := 1; i < len(calls); i++ {
+		for j := i; j > 0 && calls[j].pos < calls[j-1].pos; j-- {
+			calls[j], calls[j-1] = calls[j-1], calls[j]
+		}
+	}
+	written := false
+	synced := false
+	for _, cs := range calls {
+		switch {
+		case cs.pkg && cs.path == "os" && (cs.name == "Create" || cs.name == "OpenFile" || cs.name == "WriteFile"):
+			written = true
+			synced = false
+		case !cs.pkg && (cs.name == "Create" || cs.name == "OpenFile"):
+			// A file-producing method, e.g. chaos.FS.OpenFile.
+			written = true
+			synced = false
+		case cs.name == "Sync" || cs.name == "SyncDir" || cs.name == "WriteFileAtomic":
+			synced = true
+		case cs.name == "Rename" && (!cs.pkg || cs.path == "os"):
+			if written && !synced {
+				p.Reportf(cs.pos, "rename of a freshly written file with no preceding Sync; a crash here can publish a truncated file — fsync first or use chaos.WriteFileAtomic")
+			}
+			// The rename consumed the written file; a later rename needs
+			// its own write to be suspicious.
+			written = false
+		}
+	}
+}

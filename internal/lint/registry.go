@@ -14,5 +14,6 @@ func All() []*Analyzer {
 		PrintBan,
 		LockCopy,
 		DeferUnlock,
+		FsyncRename,
 	}
 }

@@ -1,0 +1,68 @@
+package store
+
+import "os"
+
+// FS mirrors the repo's filesystem seam: writes and renames go through an
+// interface so chaos tests can inject faults. The durability contract is
+// the same as for the os package.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+}
+
+// File is the seam's writable handle.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// SeamTorn writes through the seam and renames with no Sync: the analyzer
+// must see method calls, not just os package functions.
+func SeamTorn(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Close()
+	return fsys.Rename(tmp, path) // want "rename of a freshly written file with no preceding Sync"
+}
+
+// SeamDurable is the WriteFileAtomic shape: write, sync, close, rename.
+func SeamDurable(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, path)
+}
+
+// WriteFileAtomic stands in for the repo's helper; callers that stage
+// through it are durable by construction.
+func WriteFileAtomic(fsys FS, path string, data []byte) error {
+	return SeamDurable(fsys, path, data)
+}
+
+// SeamViaHelper stages through WriteFileAtomic and then renames the
+// published file onward: the helper is a durability point, so the trailing
+// rename is clean.
+func SeamViaHelper(fsys FS, a, b string, data []byte) error {
+	if err := WriteFileAtomic(fsys, a, data); err != nil {
+		return err
+	}
+	return fsys.Rename(a, b)
+}

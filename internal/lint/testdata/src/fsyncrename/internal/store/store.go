@@ -1,0 +1,84 @@
+// Package store mirrors the repo's durable-write sites: files are staged
+// to a temp path and renamed into place, and the rename must be preceded
+// by an fsync or a crash can publish a truncated file.
+package store
+
+import "os"
+
+// SaveTorn is the classic bug: write, close, rename, no fsync anywhere.
+func SaveTorn(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	return os.Rename(tmp, path) // want "rename of a freshly written file with no preceding Sync"
+}
+
+// SaveWriteFile hides the write inside os.WriteFile; still torn.
+func SaveWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want "rename of a freshly written file with no preceding Sync"
+}
+
+// SaveDurable fsyncs before the rename: clean.
+func SaveDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// MoveOnly renames without having written anything here: clean (a pure
+// move, or a delegating wrapper like chaosFS.Rename).
+func MoveOnly(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+
+// SecondRenameNeedsItsOwnWrite proves the write is consumed by the first
+// rename: the durable first rename is clean, and the second rename with no
+// new write is a pure move.
+func SecondRenameNeedsItsOwnWrite(a, b, c string, data []byte) error {
+	f, err := os.Create(a)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	f.Sync()
+	f.Close()
+	if err := os.Rename(a, b); err != nil {
+		return err
+	}
+	return os.Rename(b, c)
+}
+
+// SaveAllowed documents a sanctioned torn rename with a directive.
+func SaveAllowed(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	//lint:allow fsyncrename scratch cache; a torn file is rebuilt on next run
+	return os.Rename(tmp, path)
+}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -125,19 +126,44 @@ func (m *TCPMaster) SetAcceptTimeout(d time.Duration) { m.acceptTimeout = d }
 // (re)join for the lifetime of the run. If an accept timeout is set and the
 // quorum does not form in time, Accept reports how many ranks joined.
 func (m *TCPMaster) Accept() error {
+	return m.AcceptCtx(context.Background())
+}
+
+// AcceptCtx is Accept honoring ctx: cancellation interrupts the wait for
+// the initial quorum promptly (the blocked Accept is kicked via a listener
+// deadline) and returns ctx's error, so SIGINT during cluster bring-up does
+// not hang on workers that will never dial.
+func (m *TCPMaster) AcceptCtx(ctx context.Context) error {
 	var deadline time.Time
 	if m.acceptTimeout > 0 {
 		deadline = time.Now().Add(m.acceptTimeout)
 	}
 	tl, _ := m.ln.(*net.TCPListener)
+	if tl != nil && ctx.Done() != nil {
+		// On cancellation, force the pending Accept to fail with a timeout
+		// by moving the deadline into the past.
+		stop := context.AfterFunc(ctx, func() {
+			tl.SetDeadline(time.Unix(1, 0))
+		})
+		defer stop()
+	}
 	for r := 1; r < m.expect; r++ {
 		if !deadline.IsZero() && tl != nil {
 			if err := tl.SetDeadline(deadline); err != nil {
 				return err
 			}
+			// The line above can overwrite the past deadline a concurrent
+			// cancellation just set; re-arm it if ctx is already done.
+			if ctx.Err() != nil {
+				tl.SetDeadline(time.Unix(1, 0))
+			}
 		}
 		conn, err := m.ln.Accept()
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("mpi: accept interrupted with %d of %d workers joined: %w",
+					r-1, m.expect-1, cerr)
+			}
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				return fmt.Errorf("mpi: accept deadline %v expired with %d of %d workers joined",
 					m.acceptTimeout, r-1, m.expect-1)
@@ -150,6 +176,9 @@ func (m *TCPMaster) Accept() error {
 	}
 	if tl != nil {
 		tl.SetDeadline(time.Time{})
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	safe.Go("mpi/accept", func() error { m.acceptLoop(); return nil }, nil)
 	return nil
@@ -301,15 +330,35 @@ type TCPWorker struct {
 // DialWorker connects to the master at addr and completes the rank
 // handshake.
 func DialWorker(addr string) (*TCPWorker, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWorkerCtx(context.Background(), addr)
+}
+
+// DialWorkerCtx is DialWorker honoring ctx for both the connect and the
+// rank handshake (a master that accepts but never handshakes must not
+// strand a cancelled worker).
+func DialWorkerCtx(ctx context.Context, addr string) (*TCPWorker, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			conn.SetReadDeadline(time.Unix(1, 0))
+		})
+		defer stop()
 	}
 	var hs [8]byte
 	if _, err := io.ReadFull(conn, hs[:]); err != nil {
 		conn.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("mpi: handshake: %w", cerr)
+		}
 		return nil, fmt.Errorf("mpi: handshake: %w", err)
 	}
+	// Clear any deadline a just-fired cancellation may have left; the
+	// handshake won the race, so the connection is live and usable.
+	conn.SetReadDeadline(time.Time{})
 	return &TCPWorker{
 		conn:   conn,
 		w:      bufio.NewWriter(conn),
@@ -341,6 +390,14 @@ type DialOptions struct {
 // keeps redialing through transient refusals (master not yet up, network
 // blip, master restarting) until the attempt budget is spent.
 func DialWorkerRetry(addr string, o DialOptions) (*TCPWorker, error) {
+	return DialWorkerRetryCtx(context.Background(), addr, o)
+}
+
+// DialWorkerRetryCtx is DialWorkerRetry honoring ctx: cancellation
+// interrupts both the dial in flight and the backoff sleep between
+// attempts, so SIGINT during a reconnect storm exits promptly instead of
+// sleeping out the remaining budget.
+func DialWorkerRetryCtx(ctx context.Context, addr string, o DialOptions) (*TCPWorker, error) {
 	if o.Attempts < 1 {
 		o.Attempts = 1
 	}
@@ -366,16 +423,25 @@ func DialWorkerRetry(addr string, o DialOptions) (*TCPWorker, error) {
 			if o.Jitter > 0 {
 				d = time.Duration(float64(d) * (1 + o.Jitter*(2*rng.Float64()-1)))
 			}
-			time.Sleep(d)
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("mpi: dialing %s canceled after %d attempts: %w", addr, attempt, ctx.Err())
+			}
 			if delay *= 2; delay > o.MaxDelay {
 				delay = o.MaxDelay
 			}
 		}
-		w, err := DialWorker(addr)
+		w, err := DialWorkerCtx(ctx, addr)
 		if err == nil {
 			return w, nil
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("mpi: dialing %s canceled after %d attempts: %w", addr, attempt+1, ctx.Err())
+		}
 	}
 	return nil, fmt.Errorf("mpi: dialing %s failed after %d attempts: %w", addr, o.Attempts, lastErr)
 }

@@ -1,0 +1,152 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDialWorkerRetryCtxCancelDuringBackoff proves the satellite fix:
+// cancellation mid-backoff returns promptly instead of sleeping out the
+// remaining attempt budget (the pre-fix behavior, where time.Sleep could
+// outlive the context by the whole MaxDelay ladder).
+func TestDialWorkerRetryCtxCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		// Nothing listens on this port; every attempt fails and the dialer
+		// spends its life in backoff sleeps.
+		_, err := DialWorkerRetryCtx(ctx, "127.0.0.1:1", DialOptions{
+			Attempts: 1000, BaseDelay: time.Second, MaxDelay: time.Second, Seed: 7,
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it reach the first backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled retry dial returned %v, want context.Canceled", err)
+		}
+		if el := time.Since(start); el > time.Second {
+			t.Fatalf("cancelled retry dial took %v; the backoff sleep outlived ctx", el)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled retry dial still blocked after 2s")
+	}
+}
+
+// TestDialWorkerRetryCtxPreCancelled proves an already-dead context never
+// even burns the first dial's network timeout.
+func TestDialWorkerRetryCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := DialWorkerRetryCtx(ctx, "127.0.0.1:1", DialOptions{Attempts: 5, BaseDelay: time.Second, Seed: 7})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled retry dial returned %v, want context.Canceled", err)
+	}
+}
+
+// TestAcceptCtxCancelUnblocksQuorumWait proves the master's initial-quorum
+// wait honors ctx: cancellation kicks the blocked Accept and surfaces
+// context.Canceled instead of hanging for workers that will never come.
+func TestAcceptCtxCancelUnblocksQuorumWait(t *testing.T) {
+	m, err := ListenMaster("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.AcceptCtx(ctx) }()
+	time.Sleep(20 * time.Millisecond) // let it block in Accept
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled AcceptCtx returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled AcceptCtx still blocked after 2s")
+	}
+}
+
+// TestAcceptCtxCancelRacesDeadlineReset covers the deadline-overwrite
+// window: with an accept timeout configured, each loop iteration re-arms
+// the listener deadline and must not erase a concurrent cancellation.
+func TestAcceptCtxCancelRacesDeadlineReset(t *testing.T) {
+	m, err := ListenMaster("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetAcceptTimeout(30 * time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead when AcceptCtx re-arms the deadline
+	if err := m.AcceptCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AcceptCtx with dead ctx returned %v, want context.Canceled", err)
+	}
+}
+
+// TestAcceptCtxStillAcceptsQuorum proves the happy path is untouched: with
+// a live context the quorum forms and the background accept loop starts.
+func TestAcceptCtxStillAcceptsQuorum(t *testing.T) {
+	m, err := ListenMaster("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	done := make(chan error, 1)
+	go func() { done <- m.AcceptCtx(context.Background()) }()
+	w, err := DialWorker(m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("AcceptCtx with live ctx: %v", err)
+	}
+	// The background loop must still admit late joiners.
+	late, err := DialWorker(m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	if late.Rank() != 2 {
+		t.Fatalf("late joiner got rank %d, want 2", late.Rank())
+	}
+}
+
+// TestDialWorkerCtxCancelInterruptsDial proves the dial itself (not just
+// the backoff) is cancellable.
+func TestDialWorkerCtxCancelInterruptsDial(t *testing.T) {
+	// A listener with a full backlog and no Accept: dials hang in SYN or
+	// handshake-read, which is where cancellation must reach.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		w, err := DialWorkerCtx(ctx, ln.Addr().String())
+		if w != nil {
+			w.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("dial to a never-handshaking master succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled DialWorkerCtx still blocked after 2s")
+	}
+}

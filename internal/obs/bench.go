@@ -3,10 +3,11 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 	"time"
+
+	"fcma/internal/chaos"
 )
 
 // StageSummary is one pipeline stage's aggregate timing in a bench
@@ -78,14 +79,17 @@ func (s BenchSummary) WriteFile(dir string) (string, error) {
 	return path, nil
 }
 
-// WritePath writes the summary as indented JSON to the given path.
+// WritePath writes the summary as indented JSON to the given path. The
+// write is atomic and durable (temp + fsync + rename): a bench summary
+// torn by a crash would poison the perf trajectory the reports are built
+// from.
 func (s BenchSummary) WritePath(path string) error {
 	b, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return fmt.Errorf("obs: encoding bench summary: %w", err)
 	}
 	b = append(b, '\n')
-	if err := os.WriteFile(path, b, 0o644); err != nil {
+	if err := chaos.WriteFileAtomic(chaos.OS(), path, b, 0o644); err != nil {
 		return fmt.Errorf("obs: writing bench summary: %w", err)
 	}
 	return nil
