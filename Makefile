@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check lint fcmavet vet build test test-race test-short bench bench-smoke fuzz chaos-soak
+.PHONY: check lint fcmavet vet build test test-race test-short bench bench-smoke fuzz chaos-soak serve-smoke
 
 check: lint build test
 
@@ -54,17 +54,27 @@ bench-smoke:
 	$(GO) run ./cmd/fcma-run -mode select -synthetic face-scene -scale 0.01 \
 		-bench-out $(BENCHDIR) -trace-out $(BENCHDIR)/trace.json
 
-# Long-form crash-recovery soak behind the chaossoak build tag: a TCP
-# cluster whose master is chaos-killed ten times and resumed from its
-# journal, under transport + filesystem fault injection, asserting
-# bit-exact completion with zero recomputation. Runs under the race
-# detector and stays well inside the 2-minute timeout. CHAOSDIR receives
-# the journal and Chrome-trace artifacts for CI to upload on failure.
+# Long-form crash-recovery soaks behind the chaossoak build tag, both
+# under the race detector. First a TCP cluster whose master is
+# chaos-killed ten times and resumed from its journal under transport +
+# filesystem fault injection (bit-exact completion, zero recomputation);
+# then the analysis service killed repeatedly at chunk boundaries under
+# filesystem faults (every accepted job completes exactly once, results
+# bit-identical to an uninterrupted run). CHAOSDIR receives the cluster
+# soak's journal and Chrome-trace artifacts for CI to upload on failure.
 CHAOSDIR ?= chaos-out
 chaos-soak:
 	FCMA_CHAOS_ARTIFACTS=$(CHAOSDIR) $(GO) test -race -tags chaossoak \
 		-run 'TestChaosSoakMasterKills|TestMasterKillResumeBitExact' \
 		-timeout 2m -v ./internal/cluster/
+	$(GO) test -race -tags chaossoak -run TestChaosSoakServerKills \
+		-timeout 5m -v ./internal/serve/
+
+# End-to-end smoke of the fcma-serve daemon: real binary, real HTTP
+# socket, real SIGTERM. Asserts submit/poll/result over the wire, a clean
+# exit-0 drain, and journal removal.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 # Short native-fuzz pass over the untrusted-input parsers (NIfTI headers
 # and epoch files). FUZZTIME bounds each target's run.

@@ -1,0 +1,182 @@
+// Command fcma-serve runs FCMA as a durable analysis service: an HTTP
+// daemon that accepts voxel-selection jobs, executes them on the
+// library's pipeline with per-chunk checkpointing, and survives crashes —
+// a killed server restarts, replays its write-ahead journal, and resumes
+// every accepted job from its last durable chunk, bit-exact.
+//
+// The front door applies admission control (bounded queue, per-tenant
+// quotas, a memory-budget gate) and answers pressure with 429 +
+// Retry-After instead of accepting work it cannot journal. SIGTERM drains
+// gracefully: stop admitting, checkpoint running jobs at their next chunk
+// boundary, flip /readyz, exit 0.
+//
+//	fcma-serve -listen :7800 -dir /var/lib/fcma &
+//	curl -XPOST localhost:7800/api/v1/jobs -d '{"synthetic":"face-scene","scale":0.02}'
+//	curl localhost:7800/api/v1/jobs/job-00000001
+//	curl localhost:7800/api/v1/jobs/job-00000001/result
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"fcma/internal/chaos"
+	"fcma/internal/obs"
+	"fcma/internal/safe"
+	"fcma/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", ":7800", "HTTP listen address (API + /metrics + /healthz + /readyz + pprof)")
+	dir := flag.String("dir", "fcma-serve-state", "state directory (job journal + dataset store)")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (smoke tests use it with -listen :0)")
+	queueCap := flag.Int("queue-cap", 16, "max non-terminal jobs; beyond this submissions get 429 + Retry-After")
+	tenantCap := flag.Int("tenant-cap", 4, "max non-terminal jobs per tenant")
+	memBudget := flag.Int64("mem-budget-mb", 0, "memory-budget admission gate in MiB (0 disables)")
+	cacheBudget := flag.Int64("cache-budget-mb", 256, "decoded-dataset cache budget in MiB")
+	executors := flag.Int("executors", 2, "concurrent job executors")
+	chunk := flag.Int("chunk", 64, "voxels per journaled checkpoint chunk")
+	workers := flag.Int("workers", 0, "per-job pipeline goroutines (0 = GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-attempt job execution timeout")
+	jobRetries := flag.Int("job-retries", 2, "default extra attempts for a transiently failing job")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for executors to checkpoint")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault-injection seed; 0 disables the chaos plan entirely")
+	chaosKillChunks := flag.String("chaos-kill-chunks", "", `comma-separated cumulative completed-chunk counts at which the server simulates a crash (e.g. "3,7")`)
+	chaosFSTorn := flag.Float64("chaos-fs-torn", 0, "probability a journal write is torn (partial write + EIO)")
+	chaosFSENOSPC := flag.Float64("chaos-fs-enospc", 0, "probability a journal write fails with ENOSPC")
+	chaosFSSlowSync := flag.Float64("chaos-fs-slow-sync", 0, "probability an fsync is delayed")
+	chaosFSRenameFail := flag.Float64("chaos-fs-rename-fail", 0, "probability a rename fails with EIO")
+	chaosSchedDelay := flag.Float64("chaos-sched-delay", 0, "probability a chunk boundary is delayed")
+	logFormat := flag.String("log-format", "text", `status log format: "text" or "json"`)
+	flightOut := flag.String("flight-out", "", "write flight-recorder crash dumps to this file instead of stderr (created only if a dump fires)")
+	flag.Parse()
+
+	logger := obs.BootstrapCLI("fcma-serve", *logFormat, *flightOut)
+
+	var plan *chaos.Plan
+	var fsys chaos.FS
+	if *chaosSeed != 0 {
+		killChunks, err := parseKillChunks(*chaosKillChunks)
+		fail(err)
+		plan, err = chaos.NewPlan(chaos.Config{
+			Seed: *chaosSeed,
+			FS: chaos.FSConfig{
+				TornWrite:  *chaosFSTorn,
+				ENOSPC:     *chaosFSENOSPC,
+				SlowSync:   *chaosFSSlowSync,
+				RenameFail: *chaosFSRenameFail,
+			},
+			Sched:     chaos.SchedConfig{Delay: *chaosSchedDelay},
+			KillTasks: killChunks,
+		})
+		fail(err)
+		fsys = plan.FS(chaos.OS())
+		logger.Warn("fault injection armed", "seed", *chaosSeed, "kill_chunks", *chaosKillChunks)
+	}
+
+	reg := obs.NewRegistry()
+	svc, err := serve.New(serve.Options{
+		Dir:         *dir,
+		QueueCap:    *queueCap,
+		TenantCap:   *tenantCap,
+		MemBudget:   *memBudget << 20,
+		CacheBudget: *cacheBudget << 20,
+		Executors:   *executors,
+		ChunkVoxels: *chunk,
+		Workers:     *workers,
+		JobTimeout:  *jobTimeout,
+		JobRetries:  *jobRetries,
+		Obs:         reg,
+		Chaos:       plan,
+		FS:          fsys,
+		Log:         logger,
+	})
+	fail(err)
+
+	// One server carries both planes: the job API and the observability
+	// endpoints (readiness comes from the service, so /readyz flips the
+	// moment a drain starts).
+	mux := obs.NewMux(reg.Snapshot, svc.Readiness())
+	mux.Handle("/api/v1/", svc.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", *listen)
+	fail(err)
+	if *addrFile != "" {
+		fail(os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644))
+	}
+	serveErr := make(chan error, 1)
+	safe.Go("serve/http", func() error {
+		serveErr <- srv.Serve(ln)
+		return nil
+	}, func(err error) {
+		if err != nil {
+			logger.Error("http server crashed", "err", err)
+		}
+	})
+	logger.Info("fcma-serve listening", "addr", ln.Addr().String(), "dir", *dir)
+	fmt.Printf("fcma-serve: listening on %s (state in %s)\n", ln.Addr().String(), *dir)
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fail(err)
+	}
+	stopSignals() // a second signal kills the process the usual way
+
+	// Drain protocol: flip readiness, stop admitting, checkpoint running
+	// jobs at their next chunk boundary, then let in-flight HTTP
+	// responses finish. Exit 0 on a clean drain; 137 if a chaos kill
+	// already crashed the service (the soak's "process died" marker).
+	logger.Info("signal received; draining")
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer dcancel()
+	if svc.Killed() {
+		os.Exit(137)
+	}
+	if err := svc.Drain(dctx); err != nil {
+		logger.Error("drain failed", "err", err)
+		os.Exit(1)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		logger.Error("http shutdown failed", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("drained clean; exiting")
+}
+
+// parseKillChunks parses the comma-separated cumulative chunk counts of
+// -chaos-kill-chunks.
+func parseKillChunks(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -chaos-kill-chunks entry %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		slog.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+}

@@ -4,16 +4,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"log/slog"
 	"math"
-	"os"
-	"path/filepath"
 
 	"fcma/internal/chaos"
 	"fcma/internal/core"
 	"fcma/internal/obs"
+	"fcma/internal/wal"
 )
 
 // Journal is the master's write-ahead log: a binary, CRC-framed record of
@@ -29,30 +25,18 @@ import (
 // replacing it. The checkpoint is the inspectable, portable artifact; the
 // journal is the recovery log. A master may run with either or both.
 //
-// Format: an 8-byte magic header, then self-delimiting records:
-//
-//	len uint32 | crc32(payload) uint32 | payload
-//
-// little endian, CRC-32 (IEEE). Payloads are versioned by the magic.
-//
-// Crash consistency: records are appended through the chaos.FS seam and
-// fsynced before the master acts on them (completions before the next
-// assignment is issued). A crash can tear the final record — a torn tail
-// (short frame or CRC mismatch) is detected on open, truncated, and the
-// affected task recomputed; everything before it is trusted. The journal
-// file itself is created atomically (temp + fsync + rename + dir fsync),
-// so a crash during creation leaves either no journal or a valid empty
-// one.
+// The framing, atomic creation, and truncate-at-first-bad-frame recovery
+// live in internal/wal (extracted from this file so the job service's
+// journal shares them); this type owns only the record payloads and the
+// master's replay state. Completions are fsynced before the master acts
+// on them; assignments are advisory and unsynced.
 type Journal struct {
-	fsys chaos.FS
-	f    chaos.File
-	path string
-	reg  *obs.Registry // attached by the master; nil-safe
+	log *wal.Log
+	reg *obs.Registry // attached by the master; nil-safe
 
 	completed map[int]float64 // voxel -> accuracy from completion records
 	assigns   int             // assignment records replayed
 	replayed  int             // completion records replayed
-	truncated bool            // open discarded a torn/corrupt tail
 }
 
 const (
@@ -75,85 +59,13 @@ func OpenJournal(path string) (*Journal, error) {
 // chaos tests can inject torn writes, ENOSPC, and slow fsync into every
 // durability decision the journal makes.
 func OpenJournalFS(fsys chaos.FS, path string) (*Journal, error) {
-	if fsys == nil {
-		fsys = chaos.OS()
-	}
-	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
-	if errors.Is(err, os.ErrNotExist) {
-		// Create atomically: a crash between "file exists" and "header
-		// written" must not leave a journal that later refuses to open.
-		if cerr := chaos.WriteFileAtomic(fsys, path, []byte(journalMagic), 0o644); cerr != nil {
-			return nil, fmt.Errorf("cluster: creating journal: %w", cerr)
-		}
-		f, err = fsys.OpenFile(path, os.O_RDWR, 0o644)
-	}
+	j := &Journal{completed: make(map[int]float64)}
+	log, err := wal.Open(fsys, path, journalMagic, journalMaxRecord, j.apply)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: opening journal: %w", err)
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	j := &Journal{fsys: fsys, f: f, path: path, completed: make(map[int]float64)}
-	if err := j.replay(); err != nil {
-		f.Close()
-		return nil, err
-	}
+	j.log = log
 	return j, nil
-}
-
-// replay loads every intact record and truncates a torn or corrupt tail.
-func (j *Journal) replay() error {
-	data, err := io.ReadAll(j.f)
-	if err != nil {
-		return fmt.Errorf("cluster: reading journal: %w", err)
-	}
-	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != string(journalMagic) {
-		return fmt.Errorf("cluster: %s is not a journal (bad magic)", j.path)
-	}
-	off := len(journalMagic)
-	end := len(data)
-	truncateAt := -1
-	var reason string
-	for off < end {
-		if off+8 > end {
-			truncateAt, reason = off, "short frame header"
-			break
-		}
-		n := binary.LittleEndian.Uint32(data[off:])
-		crc := binary.LittleEndian.Uint32(data[off+4:])
-		if n > journalMaxRecord {
-			truncateAt, reason = off, fmt.Sprintf("implausible record length %d", n)
-			break
-		}
-		if off+8+int(n) > end {
-			truncateAt, reason = off, "torn record body"
-			break
-		}
-		payload := data[off+8 : off+8+int(n)]
-		if crc32.ChecksumIEEE(payload) != crc {
-			truncateAt, reason = off, "CRC mismatch"
-			break
-		}
-		if err := j.apply(payload); err != nil {
-			truncateAt, reason = off, err.Error()
-			break
-		}
-		off += 8 + int(n)
-	}
-	if truncateAt >= 0 {
-		// Everything from the first bad frame on is untrusted: a torn tail
-		// from a crash mid-append, or corruption. Cut it off and let the
-		// master recompute the affected tasks — recovery trades a little
-		// recomputation for never trusting a damaged record.
-		slog.Warn("journal tail unreadable; truncating and resuming from last intact record",
-			"path", j.path, "offset", truncateAt, "discarded_bytes", end-truncateAt, "reason", reason)
-		if err := j.f.Truncate(int64(truncateAt)); err != nil {
-			return fmt.Errorf("cluster: truncating damaged journal tail: %w", err)
-		}
-		j.truncated = true
-		end = truncateAt
-	}
-	if _, err := j.f.Seek(int64(end), io.SeekStart); err != nil {
-		return fmt.Errorf("cluster: seeking journal end: %w", err)
-	}
-	return nil
 }
 
 // apply folds one decoded record into the replay state.
@@ -188,26 +100,23 @@ func (j *Journal) apply(payload []byte) error {
 	return nil
 }
 
-// append frames payload with length + CRC and writes it. sync controls
-// whether the record is fsynced before returning.
+// append frames payload through the WAL and books the journal's metrics.
+// sync controls whether the record is fsynced before returning.
 func (j *Journal) append(payload []byte, sync bool) error {
-	frame := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
-	copy(frame[8:], payload)
-	if _, err := j.f.Write(frame); err != nil {
-		return fmt.Errorf("cluster: journal append: %w", err)
+	var st obs.StageTimer
+	if sync {
+		st = j.reg.Stage("journal_sync").Start()
 	}
-	j.reg.Counter("cluster_journal_records_total").Inc()
-	j.reg.Counter("cluster_journal_bytes_total").Add(uint64(len(frame)))
-	if !sync {
-		return nil
+	n, err := j.log.Append(payload, sync)
+	if sync {
+		st.Stop()
 	}
-	st := j.reg.Stage("journal_sync").Start()
-	err := j.f.Sync()
-	st.Stop()
+	if n > 0 {
+		j.reg.Counter("cluster_journal_records_total").Inc()
+		j.reg.Counter("cluster_journal_bytes_total").Add(uint64(n))
+	}
 	if err != nil {
-		return fmt.Errorf("cluster: journal sync: %w", err)
+		return fmt.Errorf("cluster: journal append: %w", err)
 	}
 	return nil
 }
@@ -263,7 +172,7 @@ func (j *Journal) Done() int { return len(j.completed) }
 
 // Truncated reports whether opening the journal had to discard a torn or
 // corrupt tail.
-func (j *Journal) Truncated() bool { return j.truncated }
+func (j *Journal) Truncated() bool { return j.log.Truncated() }
 
 // ReplayedAssigns returns how many assignment records the open replayed —
 // the in-flight tasks of the crashed incarnation, which the resumed
@@ -285,7 +194,7 @@ func (j *Journal) Scores() []core.VoxelScore {
 }
 
 // Path returns the journal's file path.
-func (j *Journal) Path() string { return j.path }
+func (j *Journal) Path() string { return j.log.Path() }
 
 // attach points the journal's instruments at the master's registry and
 // publishes the replay outcome.
@@ -293,31 +202,21 @@ func (j *Journal) attach(reg *obs.Registry) {
 	j.reg = reg
 	reg.Gauge("cluster_journal_replayed_voxels").Set(float64(len(j.completed)))
 	reg.Gauge("cluster_journal_replayed_assigns").Set(float64(j.assigns))
-	if j.truncated {
+	if j.log.Truncated() {
 		reg.Counter("cluster_journal_torn_recoveries_total").Inc()
 	}
 }
 
 // Close fsyncs and releases the journal file.
-func (j *Journal) Close() error {
-	if err := j.f.Sync(); err != nil {
-		j.f.Close()
-		return err
-	}
-	return j.f.Close()
-}
+func (j *Journal) Close() error { return j.log.Close() }
 
 // Remove deletes the journal file; call it after a run completes so a
 // later run does not resume from finished state.
-func (j *Journal) Remove() error {
-	return j.fsys.Remove(j.path)
-}
+func (j *Journal) Remove() error { return j.log.Remove() }
 
 // SyncDir fsyncs the journal's directory, making its creation durable on
 // filesystems where the rename alone is not.
-func (j *Journal) SyncDir() error {
-	return j.fsys.SyncDir(filepath.Dir(j.path))
-}
+func (j *Journal) SyncDir() error { return j.log.SyncDir() }
 
 // floatToBits and bitsToFloat isolate the raw-bit round trip the
 // journal's bit-exactness guarantee rests on.

@@ -200,7 +200,7 @@ func TestJournalTornWriteThroughChaosFS(t *testing.T) {
 	if !errors.Is(err, syscall.EIO) {
 		t.Fatalf("torn append error = %v, want the injected EIO", err)
 	}
-	jc.f.Close() // simulate the crash: no clean Close/Sync
+	jc.log.Abort() // simulate the crash: no clean Close/Sync
 
 	r, err := OpenJournal(path)
 	if err != nil {

@@ -15,5 +15,6 @@ func All() []*Analyzer {
 		LockCopy,
 		DeferUnlock,
 		FsyncRename,
+		HTTPTimeouts,
 	}
 }

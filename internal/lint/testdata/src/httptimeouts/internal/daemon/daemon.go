@@ -1,0 +1,45 @@
+// Package daemon exercises the httptimeouts contract: every http.Server
+// literal must set ReadHeaderTimeout so a slowloris client cannot pin
+// connections forever.
+package daemon
+
+import (
+	"net/http"
+	"time"
+)
+
+// Naked builds a server with no timeouts at all: flagged.
+func Naked(mux *http.ServeMux) *http.Server {
+	return &http.Server{Handler: mux} // want "http.Server literal without ReadHeaderTimeout"
+}
+
+// ValueLiteral proves non-pointer literals are checked too.
+func ValueLiteral(mux *http.ServeMux) http.Server {
+	return http.Server{Addr: ":8080", Handler: mux} // want "http.Server literal without ReadHeaderTimeout"
+}
+
+// OtherTimeoutsOnly sets timeouts but not the header one — still exposed
+// to a client that never finishes its headers: flagged.
+func OtherTimeoutsOnly(mux *http.ServeMux) *http.Server {
+	return &http.Server{ // want "http.Server literal without ReadHeaderTimeout"
+		Handler:      mux,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+}
+
+// Guarded sets ReadHeaderTimeout: clean.
+func Guarded(mux *http.ServeMux) *http.Server {
+	return &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+}
+
+// ProxyFronted documents a deliberate exception through the directive.
+func ProxyFronted(mux *http.ServeMux) *http.Server {
+	//lint:allow httptimeouts the fronting proxy owns the header timeout
+	return &http.Server{Handler: mux}
+}
+
+// NotAServer proves other net/http literals are not confused with Server.
+func NotAServer() http.Client {
+	return http.Client{Timeout: time.Second}
+}

@@ -4,13 +4,14 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"fcma/internal/retry"
 	"fcma/internal/safe"
 )
 
@@ -369,7 +370,9 @@ func DialWorkerCtx(ctx context.Context, addr string) (*TCPWorker, error) {
 	}, nil
 }
 
-// DialOptions shapes DialWorkerRetry's exponential backoff.
+// DialOptions shapes DialWorkerRetry's exponential backoff. It mirrors
+// retry.Policy field for field; the dialer is one consumer of the shared
+// internal/retry implementation.
 type DialOptions struct {
 	// Attempts is the total number of dials before giving up (min 1).
 	Attempts int
@@ -386,6 +389,17 @@ type DialOptions struct {
 	Seed int64
 }
 
+// policy converts the dial options into the shared retry policy.
+func (o DialOptions) policy() retry.Policy {
+	return retry.Policy{
+		Attempts:  o.Attempts,
+		BaseDelay: o.BaseDelay,
+		MaxDelay:  o.MaxDelay,
+		Jitter:    o.Jitter,
+		Seed:      o.Seed,
+	}
+}
+
 // DialWorkerRetry is DialWorker with exponential backoff and jitter: it
 // keeps redialing through transient refusals (master not yet up, network
 // blip, master restarting) until the attempt budget is spent.
@@ -398,52 +412,24 @@ func DialWorkerRetry(addr string, o DialOptions) (*TCPWorker, error) {
 // attempts, so SIGINT during a reconnect storm exits promptly instead of
 // sleeping out the remaining budget.
 func DialWorkerRetryCtx(ctx context.Context, addr string, o DialOptions) (*TCPWorker, error) {
-	if o.Attempts < 1 {
-		o.Attempts = 1
+	var w *TCPWorker
+	err := retry.Do(ctx, o.policy(), func(ctx context.Context, _ int) error {
+		var derr error
+		w, derr = DialWorkerCtx(ctx, addr)
+		return derr
+	})
+	if err == nil {
+		return w, nil
 	}
-	if o.BaseDelay <= 0 {
-		o.BaseDelay = 100 * time.Millisecond
+	var canceled *retry.Canceled
+	if errors.As(err, &canceled) {
+		return nil, fmt.Errorf("mpi: dialing %s canceled after %d attempts: %w", addr, canceled.Attempts, canceled.Err)
 	}
-	if o.MaxDelay <= 0 {
-		o.MaxDelay = 5 * time.Second
+	var exhausted *retry.Exhausted
+	if errors.As(err, &exhausted) {
+		return nil, fmt.Errorf("mpi: dialing %s failed after %d attempts: %w", addr, exhausted.Attempts, exhausted.Err)
 	}
-	if o.Jitter < 0 || o.Jitter > 1 {
-		o.Jitter = 0.5
-	}
-	seed := o.Seed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
-	}
-	rng := rand.New(rand.NewSource(seed))
-	delay := o.BaseDelay
-	var lastErr error
-	for attempt := 0; attempt < o.Attempts; attempt++ {
-		if attempt > 0 {
-			d := delay
-			if o.Jitter > 0 {
-				d = time.Duration(float64(d) * (1 + o.Jitter*(2*rng.Float64()-1)))
-			}
-			t := time.NewTimer(d)
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
-				return nil, fmt.Errorf("mpi: dialing %s canceled after %d attempts: %w", addr, attempt, ctx.Err())
-			}
-			if delay *= 2; delay > o.MaxDelay {
-				delay = o.MaxDelay
-			}
-		}
-		w, err := DialWorkerCtx(ctx, addr)
-		if err == nil {
-			return w, nil
-		}
-		lastErr = err
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("mpi: dialing %s canceled after %d attempts: %w", addr, attempt+1, ctx.Err())
-		}
-	}
-	return nil, fmt.Errorf("mpi: dialing %s failed after %d attempts: %w", addr, o.Attempts, lastErr)
+	return nil, fmt.Errorf("mpi: dialing %s: %w", addr, err)
 }
 
 // Rank implements Transport.

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -79,8 +80,39 @@ type Server struct {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the listener down.
+// Close shuts the listener down immediately, abandoning in-flight
+// requests. Prefer Shutdown for a clean exit.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish, up to ctx's deadline — the drain-friendly
+// counterpart to Close, so a scrape in progress when SIGTERM lands still
+// gets its response.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// NewMux builds the standard observability mux: /metrics (Prometheus
+// text), /healthz (liveness + build identity), /readyz (readiness; a nil
+// ready is always ready), and the net/http/pprof handlers under
+// /debug/pprof/. Exported so daemons like fcma-serve can mount these
+// endpoints on their own API server instead of running a second one.
+func NewMux(snap func() Snapshot, ready *Readiness) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = writeBuildInfoProm(w)
+		_ = snap().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", handleHealthz)
+	mux.HandleFunc("/readyz", ready.handler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // Serve starts an HTTP server on addr exposing the registry at /metrics
 // (Prometheus text) and the standard net/http/pprof handlers under
@@ -92,25 +124,15 @@ func Serve(addr string, r *Registry) (*Server, error) {
 
 // ServeFunc is Serve with a caller-supplied snapshot source, evaluated per
 // /metrics request — the cluster master uses it to expose its own registry
-// merged with the workers' shipped snapshots.
+// merged with the workers' shipped snapshots. The built-in /readyz is
+// always ready; daemons with a drain protocol use NewMux with their own
+// Readiness instead.
 func ServeFunc(addr string, snap func() Snapshot) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = writeBuildInfoProm(w)
-		_ = snap().WritePrometheus(w)
-	})
-	mux.HandleFunc("/healthz", handleHealthz)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: NewMux(snap, nil), ReadHeaderTimeout: 5 * time.Second}
 	spawn("obs/metrics-server", func() { _ = srv.Serve(ln) })
 	return &Server{ln: ln, srv: srv}, nil
 }

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Readiness is a thread-safe readiness flag with a reason, the state
+// behind /readyz. Liveness (/healthz) answers "is the process up";
+// readiness answers "should a load balancer send it traffic" — a
+// draining or still-starting server is alive but not ready. The zero
+// value is not ready with reason "starting"; a nil *Readiness is always
+// ready, so components that never drain need not allocate one.
+type Readiness struct {
+	mu     sync.Mutex
+	ready  bool
+	reason string
+	init   bool
+}
+
+// Set flips the readiness state. reason is reported by /readyz when not
+// ready ("starting", "draining", ...) and ignored when ready.
+func (r *Readiness) Set(ready bool, reason string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ready, r.reason, r.init = ready, reason, true
+	r.mu.Unlock()
+}
+
+// Ready returns the current state and, when not ready, the reason.
+func (r *Readiness) Ready() (bool, string) {
+	if r == nil {
+		return true, ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.init {
+		return false, "starting"
+	}
+	if r.ready {
+		return true, ""
+	}
+	return false, r.reason
+}
+
+// handler answers readiness probes: 200 {"status":"ready"} when ready,
+// 503 {"status":"unready","reason":...} when not.
+func (r *Readiness) handler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	ready, reason := r.Ready()
+	if ready {
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "unready", "reason": reason})
+}

@@ -1,0 +1,150 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestDoSucceedsWithoutRetry proves a first-try success never sleeps.
+func TestDoSucceedsWithoutRetry(t *testing.T) {
+	start := time.Now()
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 5, BaseDelay: time.Second, Seed: 1},
+		func(context.Context, int) error { calls++; return nil })
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if calls != 1 {
+		t.Fatalf("op ran %d times, want 1", calls)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("first-try success took %v; Do slept before the first attempt", el)
+	}
+}
+
+// TestDoExhaustsBudget proves the attempt budget is honored exactly and
+// the final error carries the last operation error.
+func TestDoExhaustsBudget(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 3, BaseDelay: time.Millisecond, Seed: 1},
+		func(_ context.Context, attempt int) error {
+			calls++
+			if attempt != calls {
+				t.Fatalf("attempt %d reported as %d", calls, attempt)
+			}
+			return fmt.Errorf("attempt %d: %w", attempt, boom)
+		})
+	if calls != 3 {
+		t.Fatalf("op ran %d times, want 3", calls)
+	}
+	var ex *Exhausted
+	if !errors.As(err, &ex) || ex.Attempts != 3 {
+		t.Fatalf("Do = %v, want *Exhausted with 3 attempts", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v does not unwrap to the last op error", err)
+	}
+	if Attempts(err) != 3 {
+		t.Fatalf("Attempts(%v) = %d, want 3", err, Attempts(err))
+	}
+}
+
+// TestDoCancelDuringBackoff proves cancellation interrupts the sleep
+// between attempts instead of sleeping out the remaining ladder.
+func TestDoCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- Do(ctx, Policy{Attempts: 1000, BaseDelay: time.Second, MaxDelay: time.Second, Seed: 7},
+			func(context.Context, int) error { return errors.New("always fails") })
+	}()
+	time.Sleep(20 * time.Millisecond) // let it reach the first backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled Do = %v, want context.Canceled", err)
+		}
+		var c *Canceled
+		if !errors.As(err, &c) || c.Attempts != 1 {
+			t.Fatalf("cancelled Do = %v, want *Canceled after 1 attempt", err)
+		}
+		if el := time.Since(start); el > time.Second {
+			t.Fatalf("cancelled Do took %v; the backoff sleep outlived ctx", el)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Do still blocked after 2s")
+	}
+}
+
+// TestDoPreCancelled proves an already-dead context still runs the op
+// once (the op sees the cancelled ctx and fails fast) and reports
+// cancellation, matching the dialer's historical behavior.
+func TestDoPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{Attempts: 5, BaseDelay: time.Second, Seed: 7},
+		func(ctx context.Context, _ int) error { calls++; return ctx.Err() })
+	if calls != 1 {
+		t.Fatalf("op ran %d times under a dead ctx, want 1", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+// TestDoDeterministicDelays proves a fixed seed replays the same jittered
+// delay ladder — the property replayable soaks depend on.
+func TestDoDeterministicDelays(t *testing.T) {
+	ladder := func() []time.Duration {
+		var gaps []time.Duration
+		last := time.Now()
+		_ = Do(context.Background(), Policy{Attempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 42},
+			func(context.Context, int) error {
+				now := time.Now()
+				gaps = append(gaps, now.Sub(last))
+				last = now
+				return errors.New("fail")
+			})
+		return gaps
+	}
+	a, b := ladder(), ladder()
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("ladders ran %d/%d attempts, want 4", len(a), len(b))
+	}
+	for i := 1; i < 4; i++ {
+		// Scheduling noise makes exact equality flaky; the seeded jitter
+		// decisions are identical, so the gaps must agree coarsely while a
+		// different seed would move them by up to ±50%.
+		diff := a[i] - b[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 25*time.Millisecond {
+			t.Fatalf("attempt %d gaps %v vs %v differ; seeded jitter is not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDoZeroValuePolicyRunsOnce proves the zero policy means "one try,
+// no retries".
+func TestDoZeroValuePolicyRunsOnce(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{}, func(context.Context, int) error {
+		calls++
+		return errors.New("fail")
+	})
+	if calls != 1 {
+		t.Fatalf("zero policy ran op %d times, want 1", calls)
+	}
+	var ex *Exhausted
+	if !errors.As(err, &ex) || ex.Attempts != 1 {
+		t.Fatalf("zero policy error = %v, want *Exhausted after 1 attempt", err)
+	}
+}

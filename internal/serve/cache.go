@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fcma/internal/chaos"
+	"fcma/internal/fmri"
+	"fcma/internal/obs"
+)
+
+// datasetStore is the service's content-addressed dataset layer: uploaded
+// datasets live on disk under <dir>/datasets/<sha256> (written atomically
+// so a crash mid-upload leaves no partial blob), and decoded datasets —
+// uploaded or synthetic — are held in a byte-budgeted LRU so repeated
+// jobs over the same data skip the decode, evicting under pressure
+// rather than growing without bound.
+type datasetStore struct {
+	dir  string
+	fsys chaos.FS
+	reg  *obs.Registry
+
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List               // front = most recent; values are *cacheEntry
+	byKey  map[string]*list.Element // cache key -> lru element
+}
+
+// cacheEntry is one decoded dataset resident in memory.
+type cacheEntry struct {
+	key  string
+	ds   *fmri.Dataset
+	size int64
+}
+
+// datasetMeta is the sidecar the store writes next to each blob so
+// admission can estimate a job's memory footprint without decoding it.
+type datasetMeta struct {
+	Voxels     int `json:"voxels"`
+	TimePoints int `json:"time_points"`
+	Subjects   int `json:"subjects"`
+}
+
+// newDatasetStore roots the store at dir (created if missing).
+func newDatasetStore(dir string, fsys chaos.FS, budget int64, reg *obs.Registry) (*datasetStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "datasets"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating dataset dir: %w", err)
+	}
+	return &datasetStore{
+		dir: dir, fsys: fsys, reg: reg,
+		budget: budget,
+		lru:    list.New(),
+		byKey:  make(map[string]*list.Element),
+	}, nil
+}
+
+// blobPath returns the on-disk path for a content hash.
+func (s *datasetStore) blobPath(hash string) string {
+	return filepath.Join(s.dir, "datasets", hash)
+}
+
+// Put stores an uploaded dataset blob (encodeDataset framing: u64 data
+// length, WriteData binary, WriteEpochs text), verifies it decodes, and
+// returns its content hash.
+// The blob and its metadata sidecar are written atomically, so admission
+// never sees a hash whose bytes might be torn.
+func (s *datasetStore) Put(blob []byte) (string, error) {
+	ds, err := decodeDataset(blob)
+	if err != nil {
+		return "", fmt.Errorf("serve: uploaded dataset invalid: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	hash := hex.EncodeToString(sum[:])
+	path := s.blobPath(hash)
+	if _, err := os.Stat(path); err == nil {
+		return hash, nil // content-addressed: same bytes, same blob
+	}
+	if err := chaos.WriteFileAtomic(s.fsys, path, blob, 0o644); err != nil {
+		return "", fmt.Errorf("serve: storing dataset: %w", err)
+	}
+	meta, err := json.Marshal(datasetMeta{Voxels: ds.Voxels(), TimePoints: ds.TimePoints(), Subjects: ds.Subjects})
+	if err != nil {
+		return "", fmt.Errorf("serve: encoding dataset meta: %w", err)
+	}
+	if err := chaos.WriteFileAtomic(s.fsys, path+".json", meta, 0o644); err != nil {
+		return "", fmt.Errorf("serve: storing dataset meta: %w", err)
+	}
+	s.reg.Counter("serve_datasets_stored_total").Inc()
+	return hash, nil
+}
+
+// Meta loads the dimension sidecar for a stored dataset.
+func (s *datasetStore) Meta(hash string) (datasetMeta, error) {
+	data, err := os.ReadFile(s.blobPath(hash) + ".json")
+	if err != nil {
+		return datasetMeta{}, fmt.Errorf("serve: unknown dataset %s", hash)
+	}
+	var m datasetMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return datasetMeta{}, fmt.Errorf("serve: dataset meta %s: %w", hash, err)
+	}
+	return m, nil
+}
+
+// Get returns the decoded dataset for a job spec, from cache when
+// resident, decoding/generating (and caching) otherwise.
+func (s *datasetStore) Get(spec JobSpec) (*fmri.Dataset, error) {
+	key := spec.cacheKey()
+	if ds := s.lookup(key); ds != nil {
+		s.reg.Counter("serve_dataset_cache_hits_total").Inc()
+		return ds, nil
+	}
+	s.reg.Counter("serve_dataset_cache_misses_total").Inc()
+	var ds *fmri.Dataset
+	var err error
+	if spec.Synthetic != "" {
+		ds, err = fmri.Generate(syntheticSpec(spec))
+		if err != nil {
+			return nil, fmt.Errorf("serve: generating %s: %w", spec.Synthetic, err)
+		}
+	} else {
+		blob, rerr := os.ReadFile(s.blobPath(spec.Dataset))
+		if rerr != nil {
+			return nil, fmt.Errorf("serve: unknown dataset %s", spec.Dataset)
+		}
+		if ds, err = decodeDataset(blob); err != nil {
+			return nil, fmt.Errorf("serve: dataset %s: %w", spec.Dataset, err)
+		}
+	}
+	s.insert(key, ds)
+	return ds, nil
+}
+
+// syntheticSpec maps a job spec to the deterministic generator spec, the
+// canonical form cacheKey is derived from.
+func syntheticSpec(spec JobSpec) fmri.Spec {
+	if spec.Synthetic == "attention" {
+		return fmri.AttentionSpec(spec.scale())
+	}
+	return fmri.FaceSceneSpec(spec.scale())
+}
+
+// cacheKey canonicalizes which dataset a spec runs on: synthetic shapes
+// by name and scale (their generation is seeded and deterministic, so
+// equal keys mean bit-identical data), uploads by content hash.
+func (s JobSpec) cacheKey() string {
+	if s.Synthetic != "" {
+		return fmt.Sprintf("synthetic/%s@%g", s.Synthetic, s.scale())
+	}
+	return "blob/" + s.Dataset
+}
+
+// lookup returns a resident dataset and refreshes its recency.
+func (s *datasetStore) lookup(key string) *fmri.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[key]
+	if !ok {
+		return nil
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).ds
+}
+
+// insert caches a decoded dataset, evicting least-recently-used entries
+// until the byte budget holds. A dataset larger than the whole budget is
+// served uncached.
+func (s *datasetStore) insert(key string, ds *fmri.Dataset) {
+	size := datasetBytes(ds.Voxels(), ds.TimePoints())
+	if s.budget <= 0 || size > s.budget {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byKey[key]; dup {
+		return
+	}
+	for s.used+size > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cacheEntry)
+		s.lru.Remove(back)
+		delete(s.byKey, ev.key)
+		s.used -= ev.size
+		s.reg.Counter("serve_dataset_cache_evictions_total").Inc()
+	}
+	s.byKey[key] = s.lru.PushFront(&cacheEntry{key: key, ds: ds, size: size})
+	s.used += size
+	s.reg.Gauge("serve_dataset_cache_bytes").Set(float64(s.used))
+}
+
+// datasetBytes estimates the resident size of a decoded V×T dataset
+// (float32 activity plus bookkeeping).
+func datasetBytes(voxels, timePoints int) int64 {
+	return int64(voxels)*int64(timePoints)*4 + 1<<16
+}
+
+// encodeDataset builds an upload blob: an 8-byte little-endian length of
+// the WriteData section, the section itself, then the WriteEpochs text.
+// The explicit length keeps the two sections separable no matter how the
+// data reader buffers (fmri.ReadData reads through a bufio.Reader, which
+// would otherwise swallow the epoch bytes).
+func encodeDataset(ds *fmri.Dataset) ([]byte, error) {
+	var data, eps bytes.Buffer
+	if err := fmri.WriteData(&data, ds); err != nil {
+		return nil, err
+	}
+	if err := fmri.WriteEpochs(&eps, ds.Epochs); err != nil {
+		return nil, err
+	}
+	blob := make([]byte, 8, 8+data.Len()+eps.Len())
+	binary.LittleEndian.PutUint64(blob, uint64(data.Len()))
+	blob = append(blob, data.Bytes()...)
+	return append(blob, eps.Bytes()...), nil
+}
+
+// decodeDataset parses an upload blob produced by encodeDataset (or any
+// client following the same framing).
+func decodeDataset(blob []byte) (*fmri.Dataset, error) {
+	if len(blob) < 8 {
+		return nil, fmt.Errorf("blob too short for header")
+	}
+	dataLen := binary.LittleEndian.Uint64(blob)
+	if dataLen > uint64(len(blob)-8) {
+		return nil, fmt.Errorf("blob data section of %d bytes exceeds the %d available", dataLen, len(blob)-8)
+	}
+	ds, err := fmri.ReadData(bytes.NewReader(blob[8 : 8+dataLen]))
+	if err != nil {
+		return nil, err
+	}
+	eps, err := fmri.ReadEpochs(bytes.NewReader(blob[8+dataLen:]))
+	if err != nil {
+		return nil, err
+	}
+	ds.Epochs = eps
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"fcma/internal/core"
+)
+
+// maxUploadBytes bounds one dataset upload; bigger data belongs on the
+// batch CLI path, not a request body.
+const maxUploadBytes = 1 << 30
+
+// Handler returns the service's API mux:
+//
+//	POST   /api/v1/jobs          submit (202, 400, 429+Retry-After, 503)
+//	GET    /api/v1/jobs          list
+//	GET    /api/v1/jobs/{id}     status + progress
+//	GET    /api/v1/jobs/{id}/result  scores (200; 409 until done; 404)
+//	DELETE /api/v1/jobs/{id}     cancel (202; 409 when terminal)
+//	POST   /api/v1/datasets      upload content-addressed dataset (201)
+//
+// Observability endpoints (/metrics, /healthz, /readyz, pprof) are
+// mounted by the daemon via obs.NewMux on the same server.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /api/v1/datasets", s.handleUpload)
+	return mux
+}
+
+// jobStatus is the wire form of a job's state.
+type jobStatus struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	Tenant   string `json:"tenant"`
+	Name     string `json:"name,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	// DoneVoxels/TotalVoxels expose checkpoint progress; Total is 0 until
+	// the first attempt resolves the dataset.
+	DoneVoxels  int `json:"done_voxels"`
+	TotalVoxels int `json:"total_voxels"`
+}
+
+// statusLocked snapshots a job for the wire (service mutex held).
+func statusLocked(j *Job) jobStatus {
+	return jobStatus{
+		ID: j.ID, State: j.State, Tenant: j.Spec.tenant(), Name: j.Spec.Name,
+		Error: j.Err, Attempts: j.Attempts,
+		DoneVoxels: j.progress(), TotalVoxels: j.totalVoxels,
+	}
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error document, mapping admission rejections
+// to their status and Retry-After.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed job spec: "+err.Error())
+		return
+	}
+	id, err := s.Submit(spec)
+	if err != nil {
+		var aerr *admitError
+		if errors.As(err, &aerr) {
+			if aerr.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(aerr.RetryAfter))
+			}
+			writeError(w, aerr.Status, aerr.Reason)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]jobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, statusLocked(j))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	st := statusLocked(job)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// resultScore is the wire form of one voxel score.
+type resultScore struct {
+	Voxel    int     `json:"voxel"`
+	Accuracy float64 `json:"accuracy"`
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if job.State != StateDone {
+		st := job.State
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "job is "+string(st)+", not done")
+		return
+	}
+	result := make([]core.VoxelScore, len(job.result))
+	copy(result, job.result)
+	s.mu.Unlock()
+
+	scores := make([]resultScore, len(result))
+	for i, sc := range result {
+		scores[i] = resultScore{Voxel: sc.Voxel, Accuracy: sc.Accuracy}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": r.PathValue("id"), "scores": scores})
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	err := s.Cancel(id)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": "canceling"})
+	case errors.Is(err, errUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown job")
+	default:
+		writeError(w, http.StatusConflict, err.Error())
+	}
+}
+
+func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
+	blob, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading upload: "+err.Error())
+		return
+	}
+	hash, err := s.store.Put(blob)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"hash": hash})
+}

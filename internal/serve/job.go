@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fcma/internal/core"
+)
+
+// State is a job's position in the service's state machine:
+//
+//	accepted ──▶ running ──▶ done
+//	    │           │  ▲        (terminal)
+//	    │           ▼  │
+//	    │      checkpointing ──▶ done/failed/canceled
+//	    │           │
+//	    ▼           ▼
+//	 canceled    failed/canceled   (terminal)
+//
+// accepted: journaled and queued, not yet picked up by an executor.
+// running: an executor is computing chunks (each chunk's scores are
+// journaled before the job advances past it). checkpointing: the server
+// is draining; the executor is stopping at the next chunk boundary with
+// all completed progress durable. done/failed/canceled: terminal.
+type State string
+
+const (
+	StateAccepted      State = "accepted"
+	StateRunning       State = "running"
+	StateCheckpointing State = "checkpointing"
+	StateDone          State = "done"
+	StateFailed        State = "failed"
+	StateCanceled      State = "canceled"
+)
+
+// Terminal reports whether the state is final: the job holds no resources
+// and its journal records are settled.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// valid reports whether s is a state the journal may contain.
+func (s State) valid() bool {
+	switch s {
+	case StateAccepted, StateRunning, StateCheckpointing, StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// canTransition encodes the legal edges of the state machine; the journal
+// refuses to record (and replay refuses to apply) anything else, so a
+// code path that would, say, re-complete a done job fails loudly instead
+// of corrupting the exactly-once guarantee.
+func canTransition(from, to State) bool {
+	switch from {
+	case StateAccepted:
+		return to == StateRunning || to == StateCanceled || to == StateFailed
+	case StateRunning:
+		return to == StateCheckpointing || to == StateDone || to == StateFailed || to == StateCanceled
+	case StateCheckpointing:
+		return to == StateRunning || to == StateDone || to == StateFailed || to == StateCanceled
+	default: // terminal states have no outgoing edges
+		return false
+	}
+}
+
+// JobSpec is the client-supplied description of one analysis job: which
+// dataset to run voxel selection on and how. Exactly one of Synthetic or
+// Dataset must be set.
+type JobSpec struct {
+	// Tenant identifies the submitter for quota accounting; empty means
+	// the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Name is a human label echoed back in status documents.
+	Name string `json:"name,omitempty"`
+	// Synthetic names a built-in generated dataset shape: "face-scene" or
+	// "attention" (the paper's Table 2 shapes), scaled by Scale.
+	Synthetic string `json:"synthetic,omitempty"`
+	// Scale shrinks the synthetic shape (1 = paper size). Defaults to a
+	// small smoke-test scale when zero.
+	Scale float64 `json:"scale,omitempty"`
+	// Dataset is the content hash of a dataset previously uploaded via
+	// POST /api/v1/datasets.
+	Dataset string `json:"dataset,omitempty"`
+	// Engine selects "optimized" (default) or "baseline" kernels.
+	Engine string `json:"engine,omitempty"`
+	// TopK limits the result to the K best voxels; 0 returns every voxel.
+	TopK int `json:"top_k,omitempty"`
+	// TimeoutMS bounds the job's wall-clock execution per attempt; 0 uses
+	// the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Retries is how many extra attempts a transiently failing job gets;
+	// negative means the server default.
+	Retries int `json:"retries,omitempty"`
+}
+
+// validate rejects malformed specs at admission, before anything is
+// journaled.
+func (s JobSpec) validate() error {
+	if (s.Synthetic == "") == (s.Dataset == "") {
+		return fmt.Errorf("spec must set exactly one of synthetic or dataset")
+	}
+	if s.Synthetic != "" && s.Synthetic != "face-scene" && s.Synthetic != "attention" {
+		return fmt.Errorf("unknown synthetic shape %q (want face-scene or attention)", s.Synthetic)
+	}
+	if s.Scale < 0 || s.Scale > 1 {
+		return fmt.Errorf("scale %g out of range (0, 1]", s.Scale)
+	}
+	switch s.Engine {
+	case "", "optimized", "baseline":
+	default:
+		return fmt.Errorf("unknown engine %q (want optimized or baseline)", s.Engine)
+	}
+	if s.TopK < 0 {
+		return fmt.Errorf("top_k %d negative", s.TopK)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms %d negative", s.TimeoutMS)
+	}
+	return nil
+}
+
+// scale returns the effective synthetic scale.
+func (s JobSpec) scale() float64 {
+	if s.Scale == 0 {
+		return 0.02
+	}
+	return s.Scale
+}
+
+// tenant returns the effective tenant.
+func (s JobSpec) tenant() string {
+	if s.Tenant == "" {
+		return "default"
+	}
+	return s.Tenant
+}
+
+// Job is the server-side record of one submitted analysis. All fields are
+// guarded by the Service mutex.
+type Job struct {
+	ID    string
+	Spec  JobSpec
+	State State
+	// Err holds the failure message of a failed job.
+	Err string
+	// Attempts counts execution attempts (for status reporting).
+	Attempts int
+
+	// scores accumulates journaled per-voxel accuracies; chunks marks
+	// which task ranges (keyed by V0) are already durable, so a resumed
+	// or retried job skips them.
+	scores map[int]float64
+	chunks map[int]bool
+	// totalVoxels is the brain size once known (0 before the first
+	// attempt resolves the dataset).
+	totalVoxels int
+	// result is the final sorted ranking, rebuilt from scores at
+	// completion (and at replay, for jobs already done).
+	result []core.VoxelScore
+
+	// cancel aborts the running attempt's context; nil when no executor
+	// owns the job.
+	cancel context.CancelFunc
+	// canceling marks a user cancellation request observed while the job
+	// was running, so the executor records canceled rather than failed.
+	canceling bool
+
+	created time.Time
+}
+
+// progress returns how many voxels have durable scores.
+func (j *Job) progress() int { return len(j.scores) }
+
+// mergeChunk folds one journaled chunk (task range [v0, v0+v)) into the
+// job's progress state.
+func (j *Job) mergeChunk(v0, v int, scores []core.VoxelScore) {
+	if j.scores == nil {
+		j.scores = make(map[int]float64)
+	}
+	if j.chunks == nil {
+		j.chunks = make(map[int]bool)
+	}
+	for _, s := range scores {
+		j.scores[s.Voxel] = s.Accuracy
+	}
+	j.chunks[v0] = true
+	if v0+v > j.totalVoxels {
+		j.totalVoxels = v0 + v
+	}
+}
+
+// finalize rebuilds the sorted result ranking from the accumulated
+// scores — the same path whether the job just finished or was replayed
+// from the journal, so a resumed server serves bit-identical results.
+func (j *Job) finalize() {
+	scores := make([]core.VoxelScore, 0, len(j.scores))
+	for v, acc := range j.scores {
+		scores = append(scores, core.VoxelScore{Voxel: v, Accuracy: acc})
+	}
+	j.result = core.TopVoxels(scores, j.Spec.TopK)
+}

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"fcma/internal/chaos"
+	"fcma/internal/core"
+	"fcma/internal/obs"
+	"fcma/internal/wal"
+)
+
+// journal is the service's write-ahead log of job lifecycle and progress,
+// sharing the wal framing (and its torn-tail recovery) with the cluster
+// master's journal. The durability policy follows the job state machine:
+//
+//   - accept records are fsynced BEFORE the 202 reaches the client — the
+//     admission contract is "never acknowledge work you cannot replay";
+//   - progress records (one per computed chunk, raw float64 score bits)
+//     are fsynced before the executor advances past the chunk, so a kill
+//     loses at most the chunk in flight and a resumed job recomputes
+//     only that;
+//   - terminal state records (done/failed/canceled) are fsynced before
+//     the transition is visible to clients, written exactly once;
+//   - running/checkpointing transitions are advisory and unsynced —
+//     losing one only makes a resumed server re-run work that is always
+//     safe to re-run (journaled chunks are skipped).
+type journal struct {
+	mu  sync.Mutex
+	log *wal.Log
+	reg *obs.Registry
+
+	// replay state
+	jobs   map[string]*Job
+	maxSeq int
+}
+
+const (
+	serveMagic     = "FCMASRV1"
+	serveMaxRecord = 64 << 20
+
+	srAccept   = 1
+	srState    = 2
+	srProgress = 3
+)
+
+// acceptRecord is the JSON payload of an srAccept record.
+type acceptRecord struct {
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+}
+
+// stateRecord is the JSON payload of an srState record.
+type stateRecord struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Err   string `json:"err,omitempty"`
+}
+
+// openJournal opens (or creates) the job journal at path and replays it
+// into a fresh job map.
+func openJournal(fsys chaos.FS, path string, reg *obs.Registry) (*journal, error) {
+	j := &journal{jobs: make(map[string]*Job), reg: reg}
+	log, err := wal.Open(fsys, path, serveMagic, serveMaxRecord, j.apply)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	j.log = log
+	if log.Truncated() {
+		reg.Counter("serve_journal_torn_recoveries_total").Inc()
+	}
+	// Jobs the crash caught mid-run replay as running/checkpointing; their
+	// executor is gone, so hand them back to the queue as accepted (their
+	// journaled chunks make the re-run incremental).
+	for _, job := range j.jobs {
+		if job.State == StateRunning || job.State == StateCheckpointing {
+			job.State = StateAccepted
+		}
+		if job.State == StateDone {
+			job.finalize()
+		}
+	}
+	return j, nil
+}
+
+// apply folds one replayed record into the job map.
+func (j *journal) apply(payload []byte) error {
+	if len(payload) < 1 {
+		return errors.New("empty record")
+	}
+	switch payload[0] {
+	case srAccept:
+		var rec acceptRecord
+		if err := json.Unmarshal(payload[1:], &rec); err != nil {
+			return fmt.Errorf("accept record: %w", err)
+		}
+		if rec.ID == "" {
+			return errors.New("accept record without id")
+		}
+		if _, dup := j.jobs[rec.ID]; dup {
+			return fmt.Errorf("duplicate accept for %s", rec.ID)
+		}
+		j.jobs[rec.ID] = &Job{ID: rec.ID, Spec: rec.Spec, State: StateAccepted}
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.ID, "job-")); err == nil && n > j.maxSeq {
+			j.maxSeq = n
+		}
+	case srState:
+		var rec stateRecord
+		if err := json.Unmarshal(payload[1:], &rec); err != nil {
+			return fmt.Errorf("state record: %w", err)
+		}
+		job, ok := j.jobs[rec.ID]
+		if !ok {
+			return fmt.Errorf("state record for unknown job %s", rec.ID)
+		}
+		// A journal spanning several server incarnations legitimately holds
+		// repeated non-terminal transitions (each incarnation re-marks a
+		// resumed job running), so replay accepts idempotent ones.
+		idempotent := rec.State == job.State && !rec.State.Terminal()
+		if !rec.State.valid() || (!canTransition(job.State, rec.State) && !idempotent) {
+			return fmt.Errorf("illegal transition %s → %s for %s", job.State, rec.State, rec.ID)
+		}
+		job.State = rec.State
+		job.Err = rec.Err
+	case srProgress:
+		id, v0, v, scores, err := decodeProgress(payload)
+		if err != nil {
+			return err
+		}
+		job, ok := j.jobs[id]
+		if !ok {
+			return fmt.Errorf("progress record for unknown job %s", id)
+		}
+		job.mergeChunk(v0, v, scores)
+	default:
+		return fmt.Errorf("unknown record kind %d", payload[0])
+	}
+	return nil
+}
+
+// append frames payload through the WAL under the journal lock and books
+// metrics.
+func (j *journal) append(payload []byte, sync bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var st obs.StageTimer
+	if sync {
+		st = j.reg.Stage("serve_journal_sync").Start()
+	}
+	n, err := j.log.Append(payload, sync)
+	if sync {
+		st.Stop()
+	}
+	if n > 0 {
+		j.reg.Counter("serve_journal_records_total").Inc()
+		j.reg.Counter("serve_journal_bytes_total").Add(uint64(n))
+	}
+	if err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	return nil
+}
+
+// recordAccept journals a job acceptance, fsynced: only after this
+// returns may the server send 202.
+func (j *journal) recordAccept(id string, spec JobSpec) error {
+	body, err := json.Marshal(acceptRecord{ID: id, Spec: spec})
+	if err != nil {
+		return fmt.Errorf("serve: encoding accept: %w", err)
+	}
+	return j.append(append([]byte{srAccept}, body...), true)
+}
+
+// recordState journals a state transition. Terminal states are fsynced
+// (the transition must survive anything that happens after clients see
+// it); running/checkpointing are advisory.
+func (j *journal) recordState(id string, to State, errMsg string) error {
+	body, err := json.Marshal(stateRecord{ID: id, State: to, Err: errMsg})
+	if err != nil {
+		return fmt.Errorf("serve: encoding state: %w", err)
+	}
+	return j.append(append([]byte{srState}, body...), to.Terminal())
+}
+
+// recordProgress journals one computed chunk's scores (raw float64 bits,
+// the bit-exactness contract), fsynced before the executor moves on.
+func (j *journal) recordProgress(id string, v0, v int, scores []core.VoxelScore) error {
+	payload := make([]byte, 1+4+len(id)+12, 1+4+len(id)+12+len(scores)*12)
+	payload[0] = srProgress
+	binary.LittleEndian.PutUint32(payload[1:], uint32(len(id)))
+	copy(payload[5:], id)
+	off := 5 + len(id)
+	binary.LittleEndian.PutUint32(payload[off:], uint32(v0))
+	binary.LittleEndian.PutUint32(payload[off+4:], uint32(v))
+	binary.LittleEndian.PutUint32(payload[off+8:], uint32(len(scores)))
+	var buf [12]byte
+	for _, s := range scores {
+		binary.LittleEndian.PutUint32(buf[:], uint32(s.Voxel))
+		binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(s.Accuracy))
+		payload = append(payload, buf[:]...)
+	}
+	return j.append(payload, true)
+}
+
+// decodeProgress parses an srProgress payload.
+func decodeProgress(payload []byte) (id string, v0, v int, scores []core.VoxelScore, err error) {
+	if len(payload) < 5 {
+		return "", 0, 0, nil, errors.New("short progress record")
+	}
+	idLen := int(binary.LittleEndian.Uint32(payload[1:]))
+	if len(payload) < 5+idLen+12 {
+		return "", 0, 0, nil, errors.New("short progress record")
+	}
+	id = string(payload[5 : 5+idLen])
+	off := 5 + idLen
+	v0 = int(binary.LittleEndian.Uint32(payload[off:]))
+	v = int(binary.LittleEndian.Uint32(payload[off+4:]))
+	count := int(binary.LittleEndian.Uint32(payload[off+8:]))
+	if len(payload) != off+12+count*12 {
+		return "", 0, 0, nil, fmt.Errorf("progress record of %d bytes for %d scores", len(payload), count)
+	}
+	scores = make([]core.VoxelScore, count)
+	for i := range scores {
+		p := payload[off+12+i*12:]
+		scores[i] = core.VoxelScore{
+			Voxel:    int(binary.LittleEndian.Uint32(p)),
+			Accuracy: math.Float64frombits(binary.LittleEndian.Uint64(p[4:])),
+		}
+	}
+	return id, v0, v, scores, nil
+}
+
+// close fsyncs and releases the journal.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Close()
+}
+
+// abort is the crash-shaped close: no final sync, used by chaos kills so
+// the file holds exactly what the per-record policy made durable.
+func (j *journal) abort() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.log.Abort()
+}
+
+// remove deletes the journal file (only safe once every job is terminal).
+func (j *journal) remove() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Remove()
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"fcma/internal/chaos"
+	"fcma/internal/core"
+	"fcma/internal/corr"
+	"fcma/internal/retry"
+	"fcma/internal/svm"
+)
+
+// executorLoop pulls accepted jobs off the run queue until the service
+// stops.
+func (s *Service) executorLoop() {
+	for {
+		select {
+		case <-s.execCtx.Done():
+			return
+		case id := <-s.runq:
+			s.runJob(id)
+		}
+	}
+}
+
+// runJob executes one job end to end: transition to running, bounded
+// retries around the chunked attempt, then exactly one terminal
+// transition — unless a drain checkpointed it (stays resumable) or a
+// chaos kill fired (nothing more is recorded; the journal speaks for the
+// crash).
+func (s *Service) runJob(id string) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok || job.State != StateAccepted {
+		// Canceled while queued, or a stale queue entry after resume.
+		s.mu.Unlock()
+		return
+	}
+	if err := s.transitionLocked(job, StateRunning, ""); err != nil {
+		s.mu.Unlock()
+		s.opts.Log.Error("serve: cannot mark job running", "job", id, "err", err)
+		return
+	}
+	timeout := s.opts.JobTimeout
+	if job.Spec.TimeoutMS > 0 {
+		timeout = time.Duration(job.Spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(s.execCtx, timeout)
+	job.cancel = cancel
+	spec := job.Spec
+	s.mu.Unlock()
+	defer cancel()
+
+	attempts := 1 + s.opts.JobRetries
+	if spec.Retries > 0 {
+		attempts = 1 + spec.Retries
+	}
+	policy := retry.Policy{
+		Attempts:  attempts,
+		BaseDelay: 200 * time.Millisecond,
+		Seed:      s.retrySeed(id),
+	}
+	st := s.reg.Stage("serve_job").Start()
+	err := retry.Do(ctx, policy, func(ctx context.Context, attempt int) error {
+		s.mu.Lock()
+		job.Attempts = attempt
+		s.mu.Unlock()
+		return s.attempt(ctx, job, spec)
+	})
+	st.Stop()
+	s.finish(job, err)
+}
+
+// retrySeed derives a deterministic per-job backoff seed from the
+// configured base, so a replayed soak reproduces the exact retry timing.
+func (s *Service) retrySeed(id string) int64 {
+	if s.opts.RetrySeed == 0 {
+		return 0 // wall-clock seeding
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return s.opts.RetrySeed ^ int64(h.Sum64())
+}
+
+// attempt runs one execution pass over the job's voxel chunks, skipping
+// every chunk the journal already holds — the incremental core of both
+// crash resume and retry.
+func (s *Service) attempt(ctx context.Context, job *Job, spec JobSpec) error {
+	ds, err := s.store.Get(spec)
+	if err != nil {
+		return err
+	}
+	stack, err := corr.BuildEpochStackContext(ctx, ds, s.opts.Workers)
+	if err != nil {
+		return err
+	}
+	var folds []svm.Fold
+	if ds.Subjects == 1 {
+		// Single subject: leave-one-subject-out degenerates; k-fold over
+		// epochs instead (mirrors the library's online-analysis path).
+		folds = svm.KFolds(stack.M(), min(6, stack.M()/2))
+	}
+	cfg := core.Optimized()
+	if spec.Engine == "baseline" {
+		cfg = core.Baseline()
+	}
+	cfg.Workers = s.opts.Workers
+	cfg.Obs = s.reg
+	worker, err := core.NewWorker(cfg, stack, folds)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	job.totalVoxels = stack.N
+	s.mu.Unlock()
+
+	chunk := s.opts.ChunkVoxels
+	for v0 := 0; v0 < stack.N; v0 += chunk {
+		n := min(chunk, stack.N-v0)
+		s.mu.Lock()
+		done := job.chunks[v0]
+		s.mu.Unlock()
+		if done {
+			s.reg.Counter("serve_chunks_skipped_journaled_total").Inc()
+			continue
+		}
+		scores, err := worker.ProcessContext(ctx, core.Task{V0: v0, V: n})
+		if err != nil {
+			return err
+		}
+		// Durability before action: the chunk's scores hit stable storage
+		// before the job advances past it, so a crash loses at most the
+		// chunk in flight (same ordering as the cluster master).
+		if err := s.jnl.recordProgress(job.ID, v0, n, scores); err != nil {
+			if s.isKilled() {
+				return chaos.ErrKilled
+			}
+			return fmt.Errorf("journaling chunk %d: %w", v0, err)
+		}
+		s.mu.Lock()
+		job.mergeChunk(v0, n, scores)
+		s.mu.Unlock()
+		s.reg.Counter("serve_chunks_done_total").Inc()
+		s.opts.Chaos.Point("serve/chunk")
+		if s.opts.Chaos.TaskDone() {
+			s.kill()
+			return chaos.ErrKilled
+		}
+	}
+	return nil
+}
+
+// finish records the job's one terminal transition (or deliberately none:
+// drain leaves it checkpointing for the next incarnation; a chaos kill
+// leaves the journal exactly as the crash would).
+func (s *Service) finish(job *Job, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.cancel = nil
+	if s.killed {
+		return
+	}
+	switch {
+	case err == nil:
+		job.finalize()
+		if terr := s.transitionLocked(job, StateDone, ""); terr != nil {
+			s.opts.Log.Error("serve: cannot record completion", "job", job.ID, "err", terr)
+		}
+	case job.canceling:
+		if terr := s.transitionLocked(job, StateCanceled, "canceled by client"); terr != nil {
+			s.opts.Log.Error("serve: cannot record cancellation", "job", job.ID, "err", terr)
+		}
+	case errors.Is(err, context.Canceled):
+		// Server shutdown (drain or Close), not a client cancel: the job
+		// stays non-terminal — checkpointed — and resumes on restart from
+		// its journaled chunks.
+	case errors.Is(err, context.DeadlineExceeded):
+		s.failLocked(job, fmt.Sprintf("timed out after %d attempts", retry.Attempts(err)))
+	default:
+		s.failLocked(job, err.Error())
+	}
+}
+
+// failLocked records a failure terminal state.
+func (s *Service) failLocked(job *Job, msg string) {
+	if terr := s.transitionLocked(job, StateFailed, msg); terr != nil {
+		s.opts.Log.Error("serve: cannot record failure", "job", job.ID, "err", terr)
+	}
+}

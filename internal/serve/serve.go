@@ -1,0 +1,397 @@
+// Package serve is the FCMA analysis service: a durable job queue with an
+// admission-control front door, per-job execution on the library's
+// pipeline, and crash-safe recovery.
+//
+// Durability model. Every lifecycle event that a client can observe is
+// journaled through the repo's write-ahead log (internal/wal) before it
+// is acknowledged: a job is accepted only after its accept record is
+// fsynced (a 202 the server could forget is a lie), each computed voxel
+// chunk's scores are fsynced before the executor advances, and terminal
+// transitions are fsynced exactly once. A killed server restarts, replays
+// the journal, re-queues every non-terminal job, and resumes each from
+// its last durable chunk — bit-exact with an uninterrupted run, because
+// progress records carry raw float64 bits.
+//
+// Admission model. The front door refuses work it cannot carry: a bounded
+// queue (429 + Retry-After), per-tenant concurrency quotas, and a
+// memory-budget gate that estimates each job's working set from its
+// dataset dimensions. Refusals are cheap and journald-free; acceptance is
+// the expensive promise.
+//
+// Drain model. On SIGTERM the server stops admitting (readiness flips),
+// marks running jobs checkpointing, cancels their contexts at the next
+// chunk boundary (all completed progress is already durable), waits for
+// executors, and exits; the journal is retained unless every job is
+// terminal, so a restart picks up exactly where the drain stopped.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"fcma/internal/chaos"
+	"fcma/internal/obs"
+	"fcma/internal/safe"
+)
+
+// Options configures a Service. The zero value of each field selects the
+// documented default.
+type Options struct {
+	// Dir is the service's state directory (journal + dataset store).
+	// Required.
+	Dir string
+	// QueueCap bounds non-terminal jobs; further submissions get 429.
+	// Defaults to 16.
+	QueueCap int
+	// TenantCap bounds one tenant's non-terminal jobs. Defaults to 4.
+	TenantCap int
+	// MemBudget bounds the summed estimated working set of admitted jobs
+	// in bytes; 0 disables the gate.
+	MemBudget int64
+	// CacheBudget bounds the decoded-dataset cache in bytes. Defaults to
+	// 256 MiB.
+	CacheBudget int64
+	// Executors is the number of concurrent job runners. Defaults to 2;
+	// negative runs none (tests drive admission without execution).
+	Executors int
+	// ChunkVoxels is the checkpoint granularity: voxels per journaled
+	// chunk. Defaults to 64.
+	ChunkVoxels int
+	// Workers bounds per-job pipeline parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// JobTimeout bounds one execution attempt. Defaults to 10 minutes.
+	JobTimeout time.Duration
+	// JobRetries is the default extra attempts for a failing job (specs
+	// may override). Defaults to 2.
+	JobRetries int
+	// RetrySeed seeds the per-job retry backoff jitter for replayable
+	// runs; 0 uses wall-clock seeding.
+	RetrySeed int64
+	// Obs receives the service's metrics; nil uses a fresh registry.
+	Obs *obs.Registry
+	// Chaos, when non-nil, injects scheduling faults and chunk-boundary
+	// kills (soaks); nil runs clean.
+	Chaos *chaos.Plan
+	// FS is the filesystem seam for the journal and dataset store; nil
+	// uses the real one. Soaks pass Chaos.FS(chaos.OS()).
+	FS chaos.FS
+	// Log receives structured service logs; nil uses slog.Default().
+	Log *slog.Logger
+}
+
+// withDefaults resolves the documented defaults.
+func (o Options) withDefaults() Options {
+	if o.QueueCap <= 0 {
+		o.QueueCap = 16
+	}
+	if o.TenantCap <= 0 {
+		o.TenantCap = 4
+	}
+	if o.CacheBudget == 0 {
+		o.CacheBudget = 256 << 20
+	}
+	if o.Executors == 0 {
+		o.Executors = 2
+	}
+	if o.ChunkVoxels <= 0 {
+		o.ChunkVoxels = 64
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 10 * time.Minute
+	}
+	if o.JobRetries < 0 {
+		o.JobRetries = 0
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
+	}
+	if o.FS == nil {
+		o.FS = chaos.OS()
+	}
+	if o.Log == nil {
+		o.Log = slog.Default()
+	}
+	return o
+}
+
+// Service is a running analysis service instance.
+type Service struct {
+	opts  Options
+	reg   *obs.Registry
+	jnl   *journal
+	store *datasetStore
+	ready obs.Readiness
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	seq      int
+	draining bool
+	killed   bool
+
+	runq       chan string
+	execWG     sync.WaitGroup
+	execCtx    context.Context
+	execCancel context.CancelFunc
+	killOnce   sync.Once
+}
+
+// New opens the service on its state directory: replays the job journal,
+// re-queues every non-terminal job, and starts the executor pool. A
+// directory left by a killed or drained server resumes transparently.
+func New(opts Options) (*Service, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("serve: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating state dir: %w", err)
+	}
+	reg := opts.Obs
+	jnl, err := openJournal(opts.FS, filepath.Join(opts.Dir, "jobs.jnl"), reg)
+	if err != nil {
+		return nil, err
+	}
+	store, err := newDatasetStore(opts.Dir, opts.FS, opts.CacheBudget, reg)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		opts: opts, reg: reg, jnl: jnl, store: store,
+		jobs: jnl.jobs, seq: jnl.maxSeq,
+		runq:       make(chan string, 4*opts.QueueCap),
+		execCtx:    ctx,
+		execCancel: cancel,
+	}
+	s.ready.Set(false, "starting")
+
+	// Re-queue replayed non-terminal jobs in ID order (determinism for
+	// soaks) and restore the queue-depth gauges.
+	resumed := 0
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if !s.jobs[id].State.Terminal() {
+			s.runq <- id
+			resumed++
+		}
+	}
+	if resumed > 0 || len(s.jobs) > 0 {
+		opts.Log.Info("serve: journal replayed",
+			"jobs", len(s.jobs), "resumed", resumed, "dir", opts.Dir)
+	}
+	reg.Gauge("serve_jobs_resumed").Set(float64(resumed))
+
+	for i := 0; i < opts.Executors; i++ {
+		s.execWG.Add(1)
+		safe.Go("serve/executor", func() error {
+			defer s.execWG.Done()
+			s.executorLoop()
+			return nil
+		}, func(err error) {
+			if err != nil {
+				s.opts.Log.Error("serve: executor crashed", "err", err)
+			}
+		})
+	}
+	s.ready.Set(true, "")
+	return s, nil
+}
+
+// Readiness exposes the service's readiness flag for /readyz.
+func (s *Service) Readiness() *obs.Readiness { return &s.ready }
+
+// Metrics exposes the service's registry.
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// Submit validates, admits, journals, and queues a job, returning its ID.
+// The accept record is durable before Submit returns: a 202 built on the
+// returned ID is a promise the server can keep across a crash. Rejections
+// come back as *admitError (429/503 with Retry-After) or plain errors
+// (400-shaped validation failures).
+func (s *Service) Submit(spec JobSpec) (string, error) {
+	if err := spec.validate(); err != nil {
+		return "", fmt.Errorf("serve: invalid spec: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.killed {
+		return "", &admitError{Status: 503, RetryAfter: 10, Reason: "server is draining"}
+	}
+	if aerr := s.admit(spec); aerr != nil {
+		s.reg.Counter("serve_jobs_rejected_total").Inc()
+		return "", aerr
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%08d", s.seq)
+	// Never accept work you cannot journal: an append failure (disk full,
+	// injected fault) refuses the job with a retryable 503 instead of
+	// holding state the next incarnation won't know about.
+	if err := s.jnl.recordAccept(id, spec); err != nil {
+		s.seq--
+		s.reg.Counter("serve_jobs_rejected_total").Inc()
+		return "", &admitError{Status: 503, RetryAfter: 5, Reason: "cannot journal acceptance"}
+	}
+	s.jobs[id] = &Job{ID: id, Spec: spec, State: StateAccepted, created: time.Now()}
+	s.reg.Counter("serve_jobs_accepted_total").Inc()
+	select {
+	case s.runq <- id:
+	default:
+		// Unreachable while runq capacity exceeds QueueCap; guarded so a
+		// future capacity change fails a submit rather than deadlocking.
+		delete(s.jobs, id)
+		s.seq--
+		return "", &admitError{Status: 503, RetryAfter: 5, Reason: "run queue full"}
+	}
+	return id, nil
+}
+
+// Cancel requests a job stop. A queued job is canceled immediately; a
+// running one is interrupted at its next chunk boundary and records
+// canceled. Terminal jobs return an error.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return errUnknownJob
+	}
+	switch {
+	case job.State.Terminal():
+		return fmt.Errorf("serve: job %s already %s", id, job.State)
+	case job.State == StateAccepted:
+		return s.transitionLocked(job, StateCanceled, "canceled before start")
+	default:
+		job.canceling = true
+		if job.cancel != nil {
+			job.cancel()
+		}
+		return nil
+	}
+}
+
+// errUnknownJob distinguishes 404 from 409 at the HTTP layer.
+var errUnknownJob = fmt.Errorf("serve: unknown job")
+
+// transitionLocked performs one state-machine edge under the service
+// mutex: legality check, journal record (fsynced when terminal), then the
+// in-memory flip. The single writer of every terminal record — the
+// exactly-once guarantee lives here.
+func (s *Service) transitionLocked(job *Job, to State, errMsg string) error {
+	if !canTransition(job.State, to) {
+		return fmt.Errorf("serve: illegal transition %s → %s for %s", job.State, to, job.ID)
+	}
+	if err := s.jnl.recordState(job.ID, to, errMsg); err != nil {
+		return err
+	}
+	job.State = to
+	job.Err = errMsg
+	s.reg.Counter("serve_jobs_" + string(to) + "_total").Inc()
+	return nil
+}
+
+// Drain gracefully shuts the service down: stop admitting (readiness
+// flips), mark running jobs checkpointing, stop executors at their next
+// chunk boundary, and close the journal — removing it only when every job
+// is terminal, so an operator restarting after a drain mid-backlog loses
+// nothing. Returns once executors have stopped or ctx expires.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.ready.Set(false, "draining")
+	for _, job := range s.jobs {
+		if job.State == StateRunning {
+			// Advisory: a crash during drain replays this as a resumable
+			// job either way.
+			_ = s.transitionLocked(job, StateCheckpointing, "")
+		}
+	}
+	s.mu.Unlock()
+
+	s.execCancel()
+	done := make(chan struct{})
+	safe.Go("serve/drain-wait", func() error {
+		s.execWG.Wait()
+		close(done)
+		return nil
+	}, func(err error) {
+		if err != nil {
+			s.opts.Log.Error("serve: drain wait crashed", "err", err)
+		}
+	})
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain timed out: %w", ctx.Err())
+	}
+
+	s.mu.Lock()
+	allTerminal := true
+	for _, job := range s.jobs {
+		if !job.State.Terminal() {
+			allTerminal = false
+			break
+		}
+	}
+	s.mu.Unlock()
+	if err := s.jnl.close(); err != nil {
+		return fmt.Errorf("serve: closing journal: %w", err)
+	}
+	if allTerminal {
+		if err := s.jnl.remove(); err != nil {
+			return fmt.Errorf("serve: removing settled journal: %w", err)
+		}
+		s.opts.Log.Info("serve: drained clean, journal removed")
+	} else {
+		s.opts.Log.Info("serve: drained with unfinished jobs, journal retained")
+	}
+	return nil
+}
+
+// Close stops executors and closes the journal without the drain
+// courtesies — for tests. The journal is always retained.
+func (s *Service) Close() error {
+	s.execCancel()
+	s.execWG.Wait()
+	if s.isKilled() {
+		return nil // the kill already abandoned the journal
+	}
+	return s.jnl.close()
+}
+
+// kill simulates a process crash for chaos soaks: executors stop where
+// they are, the journal is abandoned without a final sync, and no further
+// state is recorded. The Service object is dead; soaks construct a new
+// one on the same directory.
+func (s *Service) kill() {
+	s.killOnce.Do(func() {
+		s.mu.Lock()
+		s.killed = true
+		s.ready.Set(false, "killed")
+		s.mu.Unlock()
+		s.execCancel()
+		s.jnl.abort()
+		s.reg.Counter("serve_chaos_kills_total").Inc()
+		s.opts.Log.Warn("serve: chaos kill fired; journal abandoned mid-write")
+	})
+}
+
+// isKilled reports whether a chaos kill has fired.
+func (s *Service) isKilled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
+}
+
+// Killed reports whether the service died to a chaos kill (soak
+// assertions and the daemon's exit code).
+func (s *Service) Killed() bool { return s.isKilled() }

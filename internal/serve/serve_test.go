@@ -1,0 +1,423 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fcma/internal/fmri"
+)
+
+// tinyBlob builds a small uploadable dataset (WriteData binary followed
+// by WriteEpochs text) with a fixed seed.
+func tinyBlob(t *testing.T) []byte {
+	t.Helper()
+	ds, err := fmri.Generate(fmri.Spec{
+		Name: "tiny", Voxels: 24, Subjects: 3, EpochsPerSubject: 6,
+		EpochLen: 12, RestLen: 2, SignalVoxels: 6, Coupling: 0.8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := encodeDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// newTestService builds a Service on a temp dir.
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// doJSON sends a request and decodes the JSON response.
+func doJSON(t *testing.T, method, url string, body []byte) (int, http.Header, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("%s %s: decoding response: %v", method, url, err)
+	}
+	return resp.StatusCode, resp.Header, doc
+}
+
+// TestSubmitRunFetchHTTP walks the whole happy path over HTTP: upload a
+// dataset, submit a job on it, poll to completion, fetch the result.
+func TestSubmitRunFetchHTTP(t *testing.T) {
+	s := newTestService(t, Options{ChunkVoxels: 8, Executors: 1, RetrySeed: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, _, doc := doJSON(t, "POST", ts.URL+"/api/v1/datasets", tinyBlob(t))
+	if code != http.StatusCreated {
+		t.Fatalf("upload = %d %v", code, doc)
+	}
+	hash := doc["hash"].(string)
+
+	spec, _ := json.Marshal(JobSpec{Dataset: hash, Name: "smoke"})
+	code, _, doc = doJSON(t, "POST", ts.URL+"/api/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %v", code, doc)
+	}
+	id := doc["id"].(string)
+	if !strings.HasPrefix(id, "job-") {
+		t.Fatalf("job id %q", id)
+	}
+
+	waitState(t, ts.URL, id, StateDone, 30*time.Second)
+
+	code, _, doc = doJSON(t, "GET", ts.URL+"/api/v1/jobs/"+id+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result = %d %v", code, doc)
+	}
+	scores := doc["scores"].([]any)
+	if len(scores) != 24 {
+		t.Fatalf("result has %d scores, want 24 (all voxels)", len(scores))
+	}
+
+	// The status document reports full progress.
+	code, _, doc = doJSON(t, "GET", ts.URL+"/api/v1/jobs/"+id, nil)
+	if code != http.StatusOK || doc["done_voxels"].(float64) != 24 {
+		t.Fatalf("status = %d %v", code, doc)
+	}
+}
+
+// waitState polls a job until it reaches the wanted state or the deadline
+// passes (failing with the last status document).
+func waitState(t *testing.T, base, id string, want State, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var doc map[string]any
+	for time.Now().Before(deadline) {
+		var code int
+		code, _, doc = doJSON(t, "GET", base+"/api/v1/jobs/"+id, nil)
+		if code == http.StatusOK && State(doc["state"].(string)) == want {
+			return
+		}
+		if code == http.StatusOK && State(doc["state"].(string)).Terminal() {
+			t.Fatalf("job %s reached %v, want %v (err: %v)", id, doc["state"], want, doc["error"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v; last status %v", id, want, doc)
+}
+
+// TestQueueFullBackpressure proves the bounded queue answers 429 with a
+// Retry-After header instead of accepting work beyond its cap.
+func TestQueueFullBackpressure(t *testing.T) {
+	// Executors: -1 runs none, so accepted jobs stay queued forever and
+	// admission decisions are deterministic.
+	s := newTestService(t, Options{QueueCap: 2, Executors: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec, _ := json.Marshal(JobSpec{Synthetic: "face-scene", Scale: 0.001})
+	for i := 0; i < 2; i++ {
+		if code, _, doc := doJSON(t, "POST", ts.URL+"/api/v1/jobs", spec); code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d %v", i, code, doc)
+		}
+	}
+	code, hdr, doc := doJSON(t, "POST", ts.URL+"/api/v1/jobs", spec)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit = %d %v, want 429", code, doc)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if !strings.Contains(doc["error"].(string), "queue full") {
+		t.Fatalf("429 reason %q", doc["error"])
+	}
+}
+
+// TestTenantQuota proves one tenant cannot occupy the whole queue.
+func TestTenantQuota(t *testing.T) {
+	s := newTestService(t, Options{QueueCap: 10, TenantCap: 1, Executors: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	alice, _ := json.Marshal(JobSpec{Synthetic: "face-scene", Scale: 0.001, Tenant: "alice"})
+	if code, _, doc := doJSON(t, "POST", ts.URL+"/api/v1/jobs", alice); code != http.StatusAccepted {
+		t.Fatalf("first submit = %d %v", code, doc)
+	}
+	code, hdr, doc := doJSON(t, "POST", ts.URL+"/api/v1/jobs", alice)
+	if code != http.StatusTooManyRequests || !strings.Contains(doc["error"].(string), "tenant") {
+		t.Fatalf("quota submit = %d %v, want tenant 429", code, doc)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("quota 429 without Retry-After")
+	}
+	// A different tenant still gets in.
+	bob, _ := json.Marshal(JobSpec{Synthetic: "face-scene", Scale: 0.001, Tenant: "bob"})
+	if code, _, doc := doJSON(t, "POST", ts.URL+"/api/v1/jobs", bob); code != http.StatusAccepted {
+		t.Fatalf("other-tenant submit = %d %v", code, doc)
+	}
+}
+
+// TestMemoryBudgetGate proves the admission gate refuses jobs whose
+// estimated working set exceeds the budget.
+func TestMemoryBudgetGate(t *testing.T) {
+	s := newTestService(t, Options{MemBudget: 1 << 20, Executors: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec, _ := json.Marshal(JobSpec{Synthetic: "face-scene", Scale: 0.01})
+	code, _, doc := doJSON(t, "POST", ts.URL+"/api/v1/jobs", spec)
+	if code != http.StatusTooManyRequests || !strings.Contains(doc["error"].(string), "memory budget") {
+		t.Fatalf("submit = %d %v, want memory-budget 429", code, doc)
+	}
+}
+
+// TestBadSpecRejected proves validation failures come back 400 without
+// touching the journal.
+func TestBadSpecRejected(t *testing.T) {
+	s := newTestService(t, Options{Executors: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{}`, // neither synthetic nor dataset
+		`{"synthetic":"face-scene","dataset":"abc"}`, // both
+		`{"synthetic":"nope"}`,
+		`{"synthetic":"face-scene","engine":"gpu"}`,
+		`not json`,
+	} {
+		code, _, doc := doJSON(t, "POST", ts.URL+"/api/v1/jobs", []byte(body))
+		if code != http.StatusBadRequest {
+			t.Fatalf("submit %q = %d %v, want 400", body, code, doc)
+		}
+	}
+	if got := s.Metrics().Counter("serve_jobs_accepted_total").Value(); got != 0 {
+		t.Fatalf("bad specs accepted %d jobs", got)
+	}
+}
+
+// TestCancelAndResultConflicts covers cancel of a queued job, double
+// cancel, unknown IDs, and fetching a result before completion.
+func TestCancelAndResultConflicts(t *testing.T) {
+	s := newTestService(t, Options{Executors: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec, _ := json.Marshal(JobSpec{Synthetic: "face-scene", Scale: 0.001})
+	_, _, doc := doJSON(t, "POST", ts.URL+"/api/v1/jobs", spec)
+	id := doc["id"].(string)
+
+	if code, _, d := doJSON(t, "GET", ts.URL+"/api/v1/jobs/"+id+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("result before done = %d %v, want 409", code, d)
+	}
+	if code, _, d := doJSON(t, "DELETE", ts.URL+"/api/v1/jobs/"+id, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel = %d %v", code, d)
+	}
+	if code, _, d := doJSON(t, "GET", ts.URL+"/api/v1/jobs/"+id, nil); code != http.StatusOK || d["state"] != "canceled" {
+		t.Fatalf("status after cancel = %d %v", code, d)
+	}
+	if code, _, d := doJSON(t, "DELETE", ts.URL+"/api/v1/jobs/"+id, nil); code != http.StatusConflict {
+		t.Fatalf("double cancel = %d %v, want 409", code, d)
+	}
+	if code, _, d := doJSON(t, "GET", ts.URL+"/api/v1/jobs/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown status = %d %v, want 404", code, d)
+	}
+	if code, _, d := doJSON(t, "DELETE", ts.URL+"/api/v1/jobs/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown cancel = %d %v, want 404", code, d)
+	}
+}
+
+// TestRestartResumesJobs proves the core durability contract without
+// chaos: a server closed with queued jobs restarts, replays the journal,
+// runs them to completion, and serves their results.
+func TestRestartResumesJobs(t *testing.T) {
+	dir := t.TempDir()
+	blob := tinyBlob(t)
+
+	first, err := New(Options{Dir: dir, Executors: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := first.store.Put(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 2; i++ {
+		id, err := first.Submit(JobSpec{Dataset: hash, Name: fmt.Sprintf("resume-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second := newTestService(t, Options{Dir: dir, ChunkVoxels: 8, Executors: 2, RetrySeed: 1})
+	ts := httptest.NewServer(second.Handler())
+	defer ts.Close()
+	for _, id := range ids {
+		waitState(t, ts.URL, id, StateDone, 30*time.Second)
+		code, _, doc := doJSON(t, "GET", ts.URL+"/api/v1/jobs/"+id+"/result", nil)
+		if code != http.StatusOK || len(doc["scores"].([]any)) != 24 {
+			t.Fatalf("resumed result %s = %d %v", id, code, doc)
+		}
+	}
+	// New IDs must not collide with replayed ones.
+	id3, err := second.Submit(JobSpec{Dataset: hash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id3 == id {
+			t.Fatalf("resumed server reissued job id %s", id3)
+		}
+	}
+}
+
+// TestDrainRemovesSettledJournal proves the drain protocol: submissions
+// refused, readiness flipped, and the journal removed only when every job
+// is terminal.
+func TestDrainRemovesSettledJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir, ChunkVoxels: 8, Executors: 1, RetrySeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := s.store.Put(tinyBlob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Submit(JobSpec{Dataset: hash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	waitState(t, ts.URL, id, StateDone, 30*time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := s.Readiness().Ready(); ok || reason != "draining" {
+		t.Fatalf("readiness after drain = (%v, %q)", ok, reason)
+	}
+	if _, err := s.Submit(JobSpec{Dataset: hash}); err == nil {
+		t.Fatal("drained server accepted a job")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs.jnl")); !os.IsNotExist(err) {
+		t.Fatalf("settled journal not removed (stat err %v)", err)
+	}
+}
+
+// TestDrainKeepsUnsettledJournal proves a drain with queued work retains
+// the journal so a restart loses nothing.
+func TestDrainKeepsUnsettledJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir, Executors: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(JobSpec{Synthetic: "face-scene", Scale: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs.jnl")); err != nil {
+		t.Fatalf("journal with queued work removed: %v", err)
+	}
+
+	// The retained journal resumes.
+	second := newTestService(t, Options{Dir: dir, Executors: -1})
+	second.mu.Lock()
+	n := len(second.jobs)
+	second.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("restart replayed %d jobs, want 1", n)
+	}
+}
+
+// TestDatasetCacheHitsAndEviction proves repeated jobs share the decoded
+// dataset and a tight budget evicts.
+func TestDatasetCacheHitsAndEviction(t *testing.T) {
+	s := newTestService(t, Options{Executors: -1, CacheBudget: 1 << 30})
+	hash, err := s.store.Put(tinyBlob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Dataset: hash}
+	if _, err := s.store.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.store.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	if hits := s.Metrics().Counter("serve_dataset_cache_hits_total").Value(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+
+	// A budget that holds either dataset but not both evicts on the
+	// second key.
+	tiny, err := decodeDataset(tinyBlob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fmri.Generate(fmri.FaceSceneSpec(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeTiny := datasetBytes(tiny.Voxels(), tiny.TimePoints())
+	sizeFS := datasetBytes(fs.Voxels(), fs.TimePoints())
+	small := newTestService(t, Options{Executors: -1, CacheBudget: sizeTiny + sizeFS - 1})
+	if _, err := small.store.Put(tinyBlob(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.store.Get(JobSpec{Dataset: hash}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.store.Get(JobSpec{Synthetic: "face-scene", Scale: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	if ev := small.Metrics().Counter("serve_dataset_cache_evictions_total").Value(); ev == 0 {
+		t.Fatal("tight cache budget never evicted")
+	}
+}
+
+// TestUploadRejectsGarbage proves the dataset endpoint validates before
+// storing.
+func TestUploadRejectsGarbage(t *testing.T) {
+	s := newTestService(t, Options{Executors: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, _, doc := doJSON(t, "POST", ts.URL+"/api/v1/datasets", []byte("not a dataset"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("garbage upload = %d %v, want 400", code, doc)
+	}
+}

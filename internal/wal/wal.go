@@ -1,0 +1,228 @@
+// Package wal is the repo's one write-ahead-log framing: an 8-byte magic
+// header followed by self-delimiting CRC-framed records,
+//
+//	len uint32 | crc32(payload) uint32 | payload
+//
+// little endian, CRC-32 (IEEE), payloads versioned by the magic. It was
+// extracted from the cluster master's journal (PR 6) so the job service's
+// journal — and any future durable log — shares one recovery discipline
+// instead of re-deriving it:
+//
+//   - creation is atomic (temp + fsync + rename + dir fsync via
+//     chaos.WriteFileAtomic): a crash mid-create leaves either no log or
+//     a valid empty one, never a file that later refuses to open;
+//   - every append goes through the chaos.FS seam, so fault-injection
+//     soaks can tear exactly the writes a real crash would tear;
+//   - replay on open walks the records through a caller-supplied apply
+//     function and truncates at the first bad frame (short header, torn
+//     body, CRC mismatch, or an apply error): everything before the
+//     damage is trusted, everything after it is recomputed by the owner.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+
+	"fcma/internal/chaos"
+)
+
+// Log is an open write-ahead log. It is not safe for concurrent use; the
+// owner serializes appends (the cluster master's single loop, the job
+// service's journal mutex).
+type Log struct {
+	fsys      chaos.FS
+	f         chaos.File
+	path      string
+	magic     string
+	maxRecord uint32
+	truncated bool
+	// off is the end of the last intact frame: the write position, and the
+	// rewind point when an append fails partway.
+	off int64
+	// damaged is set when a failed append could not be rewound; every
+	// further append refuses with it rather than writing after garbage.
+	damaged error
+}
+
+// Open opens (or atomically creates) the log at path and replays every
+// intact record through apply. magic must be exactly 8 bytes and is the
+// format version stamp; maxRecord caps one payload's length so a corrupt
+// length header cannot OOM the process. A torn or corrupt tail is
+// truncated — not an error — and reported by Truncated; a file that does
+// not start with magic is refused outright. A nil fsys uses the real
+// filesystem.
+func Open(fsys chaos.FS, path, magic string, maxRecord uint32, apply func(payload []byte) error) (*Log, error) {
+	if len(magic) != 8 {
+		return nil, fmt.Errorf("wal: magic %q must be exactly 8 bytes", magic)
+	}
+	if fsys == nil {
+		fsys = chaos.OS()
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		// Create atomically: a crash between "file exists" and "header
+		// written" must not leave a log that later refuses to open.
+		if cerr := chaos.WriteFileAtomic(fsys, path, []byte(magic), 0o644); cerr != nil {
+			return nil, fmt.Errorf("wal: creating %s: %w", path, cerr)
+		}
+		f, err = fsys.OpenFile(path, os.O_RDWR, 0o644)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	l := &Log{fsys: fsys, f: f, path: path, magic: magic, maxRecord: maxRecord}
+	if err := l.replay(apply); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// replay loads every intact record, applies it, and truncates a torn or
+// corrupt tail so the log is appendable right at the cut.
+func (l *Log) replay(apply func(payload []byte) error) error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return fmt.Errorf("wal: reading %s: %w", l.path, err)
+	}
+	if len(data) < len(l.magic) || string(data[:len(l.magic)]) != l.magic {
+		return fmt.Errorf("wal: %s is not a %s log (bad magic)", l.path, l.magic)
+	}
+	off := len(l.magic)
+	end := len(data)
+	truncateAt := -1
+	var reason string
+	for off < end {
+		if off+8 > end {
+			truncateAt, reason = off, "short frame header"
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > l.maxRecord {
+			truncateAt, reason = off, fmt.Sprintf("implausible record length %d", n)
+			break
+		}
+		if off+8+int(n) > end {
+			truncateAt, reason = off, "torn record body"
+			break
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			truncateAt, reason = off, "CRC mismatch"
+			break
+		}
+		if err := apply(payload); err != nil {
+			truncateAt, reason = off, err.Error()
+			break
+		}
+		off += 8 + int(n)
+	}
+	if truncateAt >= 0 {
+		// Everything from the first bad frame on is untrusted: a torn tail
+		// from a crash mid-append, or corruption. Cut it off and let the
+		// owner recompute the affected work — recovery trades a little
+		// recomputation for never trusting a damaged record.
+		slog.Warn("wal tail unreadable; truncating and resuming from last intact record",
+			"path", l.path, "offset", truncateAt, "discarded_bytes", end-truncateAt, "reason", reason)
+		if err := l.f.Truncate(int64(truncateAt)); err != nil {
+			return fmt.Errorf("wal: truncating damaged tail of %s: %w", l.path, err)
+		}
+		l.truncated = true
+		end = truncateAt
+	}
+	if _, err := l.f.Seek(int64(end), io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seeking end of %s: %w", l.path, err)
+	}
+	l.off = int64(end)
+	return nil
+}
+
+// Append frames payload with length + CRC and writes it, returning the
+// number of frame bytes written. sync controls whether the record is
+// fsynced before returning: true for records the owner is about to act
+// on (completions, terminal states), false for advisory records whose
+// loss is always safe to replay around (assignments).
+//
+// Append is atomic at the framing layer: a failed write (torn, ENOSPC) or
+// failed sync rewinds the file to the last intact frame, so the log stays
+// appendable and a later record never lands after partial bytes — which
+// replay would read as a torn tail and discard along with everything that
+// followed. If the rewind itself fails the log is damaged and every
+// further append refuses.
+func (l *Log) Append(payload []byte, sync bool) (int, error) {
+	if l.damaged != nil {
+		return 0, l.damaged
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, l.rewind(fmt.Errorf("wal: append to %s: %w", l.path, err))
+	}
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			return 0, l.rewind(fmt.Errorf("wal: sync %s: %w", l.path, err))
+		}
+	}
+	l.off += int64(len(frame))
+	return len(frame), nil
+}
+
+// rewind restores the log to its last intact frame after a failed append;
+// if that is impossible the log is marked damaged. Returns the error the
+// caller should report.
+func (l *Log) rewind(cause error) error {
+	if terr := l.f.Truncate(l.off); terr == nil {
+		if _, serr := l.f.Seek(l.off, io.SeekStart); serr == nil {
+			return cause
+		}
+	}
+	l.damaged = fmt.Errorf("wal: %s unappendable (failed append could not be rewound): %w", l.path, cause)
+	return l.damaged
+}
+
+// Sync flushes the log's data to stable storage.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Truncated reports whether opening the log had to discard a torn or
+// corrupt tail.
+func (l *Log) Truncated() bool { return l.truncated }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close fsyncs and releases the log file.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Abort releases the log file WITHOUT a final sync — the crash-shaped
+// close. Chaos soaks use it so a simulated kill leaves exactly the bytes
+// the per-record sync policy already made durable, nothing more.
+func (l *Log) Abort() {
+	_ = l.f.Close()
+}
+
+// Remove deletes the log file; call it after the owner's run completes so
+// a later run does not resume from finished state.
+func (l *Log) Remove() error {
+	return l.fsys.Remove(l.path)
+}
+
+// SyncDir fsyncs the log's directory, making its creation durable on
+// filesystems where the rename alone is not.
+func (l *Log) SyncDir() error {
+	return l.fsys.SyncDir(filepath.Dir(l.path))
+}

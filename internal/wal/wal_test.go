@@ -1,0 +1,345 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"fcma/internal/chaos"
+)
+
+const testMagic = "TESTWAL1"
+
+func openCollect(t *testing.T, fsys chaos.FS, path string) (*Log, [][]byte) {
+	t.Helper()
+	var got [][]byte
+	l, err := Open(fsys, path, testMagic, 1<<20, func(p []byte) error {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, got
+}
+
+// TestRoundTrip proves appended records replay in order, byte for byte.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := openCollect(t, nil, path)
+	recs := [][]byte{{1}, {2, 3, 4}, {}, []byte("hello")}
+	for i, r := range recs {
+		sync := i%2 == 0
+		n, err := l.Append(r, sync)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 8+len(r) {
+			t.Fatalf("Append returned %d frame bytes for a %d-byte payload", n, len(r))
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, got := openCollect(t, nil, path)
+	defer r.Close()
+	if r.Truncated() {
+		t.Fatal("clean log reported Truncated")
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if string(got[i]) != string(recs[i]) {
+			t.Fatalf("record %d replayed as %q, want %q", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestTornTailTruncatedAndAppendable proves a torn final frame is cut off
+// and the log accepts new appends right at the cut.
+func TestTornTailTruncatedAndAppendable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := openCollect(t, nil, path)
+	if _, err := l.Append([]byte("intact"), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("will be torn"), true); err != nil {
+		t.Fatal(err)
+	}
+	l.Abort()
+
+	// Tear the last frame mid-body.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	r, got := openCollect(t, nil, path)
+	if !r.Truncated() {
+		t.Fatal("torn tail not reported by Truncated")
+	}
+	if len(got) != 1 || string(got[0]) != "intact" {
+		t.Fatalf("replayed %q, want only the intact record", got)
+	}
+	if _, err := r.Append([]byte("after recovery"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, got2 := openCollect(t, nil, path)
+	defer r2.Close()
+	if r2.Truncated() {
+		t.Fatal("log truncated again after a clean recovery append")
+	}
+	if len(got2) != 2 || string(got2[1]) != "after recovery" {
+		t.Fatalf("post-recovery replay = %q, want the intact + recovery records", got2)
+	}
+}
+
+// TestCRCCorruptionTruncates proves a bit-flipped record and everything
+// after it are discarded, never applied.
+func TestCRCCorruptionTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := openCollect(t, nil, path)
+	if _, err := l.Append([]byte("good"), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("flipme"), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("shadowed"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the second record's payload ("flipme" starts after
+	// magic + frame1 (8+4) + frame2 header (8)).
+	data[len(testMagic)+12+8] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, got := openCollect(t, nil, path)
+	defer r.Close()
+	if !r.Truncated() {
+		t.Fatal("CRC mismatch not reported by Truncated")
+	}
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("replayed %q; the corrupt record and its shadow must be discarded", got)
+	}
+}
+
+// TestBadMagicRefused proves a foreign file is refused, not truncated to
+// nothing — truncating somebody else's data would destroy it.
+func TestBadMagicRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	if err := os.WriteFile(path, []byte("NOTAWAL0 some bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(nil, path, testMagic, 1<<20, func([]byte) error { return nil }); err == nil {
+		t.Fatal("Open accepted a file with the wrong magic")
+	}
+}
+
+// TestBadMagicLength proves the 8-byte magic contract is enforced at the
+// API boundary instead of silently framing a different header.
+func TestBadMagicLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	if _, err := Open(nil, path, "SHORT", 1<<20, func([]byte) error { return nil }); err == nil {
+		t.Fatal("Open accepted a non-8-byte magic")
+	}
+}
+
+// TestApplyErrorTruncates proves a record the owner cannot decode is
+// treated like corruption: the tail is cut and replay keeps what came
+// before.
+func TestApplyErrorTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := openCollect(t, nil, path)
+	if _, err := l.Append([]byte{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte{99}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	r, err := Open(nil, path, testMagic, 1<<20, func(p []byte) error {
+		if p[0] == 99 {
+			return errors.New("unknown record kind")
+		}
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Truncated() {
+		t.Fatal("apply error not reported by Truncated")
+	}
+	if len(got) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(got))
+	}
+}
+
+// TestImplausibleLengthTruncates proves a corrupt length header cannot
+// make replay allocate unbounded memory; it is treated as damage.
+func TestImplausibleLengthTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := openCollect(t, nil, path)
+	if _, err := l.Append([]byte("ok"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame header claiming a 4 GiB payload.
+	if _, err := f.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, got := openCollect(t, nil, path)
+	defer r.Close()
+	if !r.Truncated() || len(got) != 1 {
+		t.Fatalf("truncated=%v replayed=%d; implausible length must be cut", r.Truncated(), len(got))
+	}
+}
+
+// TestChaosTornAppendRecovers proves the chaos-FS torn-write seam and the
+// replay truncation compose: an injected tear surfaces as an append
+// error, and reopening recovers everything before it.
+func TestChaosTornAppendRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := openCollect(t, nil, path)
+	if _, err := l.Append([]byte("durable"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := chaos.NewPlan(chaos.Config{Seed: 11, FS: chaos.FSConfig{TornWrite: 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, _ := openCollect(t, plan.FS(chaos.OS()), path)
+	if _, err := lc.Append([]byte("torn away"), true); err == nil {
+		t.Fatal("torn append reported success")
+	} else if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn append error = %v, want the injected EIO", err)
+	}
+	lc.Abort()
+
+	r, got := openCollect(t, nil, path)
+	defer r.Close()
+	if len(got) != 1 || string(got[0]) != "durable" {
+		t.Fatalf("replayed %q, want only the pre-tear record", got)
+	}
+}
+
+// TestCreateSurvivesRenameFault proves atomic creation: a failed rename
+// leaves no file behind and a healthy retry starts clean.
+func TestCreateSurvivesRenameFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	plan, err := chaos.NewPlan(chaos.Config{Seed: 3, FS: chaos.FSConfig{RenameFail: 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(plan.FS(chaos.OS()), path, testMagic, 1<<20, func([]byte) error { return nil }); err == nil {
+		t.Fatal("Open succeeded despite the injected rename fault")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed create left %s behind (stat err %v)", path, err)
+	}
+	l, _ := openCollect(t, nil, path)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flakyFS tears exactly one write on command: when armed, the next
+// File.Write persists half its bytes and fails — the shape of a real torn
+// append — then the fault disarms.
+type flakyFS struct {
+	chaos.FS
+	armed bool
+}
+
+func (f *flakyFS) OpenFile(name string, flag int, perm os.FileMode) (chaos.File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: file, fs: f}, nil
+}
+
+type flakyFile struct {
+	chaos.File
+	fs *flakyFS
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	if f.fs.armed {
+		f.fs.armed = false
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, errors.New("injected torn write")
+	}
+	return f.File.Write(p)
+}
+
+// TestAppendRewindsAfterTornWrite proves a failed append leaves the log
+// appendable: the partial frame is rewound, so a later record does not
+// land after garbage and get discarded as a torn tail at replay.
+func TestAppendRewindsAfterTornWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	fsys := &flakyFS{FS: chaos.OS()}
+	l, _ := openCollect(t, fsys, path)
+	if _, err := l.Append([]byte("before"), true); err != nil {
+		t.Fatal(err)
+	}
+	fsys.armed = true
+	if _, err := l.Append([]byte("torn-away"), true); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	if _, err := l.Append([]byte("after"), true); err != nil {
+		t.Fatalf("append after rewound tear: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, got := openCollect(t, nil, path)
+	defer r.Close()
+	if r.Truncated() {
+		t.Fatal("rewound log still had a torn tail at replay")
+	}
+	if len(got) != 2 || string(got[0]) != "before" || string(got[1]) != "after" {
+		t.Fatalf("replayed %q, want [before after]", got)
+	}
+}

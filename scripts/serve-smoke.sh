@@ -1,0 +1,96 @@
+#!/bin/sh
+# serve-smoke.sh — end-to-end smoke of the fcma-serve daemon over real
+# HTTP and real signals: start the server on an ephemeral port, submit a
+# synthetic job, poll it to completion, fetch the result, SIGTERM the
+# process, and assert a clean drain (exit 0, journal removed). This is
+# the path no Go test covers: the actual binary, the actual socket, the
+# actual signal handler.
+#
+# Requires: go, curl. Exits non-zero on any failure.
+set -eu
+
+workdir=$(mktemp -d)
+state="$workdir/state"
+addrfile="$workdir/addr"
+log="$workdir/serve.log"
+pid=""
+
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $1" >&2
+    echo "--- server log ---" >&2
+    cat "$log" >&2 || true
+    exit 1
+}
+
+echo "serve-smoke: building fcma-serve"
+go build -o "$workdir/fcma-serve" ./cmd/fcma-serve
+
+echo "serve-smoke: starting server"
+"$workdir/fcma-serve" -listen 127.0.0.1:0 -dir "$state" -addr-file "$addrfile" \
+    -chunk 16 -executors 1 >"$log" 2>&1 &
+pid=$!
+
+# Wait for the bound address to appear.
+i=0
+while [ ! -s "$addrfile" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server never wrote its address"
+    kill -0 "$pid" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+done
+addr=$(cat "$addrfile")
+base="http://$addr"
+echo "serve-smoke: server at $base"
+
+# Readiness and health answer.
+curl -fsS "$base/healthz" >/dev/null || fail "/healthz not OK"
+curl -fsS "$base/readyz" >/dev/null || fail "/readyz not ready"
+
+# Submit a small synthetic job.
+resp=$(curl -fsS -XPOST "$base/api/v1/jobs" \
+    -d '{"synthetic":"face-scene","scale":0.002,"name":"smoke"}') \
+    || fail "job submission refused"
+id=$(echo "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || fail "submission response had no job id: $resp"
+echo "serve-smoke: submitted $id"
+
+# Poll to completion.
+i=0
+while :; do
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && fail "job $id never finished"
+    status=$(curl -fsS "$base/api/v1/jobs/$id") || fail "status poll failed"
+    state_now=$(echo "$status" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    case "$state_now" in
+    done) break ;;
+    failed | canceled) fail "job $id ended $state_now: $status" ;;
+    esac
+    sleep 0.1
+done
+echo "serve-smoke: $id done"
+
+# The result endpoint serves scores.
+result=$(curl -fsS "$base/api/v1/jobs/$id/result") || fail "result fetch failed"
+echo "$result" | grep -q '"voxel"' || fail "result has no scores: $result"
+
+# Metrics reflect the run.
+curl -fsS "$base/metrics" | grep -q '^serve_jobs_done_total 1' \
+    || fail "metrics do not show the completed job"
+
+# SIGTERM drains: exit 0, journal removed (every job terminal).
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || fail "server exited $rc on SIGTERM, want 0"
+[ ! -e "$state/jobs.jnl" ] || fail "journal survived a settled drain"
+
+echo "serve-smoke: PASS"
