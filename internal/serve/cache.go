@@ -63,7 +63,9 @@ func newDatasetStore(dir string, fsys chaos.FS, budget int64, reg *obs.Registry)
 	}, nil
 }
 
-// blobPath returns the on-disk path for a content hash.
+// blobPath returns the on-disk path for a content hash. Callers must
+// have checked isContentHash first: the hash is joined into a path, so a
+// traversal fragment here would escape the store.
 func (s *datasetStore) blobPath(hash string) string {
 	return filepath.Join(s.dir, "datasets", hash)
 }
@@ -81,11 +83,19 @@ func (s *datasetStore) Put(blob []byte) (string, error) {
 	sum := sha256.Sum256(blob)
 	hash := hex.EncodeToString(sum[:])
 	path := s.blobPath(hash)
+	blobExists := false
 	if _, err := os.Stat(path); err == nil {
-		return hash, nil // content-addressed: same bytes, same blob
+		if _, err := os.Stat(path + ".json"); err == nil {
+			return hash, nil // content-addressed: same bytes, same blob
+		}
+		// A crash between blob and sidecar left the meta missing; fall
+		// through and (re)write it so admission can size this dataset.
+		blobExists = true
 	}
-	if err := chaos.WriteFileAtomic(s.fsys, path, blob, 0o644); err != nil {
-		return "", fmt.Errorf("serve: storing dataset: %w", err)
+	if !blobExists {
+		if err := chaos.WriteFileAtomic(s.fsys, path, blob, 0o644); err != nil {
+			return "", fmt.Errorf("serve: storing dataset: %w", err)
+		}
 	}
 	meta, err := json.Marshal(datasetMeta{Voxels: ds.Voxels(), TimePoints: ds.TimePoints(), Subjects: ds.Subjects})
 	if err != nil {
@@ -100,6 +110,9 @@ func (s *datasetStore) Put(blob []byte) (string, error) {
 
 // Meta loads the dimension sidecar for a stored dataset.
 func (s *datasetStore) Meta(hash string) (datasetMeta, error) {
+	if !isContentHash(hash) {
+		return datasetMeta{}, fmt.Errorf("serve: unknown dataset %s", hash)
+	}
 	data, err := os.ReadFile(s.blobPath(hash) + ".json")
 	if err != nil {
 		return datasetMeta{}, fmt.Errorf("serve: unknown dataset %s", hash)
@@ -128,6 +141,9 @@ func (s *datasetStore) Get(spec JobSpec) (*fmri.Dataset, error) {
 			return nil, fmt.Errorf("serve: generating %s: %w", spec.Synthetic, err)
 		}
 	} else {
+		if !isContentHash(spec.Dataset) {
+			return nil, fmt.Errorf("serve: unknown dataset %s", spec.Dataset)
+		}
 		blob, rerr := os.ReadFile(s.blobPath(spec.Dataset))
 		if rerr != nil {
 			return nil, fmt.Errorf("serve: unknown dataset %s", spec.Dataset)

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"sort"
@@ -12,8 +13,15 @@ import (
 )
 
 // maxUploadBytes bounds one dataset upload; bigger data belongs on the
-// batch CLI path, not a request body.
-const maxUploadBytes = 1 << 30
+// batch CLI path, not a request body. Uploads are buffered in memory, so
+// this cap times maxConcurrentUploads is the endpoint's worst-case
+// resident footprint.
+const maxUploadBytes = 256 << 20
+
+// maxConcurrentUploads bounds how many uploads may be buffered at once;
+// beyond it the server sheds with 429 rather than letting a burst of
+// large bodies exhaust memory.
+const maxConcurrentUploads = 4
 
 // Handler returns the service's API mux:
 //
@@ -164,8 +172,22 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleUpload(w http.ResponseWriter, r *http.Request) {
-	blob, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes))
+	select {
+	case s.uploadSem <- struct{}{}:
+		defer func() { <-s.uploadSem }()
+	default:
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, "too many concurrent uploads")
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("upload exceeds the %d-byte limit", maxUploadBytes))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "reading upload: "+err.Error())
 		return
 	}

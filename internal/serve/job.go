@@ -105,6 +105,9 @@ func (s JobSpec) validate() error {
 	if s.Synthetic != "" && s.Synthetic != "face-scene" && s.Synthetic != "attention" {
 		return fmt.Errorf("unknown synthetic shape %q (want face-scene or attention)", s.Synthetic)
 	}
+	if s.Dataset != "" && !isContentHash(s.Dataset) {
+		return fmt.Errorf("dataset %q is not a content hash (want the 64 hex digits returned by the upload endpoint)", s.Dataset)
+	}
 	if s.Scale < 0 || s.Scale > 1 {
 		return fmt.Errorf("scale %g out of range (0, 1]", s.Scale)
 	}
@@ -120,6 +123,23 @@ func (s JobSpec) validate() error {
 		return fmt.Errorf("timeout_ms %d negative", s.TimeoutMS)
 	}
 	return nil
+}
+
+// isContentHash reports whether s is a lowercase sha256 hex digest — the
+// only dataset reference the upload endpoint ever issues. Anything else
+// (in particular path fragments like "../jobs.jnl") must never reach the
+// store's filepath.Join.
+func isContentHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // scale returns the effective synthetic scale.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"fcma/internal/chaos"
 	"fcma/internal/core"
 	"fcma/internal/obs"
+	"fcma/internal/wal"
 )
 
 // jnlPath returns a journal path in a fresh temp dir.
@@ -159,10 +161,13 @@ func TestJournalIdempotentRunningAcrossIncarnations(t *testing.T) {
 	}
 }
 
-// TestJournalIllegalTransitionTruncates proves replay treats a record
-// that violates the state machine as corruption: the tail is discarded
-// and the job keeps its last legal state.
-func TestJournalIllegalTransitionTruncates(t *testing.T) {
+// TestJournalIllegalTransitionFailsOpen proves replay refuses a record
+// that violates the state machine instead of truncating it away: the
+// record is physically intact (CRC-verified), so discarding it — and
+// every record after it, possibly fsynced terminal states — could make
+// completed jobs re-run. The service fails to start, loudly, and the
+// journal file is left untouched for inspection.
+func TestJournalIllegalTransitionFailsOpen(t *testing.T) {
 	path := jnlPath(t)
 	j := mustOpen(t, path, nil)
 	if err := j.recordAccept("job-00000001", JobSpec{Synthetic: "face-scene"}); err != nil {
@@ -175,22 +180,32 @@ func TestJournalIllegalTransitionTruncates(t *testing.T) {
 		t.Fatal(err)
 	}
 	// recordState does not re-check legality (the Service does); write a
-	// done → running edge straight through to simulate a corrupt tail.
+	// done → running edge straight through to simulate version/logic skew.
 	if err := j.recordState("job-00000001", StateRunning, ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.close(); err != nil {
 		t.Fatal(err)
 	}
-
-	reg := obs.NewRegistry()
-	r := mustOpen(t, path, reg)
-	defer r.close()
-	if got := r.jobs["job-00000001"].State; got != StateDone {
-		t.Fatalf("job replayed as %s, want done (illegal tail discarded)", got)
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if n := reg.Counter("serve_journal_torn_recoveries_total").Value(); n != 1 {
-		t.Fatalf("torn recoveries = %d, want 1", n)
+
+	if _, err := openJournal(chaos.OS(), path, obs.NewRegistry()); err == nil {
+		t.Fatal("openJournal accepted a journal with an illegal transition")
+	} else {
+		var aerr *wal.ApplyError
+		if !errors.As(err, &aerr) {
+			t.Fatalf("openJournal error = %v, want *wal.ApplyError", err)
+		}
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("rejected journal was modified: %d -> %d bytes", before.Size(), after.Size())
 	}
 }
 

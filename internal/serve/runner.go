@@ -49,7 +49,10 @@ func (s *Service) runJob(id string) {
 	if job.Spec.TimeoutMS > 0 {
 		timeout = time.Duration(job.Spec.TimeoutMS) * time.Millisecond
 	}
-	ctx, cancel := context.WithTimeout(s.execCtx, timeout)
+	// jobCtx spans every attempt (cancel/drain cuts them all); the timeout
+	// is applied per attempt inside the retry op, so a timed-out attempt
+	// still gets its configured retries with a fresh budget each.
+	jobCtx, cancel := context.WithCancel(s.execCtx)
 	job.cancel = cancel
 	spec := job.Spec
 	s.mu.Unlock()
@@ -65,11 +68,13 @@ func (s *Service) runJob(id string) {
 		Seed:      s.retrySeed(id),
 	}
 	st := s.reg.Stage("serve_job").Start()
-	err := retry.Do(ctx, policy, func(ctx context.Context, attempt int) error {
+	err := retry.Do(jobCtx, policy, func(ctx context.Context, attempt int) error {
 		s.mu.Lock()
 		job.Attempts = attempt
 		s.mu.Unlock()
-		return s.attempt(ctx, job, spec)
+		actx, acancel := context.WithTimeout(ctx, timeout)
+		defer acancel()
+		return s.attempt(actx, job, spec)
 	})
 	st.Stop()
 	s.finish(job, err)

@@ -139,6 +139,9 @@ type Service struct {
 	execCtx    context.Context
 	execCancel context.CancelFunc
 	killOnce   sync.Once
+	// uploadSem gates how many dataset uploads may be buffered in memory
+	// at once (see maxConcurrentUploads).
+	uploadSem chan struct{}
 }
 
 // New opens the service on its state directory: replays the job journal,
@@ -168,6 +171,7 @@ func New(opts Options) (*Service, error) {
 		runq:       make(chan string, 4*opts.QueueCap),
 		execCtx:    ctx,
 		execCancel: cancel,
+		uploadSem:  make(chan struct{}, maxConcurrentUploads),
 	}
 	s.ready.Set(false, "starting")
 

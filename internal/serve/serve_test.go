@@ -410,6 +410,97 @@ func TestDatasetCacheHitsAndEviction(t *testing.T) {
 	}
 }
 
+// TestTraversalDatasetRejected proves a job spec cannot smuggle a path
+// into the blob store: Dataset must be the sha256 hex the upload
+// endpoint returned, and the store itself refuses anything else even if
+// validation were bypassed.
+func TestTraversalDatasetRejected(t *testing.T) {
+	s := newTestService(t, Options{Executors: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, dataset := range []string{
+		"../../../../etc/passwd",
+		"../jobs.jnl",
+		"ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789", // uppercase
+		"deadbeef", // too short
+	} {
+		spec, _ := json.Marshal(JobSpec{Dataset: dataset})
+		code, _, doc := doJSON(t, "POST", ts.URL+"/api/v1/jobs", spec)
+		if code != http.StatusBadRequest {
+			t.Fatalf("submit dataset %q = %d %v, want 400", dataset, code, doc)
+		}
+		// Defense in depth: the store refuses the reference directly too.
+		if _, err := s.store.Get(JobSpec{Dataset: dataset}); err == nil {
+			t.Fatalf("store.Get(%q) succeeded", dataset)
+		}
+		if _, err := s.store.Meta(dataset); err == nil {
+			t.Fatalf("store.Meta(%q) succeeded", dataset)
+		}
+	}
+	if got := s.Metrics().Counter("serve_jobs_accepted_total").Value(); got != 0 {
+		t.Fatalf("traversal specs accepted %d jobs", got)
+	}
+}
+
+// TestPutRepairsMissingSidecar proves a crash between writing a blob and
+// its meta sidecar is healed by the next upload of the same bytes,
+// instead of the dedup early-return leaving the dataset unsizable
+// forever.
+func TestPutRepairsMissingSidecar(t *testing.T) {
+	s := newTestService(t, Options{Executors: -1})
+	blob := tinyBlob(t)
+	hash, err := s.store.Put(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: blob present, sidecar gone.
+	if err := os.Remove(s.store.blobPath(hash) + ".json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.store.Meta(hash); err == nil {
+		t.Fatal("Meta found a sidecar that was removed")
+	}
+	if got, err := s.store.Put(blob); err != nil || got != hash {
+		t.Fatalf("re-upload = (%q, %v), want (%q, nil)", got, err, hash)
+	}
+	meta, err := s.store.Meta(hash)
+	if err != nil {
+		t.Fatalf("sidecar not repaired by re-upload: %v", err)
+	}
+	if meta.Voxels != 24 {
+		t.Fatalf("repaired meta = %+v", meta)
+	}
+}
+
+// TestJobTimeoutBoundsOneAttempt proves the job timeout is a per-attempt
+// budget: a job whose every attempt times out still consumes its full
+// retry allowance before failing, rather than the first deadline
+// cancelling the whole retry loop.
+func TestJobTimeoutBoundsOneAttempt(t *testing.T) {
+	s := newTestService(t, Options{ChunkVoxels: 8, Executors: 1, RetrySeed: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// 1ms can never cover an attempt at this scale, so all three attempts
+	// must run and time out.
+	spec, _ := json.Marshal(JobSpec{Synthetic: "face-scene", Scale: 0.02, TimeoutMS: 1, Retries: 2})
+	code, _, doc := doJSON(t, "POST", ts.URL+"/api/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %v", code, doc)
+	}
+	id := doc["id"].(string)
+	waitState(t, ts.URL, id, StateFailed, 30*time.Second)
+
+	_, _, doc = doJSON(t, "GET", ts.URL+"/api/v1/jobs/"+id, nil)
+	if doc["attempts"].(float64) != 3 {
+		t.Fatalf("attempts = %v, want 3 (timeout must not cancel the retry loop)", doc["attempts"])
+	}
+	if msg := doc["error"].(string); !strings.Contains(msg, "timed out after 3 attempts") {
+		t.Fatalf("failure message %q, want a 3-attempt timeout", msg)
+	}
+}
+
 // TestUploadRejectsGarbage proves the dataset endpoint validates before
 // storing.
 func TestUploadRejectsGarbage(t *testing.T) {

@@ -14,9 +14,14 @@
 //   - every append goes through the chaos.FS seam, so fault-injection
 //     soaks can tear exactly the writes a real crash would tear;
 //   - replay on open walks the records through a caller-supplied apply
-//     function and truncates at the first bad frame (short header, torn
-//     body, CRC mismatch, or an apply error): everything before the
-//     damage is trusted, everything after it is recomputed by the owner.
+//     function and truncates at the first physically bad frame (short
+//     header, torn body, implausible length, CRC mismatch): everything
+//     before the damage is trusted, everything after it is recomputed by
+//     the owner. A record the owner's apply function rejects is NOT
+//     damage — it is intact, CRC-verified bytes the owner no longer
+//     understands (version or logic skew) — so Open fails with an
+//     *ApplyError instead of truncating, which would silently discard
+//     every later record including fsynced terminal states.
 package wal
 
 import (
@@ -55,8 +60,10 @@ type Log struct {
 // format version stamp; maxRecord caps one payload's length so a corrupt
 // length header cannot OOM the process. A torn or corrupt tail is
 // truncated — not an error — and reported by Truncated; a file that does
-// not start with magic is refused outright. A nil fsys uses the real
-// filesystem.
+// not start with magic is refused outright; an intact record that apply
+// rejects fails Open with an *ApplyError, leaving the file untouched
+// (the owner's partially replayed apply state must be discarded). A nil
+// fsys uses the real filesystem.
 func Open(fsys chaos.FS, path, magic string, maxRecord uint32, apply func(payload []byte) error) (*Log, error) {
 	if len(magic) != 8 {
 		return nil, fmt.Errorf("wal: magic %q must be exactly 8 bytes", magic)
@@ -83,6 +90,25 @@ func Open(fsys chaos.FS, path, magic string, maxRecord uint32, apply func(payloa
 	}
 	return l, nil
 }
+
+// ApplyError reports a physically intact record (framed, length-sane,
+// CRC-verified) that the owner's apply function rejected during replay.
+// It is not corruption: the bytes are exactly what an earlier
+// incarnation wrote, so the mismatch is version or logic skew, and the
+// file is left untouched rather than truncated.
+type ApplyError struct {
+	Path   string
+	Offset int64
+	Err    error
+}
+
+// Error implements error.
+func (e *ApplyError) Error() string {
+	return fmt.Sprintf("wal: %s: record at offset %d rejected by apply: %v", e.Path, e.Offset, e.Err)
+}
+
+// Unwrap exposes the apply function's error to errors.Is / errors.As.
+func (e *ApplyError) Unwrap() error { return e.Err }
 
 // replay loads every intact record, applies it, and truncates a torn or
 // corrupt tail so the log is appendable right at the cut.
@@ -119,8 +145,12 @@ func (l *Log) replay(apply func(payload []byte) error) error {
 			break
 		}
 		if err := apply(payload); err != nil {
-			truncateAt, reason = off, err.Error()
-			break
+			// The frame is physically intact — length sane, CRC verified —
+			// so this is semantic rejection (version/logic skew), not
+			// corruption. Truncating here would silently discard every
+			// later record, including fsynced terminal states; fail open
+			// loudly and leave the file for inspection instead.
+			return &ApplyError{Path: l.path, Offset: int64(off), Err: err}
 		}
 		off += 8 + int(n)
 	}

@@ -167,39 +167,50 @@ func TestBadMagicLength(t *testing.T) {
 	}
 }
 
-// TestApplyErrorTruncates proves a record the owner cannot decode is
-// treated like corruption: the tail is cut and replay keeps what came
-// before.
-func TestApplyErrorTruncates(t *testing.T) {
+// TestApplyErrorFailsOpen proves an intact, CRC-verified record the
+// owner rejects is NOT treated as corruption: Open fails with an
+// *ApplyError and the file is left untouched, so records after the
+// rejected one (including fsynced terminal states) are never silently
+// discarded.
+func TestApplyErrorFailsOpen(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.wal")
 	l, _ := openCollect(t, nil, path)
-	if _, err := l.Append([]byte{1}, true); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := l.Append([]byte{99}, true); err != nil {
-		t.Fatal(err)
+	for _, p := range [][]byte{{1}, {99}, {2}} {
+		if _, err := l.Append(p, true); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	var got [][]byte
-	r, err := Open(nil, path, testMagic, 1<<20, func(p []byte) error {
+	rejecting := func(p []byte) error {
 		if p[0] == 99 {
 			return errors.New("unknown record kind")
 		}
-		got = append(got, append([]byte(nil), p...))
 		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
+	_, err := Open(nil, path, testMagic, 1<<20, rejecting)
+	if err == nil {
+		t.Fatal("Open succeeded despite a rejected record")
+	}
+	var aerr *ApplyError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("Open error = %v, want *ApplyError", err)
+	}
+	if aerr.Offset != int64(len(testMagic)+8+1) {
+		t.Fatalf("ApplyError.Offset = %d, want the rejected frame's start", aerr.Offset)
+	}
+
+	// The file must be intact: an owner that understands the record (a
+	// fixed binary, say) replays everything, nothing truncated.
+	r, got := openCollect(t, nil, path)
 	defer r.Close()
-	if !r.Truncated() {
-		t.Fatal("apply error not reported by Truncated")
+	if r.Truncated() {
+		t.Fatal("apply rejection truncated the log")
 	}
-	if len(got) != 1 {
-		t.Fatalf("replayed %d records, want 1", len(got))
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records after rejection, want all 3 preserved", len(got))
 	}
 }
 
