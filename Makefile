@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check lint fcmavet vet build test test-race test-short bench bench-smoke fuzz chaos-soak serve-smoke
+.PHONY: check lint fcmavet vet build test test-race test-short bench bench-smoke bench-gate tune fuzz chaos-soak serve-smoke
 
 check: lint build test
 
@@ -47,12 +47,32 @@ bench:
 # BENCH_fcma-bench.json summary into BENCHDIR, plus a traced fcma-run
 # voxel selection that writes a Chrome-trace timeline next to it (open
 # trace.json in https://ui.perfetto.dev). CI uploads both as artifacts to
-# track the perf trajectory.
+# track the perf trajectory, then bench-gate fails the build if either
+# summary's wall clock regressed past 2x the committed bench/ baseline
+# (see EXPERIMENTS.md "Reading the committed baseline").
 BENCHDIR ?= .
 bench-smoke:
+	@mkdir -p $(BENCHDIR)
 	$(GO) run ./cmd/fcma-bench -scale 0.01 -json $(BENCHDIR) table1 table5 table7
 	$(GO) run ./cmd/fcma-run -mode select -synthetic face-scene -scale 0.01 \
 		-bench-out $(BENCHDIR) -trace-out $(BENCHDIR)/trace.json
+	$(MAKE) bench-gate
+
+# Compare the fresh bench-smoke summaries in BENCHDIR against the
+# committed baselines. Loose on purpose (2x + 1s slack): it exists to
+# catch kernels falling off their fast paths, not scheduler noise.
+bench-gate:
+	$(GO) run ./scripts/benchgate -baseline bench/BENCH_fcma-bench.json \
+		-fresh $(BENCHDIR)/BENCH_fcma-bench.json
+	$(GO) run ./scripts/benchgate -baseline bench/BENCH_fcma-run-select.json \
+		-fresh $(BENCHDIR)/BENCH_fcma-run-select.json
+
+# Measure the kernel block-size candidates on this machine and write the
+# winner to TUNEOUT; pass it to fcma-run/fcma-serve via -tuning. The
+# result is machine-specific — don't commit it.
+TUNEOUT ?= FCMA_TUNING.json
+tune:
+	$(GO) run ./cmd/fcma-bench -tune -tune-out $(TUNEOUT)
 
 # Long-form crash-recovery soaks behind the chaossoak build tag, both
 # under the race detector. First a TCP cluster whose master is

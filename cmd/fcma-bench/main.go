@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"fcma/internal/blas"
 	"fcma/internal/obs"
 	"fcma/internal/perf"
 	"fcma/internal/report"
@@ -28,10 +29,12 @@ import (
 func main() {
 	scale := flag.Float64("scale", 0.02, "trace scale relative to paper-size problems (0 < scale <= 1)")
 	svmCalib := flag.Float64("svm-calib", 0, "SVM iteration-hardness calibration (0 = default, see EXPERIMENTS.md)")
-	nativeScale := flag.Float64("native-scale", 0.02, "dataset scale for the native cross-checks")
+	nativeScale := flag.Float64("native-scale", 0.02, "dataset scale for the native cross-checks (0 < scale <= 1)")
 	jsonOut := flag.String("json", "", "directory to write an end-of-run BENCH_<name>.json summary into")
 	logFormat := flag.String("log-format", "text", `status log format: "text" or "json"`)
 	flightOut := flag.String("flight-out", "", "write flight-recorder crash dumps to this file instead of stderr (created only if a dump fires)")
+	tune := flag.Bool("tune", false, "run the kernel autotuner instead of experiments and persist the result")
+	tuneOut := flag.String("tune-out", "FCMA_TUNING.json", "file the autotuner writes its tuning to (with -tune)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fcma-bench [flags] [experiment ...]\n\nexperiments: %s\n\nflags:\n",
 			strings.Join(experimentNames(), " "))
@@ -39,14 +42,25 @@ func main() {
 	}
 	flag.Parse()
 
+	// Out-of-range scales used to be silently replaced by the default deep
+	// inside report.Options; reject them at the boundary instead so a typo
+	// can't masquerade as a paper-scale run.
+	checkScaleFlag("scale", *scale)
+	checkScaleFlag("native-scale", *nativeScale)
+
 	obs.BootstrapCLI("fcma-bench", *logFormat, *flightOut)
+
+	if *tune {
+		runTune(*tuneOut)
+		return
+	}
 
 	runner := report.New(report.Options{Scale: *scale, SVMCalibration: *svmCalib})
 	experiments := modelExperiments(runner)
 
 	names := flag.Args()
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
-		names = experimentNames()[:15] // model-based set; natives opt-in
+		names = defaultExperiments() // model-based set; natives opt-in
 	}
 	start := time.Now()
 	for _, name := range names {
@@ -96,6 +110,51 @@ func experimentNames() []string {
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"table7", "table8", "fig8", "fig9", "fig10", "fig11", "knl", "ablation", "memory",
 		"native-fig8", "native-fig9",
+	}
+}
+
+// defaultExperiments is the "all" set: every model-based experiment, in
+// canonical order, derived from the experiment map itself so a newly
+// registered experiment can't be silently dropped by a stale slice bound.
+func defaultExperiments() []string {
+	model := modelExperiments(nil)
+	var names []string
+	for _, n := range experimentNames() {
+		if _, ok := model[n]; ok {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// checkScaleFlag rejects scales outside (0, 1] with a usage error.
+func checkScaleFlag(name string, v float64) {
+	if v <= 0 || v > 1 {
+		fmt.Fprintf(os.Stderr, "fcma-bench: -%s %g out of range (0, 1]\n", name, v)
+		os.Exit(2)
+	}
+}
+
+// runTune measures the kernel block-size candidates on this machine and
+// persists the winner for fcma-run/fcma-serve to load via -tuning.
+func runTune(out string) {
+	res, err := blas.Autotune(blas.TuneOptions{})
+	fail(err)
+	printCandidates("gemm col_block", res.Gemm, res.Tuning.ColBlock)
+	printCandidates("syrk syrk_block", res.Syrk, res.Tuning.SyrkBlock)
+	printCandidates("merged vox_block", res.Vox, res.Tuning.VoxBlock)
+	fail(res.Tuning.WriteFile(out))
+	fmt.Fprintf(os.Stderr, "fcma-bench: wrote %s\n", out)
+}
+
+func printCandidates(dim string, cands []blas.TuneCandidate, winner int) {
+	fmt.Printf("%s:\n", dim)
+	for _, c := range cands {
+		mark := " "
+		if c.Value == winner {
+			mark = "*"
+		}
+		fmt.Printf("  %s %6d  %12s\n", mark, c.Value, c.Best)
 	}
 }
 

@@ -39,7 +39,8 @@ func main() {
 	maskPath := flag.String("mask", "", "NIfTI-1 brain mask for -nii (default: automatic variance mask)")
 	subjects := flag.Int("subjects", 1, "subjects concatenated in the -nii time series")
 	synthetic := flag.String("synthetic", "", `generate instead of loading: "face-scene" or "attention"`)
-	scale := flag.Float64("scale", 0.02, "synthetic dataset scale")
+	scale := flag.Float64("scale", 0.02, "synthetic dataset scale (0 < scale <= 1)")
+	tuningPath := flag.String("tuning", "", "kernel tuning file from `fcma-bench -tune` (default: compiled block sizes)")
 	engine := flag.String("engine", "optimized", `kernel engine: "optimized" or "baseline"`)
 	topK := flag.Int("topk", 0, "voxels to select (0 = default)")
 	subject := flag.Int("subject", 0, "subject for online mode")
@@ -57,6 +58,14 @@ func main() {
 	flightOut := flag.String("flight-out", "", "write flight-recorder crash dumps to this file instead of stderr (created only if a dump fires)")
 	flag.Parse()
 
+	// Reject out-of-range scales at the boundary: report.Options used to
+	// swap them for the default silently, turning a typo into a wrong-size
+	// run with plausible-looking output.
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintf(os.Stderr, "fcma-run: -scale %g out of range (0, 1]\n", *scale)
+		os.Exit(2)
+	}
+
 	logger := obs.BootstrapCLI("fcma-run", *logFormat, *flightOut)
 
 	// SIGINT/SIGTERM cancel the analysis cooperatively: every pipeline
@@ -67,6 +76,13 @@ func main() {
 
 	d := loadData(*dataPath, *epochPath, *niiPath, *maskPath, *subjects, *synthetic, *scale)
 	cfg := fcma.Config{Workers: *workers, TopK: *topK}
+	if *tuningPath != "" {
+		tuning, err := fcma.LoadTuning(*tuningPath)
+		fail(err)
+		cfg.Tuning = &tuning
+		logger.Info("loaded kernel tuning", "path", *tuningPath,
+			"col_block", tuning.ColBlock, "syrk_block", tuning.SyrkBlock, "vox_block", tuning.VoxBlock)
+	}
 	if *traceOut != "" {
 		cfg.Trace = fcma.NewTracer()
 		defer writeTrace(logger, cfg.Trace, *traceOut)
@@ -119,6 +135,7 @@ func main() {
 				"dataset": d.Name(),
 				"voxels":  strconv.Itoa(d.Voxels()),
 				"workers": strconv.Itoa(*workers),
+				"scale":   strconv.FormatFloat(*scale, 'g', -1, 64),
 			}
 			path, err := sum.WriteFile(*benchOut)
 			fail(err)

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 
+	"fcma/internal/blas"
 	"fcma/internal/core"
 	"fcma/internal/corr"
 	"fcma/internal/fmri"
@@ -213,6 +214,22 @@ type Config struct {
 	// tasks); drain it with Drain and render with WriteTrace. Nil disables
 	// tracing at zero allocation cost.
 	Trace *Tracer
+	// Tuning, when non-nil, applies machine-measured kernel block sizes
+	// from an autotune run (fcma-bench -tune, loaded with LoadTuning).
+	// Nil or zero-valued tuning keeps the compiled defaults.
+	Tuning *Tuning
+}
+
+// Tuning is a persisted autotune result: the kernel block sizes measured
+// fastest on a particular machine. Produce one with `fcma-bench -tune`,
+// load it with LoadTuning, and set Config.Tuning to apply it.
+type Tuning = blas.Tuning
+
+// LoadTuning reads and validates a tuning file written by
+// `fcma-bench -tune` (rejecting unknown schema versions and out-of-range
+// block sizes).
+func LoadTuning(path string) (Tuning, error) {
+	return blas.LoadTuning(path)
 }
 
 // traceCtx installs cfg.Trace into ctx so the internal layers pick it up;
@@ -245,6 +262,9 @@ func (c Config) coreConfig() core.Config {
 	cc.Workers = c.Workers
 	cc.SVMParams = svm.Params{C: c.SVMCost}
 	cc.Obs = c.Metrics
+	if c.Tuning != nil {
+		cc = cc.WithTuning(*c.Tuning)
+	}
 	return cc
 }
 

@@ -61,29 +61,28 @@ func BatchSyrkContext(ctx context.Context, Cs, As []*tensor.Matrix, block, worke
 		defer bsp.End()
 		A := As[it.mat]
 		m := A.Rows
-		local := tensor.NewMatrix(m, m)
-		tbuf := tensor.PackTransposed(nil, A, 0, it.j0, m, it.w)
-		syrkBlockKernel(local, tbuf, m, it.w)
+		sc := syrkPool.Get().(*syrkScratch)
+		sc.local.Reuse(m, m)
+		sc.local.Zero()
+		sc.tbuf = tensor.PackTransposed(sc.tbuf, A, 0, it.j0, m, it.w)
+		syrkBlockKernel(&sc.local, sc.tbuf, m, it.w)
 		locks[it.mat].Lock()
 		C := Cs[it.mat]
 		for i := 0; i < m; i++ {
-			dst, src := C.Row(i), local.Row(i)
+			dst, src := C.Row(i), sc.local.Row(i)
 			for j := 0; j <= i; j++ {
 				dst[j] += src[j]
 			}
 		}
 		locks[it.mat].Unlock()
+		syrkPool.Put(sc)
 	})
 	if err != nil {
 		return err
 	}
 	// Mirror the lower triangles.
 	for _, C := range Cs {
-		for i := 0; i < C.Rows; i++ {
-			for j := 0; j < i; j++ {
-				C.Set(j, i, C.At(i, j))
-			}
-		}
+		mirrorLower(C)
 	}
 	return nil
 }

@@ -21,14 +21,19 @@ const DefaultSyrkBlock = 96
 //
 // Gemm targets C[m×n] = A[m×k]·B[k×n] with tiny k (an epoch is ~12 time
 // points): the wide dimension is partitioned into L2-sized column blocks;
-// within a block each output row is accumulated in a contiguous register
-// strip with unit-stride streaming over B, so no element of B is touched
-// more than once per assigned row and no packing buffers are written.
+// within a block output rows are accumulated two at a time in contiguous
+// register strips with the k loop pipelined two B rows deep, so each B
+// element is loaded once per two assigned rows and no packing buffers are
+// written.
 //
 // Syrk targets C[m×m] = A[m×n]·Aᵀ with huge n (Fig. 7): workers march down
-// the long dimension in ColBlock-sized column blocks, stage each block in a
+// the long dimension in SyrkBlock-sized column blocks, stage each block in a
 // transposed thread-local buffer (A_localᵀ) so the rank-1 updates are
-// unit-stride, accumulate into a thread-local C and merge under a lock.
+// unit-stride, and accumulate through hand-unrolled 4×4 register blocks.
+//
+// Both kernels take a serial fast path — no goroutines, no closures, no
+// heap traffic — when Workers == 1 or the problem has a single block, so a
+// warm steady-state call allocates nothing (pinned by alloc_test.go).
 type TallSkinny struct {
 	// Workers bounds the number of goroutines; 0 means GOMAXPROCS.
 	Workers int
@@ -56,27 +61,101 @@ func (t TallSkinny) syrkBlock() int {
 // Gemm computes C = A·B optimized for tiny inner dimension.
 func (t TallSkinny) Gemm(C, A, B *tensor.Matrix) {
 	checkGemmShapes(C, A, B)
-	m, k, n := A.Rows, A.Cols, B.Cols
+	m, n := A.Rows, B.Cols
 	if m == 0 || n == 0 {
 		return
 	}
 	nb := t.colBlock()
 	nBlocks := (n + nb - 1) / nb
+	if t.Workers == 1 || nBlocks == 1 {
+		// Serial fast path: skip the parallelFor goroutine/closure
+		// machinery entirely. Every per-epoch gemm inside corr.Pipeline
+		// runs single-threaded (the pipeline parallelizes across epochs),
+		// so this is the hot configuration.
+		obsGemmBlocks.Add(uint64(nBlocks))
+		gemmBlocks(C, A, B, 0, nBlocks, nb)
+		return
+	}
 	parallelFor(nBlocks, t.Workers, func(b0, b1 int) {
 		obsGemmBlocks.Add(uint64(b1 - b0))
-		for b := b0; b < b1; b++ {
-			j0 := b * nb
-			w := min(nb, n-j0)
-			for i := 0; i < m; i++ {
-				ci := C.Data[i*C.Stride+j0 : i*C.Stride+j0+w]
-				gemmRowStrip(ci, A.Row(i), B, j0, w, k)
-			}
-		}
+		gemmBlocks(C, A, B, b0, b1, nb)
 	})
+}
+
+// gemmBlocks computes column blocks [b0, b1) of C = A·B, walking output
+// rows two at a time through the register-blocked strip kernel.
+func gemmBlocks(C, A, B *tensor.Matrix, b0, b1, nb int) {
+	m, k, n := A.Rows, A.Cols, B.Cols
+	for b := b0; b < b1; b++ {
+		j0 := b * nb
+		w := min(nb, n-j0)
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			c0 := C.Data[i*C.Stride+j0 : i*C.Stride+j0+w]
+			c1 := C.Data[(i+1)*C.Stride+j0 : (i+1)*C.Stride+j0+w]
+			gemmRowStrip2(c0, c1, A.Row(i), A.Row(i+1), B, j0, w, k)
+		}
+		if i < m {
+			ci := C.Data[i*C.Stride+j0 : i*C.Stride+j0+w]
+			gemmRowStrip(ci, A.Row(i), B, j0, w, k)
+		}
+	}
+}
+
+// gemmRowStrip2 computes two output strips at once with the k accumulation
+// pipelined two B rows deep: per inner iteration it loads two B values and
+// feeds both output rows' 2-term dot-product updates (a hand-unrolled 2×2
+// tile). Each B element is loaded once per two C rows, consecutive j
+// iterations stay independent so the out-of-order core overlaps them, and
+// the whole strip sweep makes k/2 passes over each C strip instead of k.
+// Wider tiles were measured and rejected: a full 4×4 register tile spills
+// 16 accumulator chains past the scalar register file and runs >2× slower
+// than this shape under the Go compiler.
+func gemmRowStrip2(c0, c1, a0, a1 []float32, B *tensor.Matrix, j0, w, k int) {
+	if k == 0 {
+		for j := range c0 {
+			c0[j], c1[j] = 0, 0
+		}
+		return
+	}
+	// First B row initializes both strips (saves the zero-fill pass). The
+	// reslices to a common length are bounds-check-elimination hints: they
+	// let the compiler prove every indexed access below is in range.
+	r0 := B.Data[j0 : j0+w]
+	d0, d1 := c0[:len(r0)], c1[:len(r0)]
+	av0, av1 := a0[0], a1[0]
+	for j, bv := range r0 {
+		d0[j] = av0 * bv
+		d1[j] = av1 * bv
+	}
+	p := 1
+	for ; p+1 < k; p += 2 {
+		rp := B.Data[p*B.Stride+j0 : p*B.Stride+j0+w]
+		rq := B.Data[(p+1)*B.Stride+j0 : (p+1)*B.Stride+j0+w]
+		rq = rq[:len(rp)]
+		d0, d1 = c0[:len(rp)], c1[:len(rp)]
+		x0, x1 := a0[p], a0[p+1]
+		y0, y1 := a1[p], a1[p+1]
+		for j := range rp {
+			bp, bq := rp[j], rq[j]
+			d0[j] += x0*bp + x1*bq
+			d1[j] += y0*bp + y1*bq
+		}
+	}
+	for ; p < k; p++ {
+		rp := B.Data[p*B.Stride+j0 : p*B.Stride+j0+w]
+		d0, d1 = c0[:len(rp)], c1[:len(rp)]
+		av, bv := a0[p], a1[p]
+		for j, bv2 := range rp {
+			d0[j] += av * bv2
+			d1[j] += bv * bv2
+		}
+	}
 }
 
 // gemmRowStrip computes ci = Σ_p a[p]·B[p, j0:j0+w] with the k accumulation
 // pipelined two rows at a time so the inner loop stays unit-stride over B.
+// It handles the m%4 remainder rows of gemmBlocks.
 func gemmRowStrip(ci, a []float32, B *tensor.Matrix, j0, w, k int) {
 	if k == 0 {
 		for j := range ci {
@@ -84,29 +163,44 @@ func gemmRowStrip(ci, a []float32, B *tensor.Matrix, j0, w, k int) {
 		}
 		return
 	}
-	// First row initializes the strip (saves the zero-fill pass).
+	// First row initializes the strip (saves the zero-fill pass). As in
+	// gemmRowStrip2, the common-length reslices are BCE hints.
 	b0 := B.Data[0*B.Stride+j0 : 0*B.Stride+j0+w]
+	d := ci[:len(b0)]
 	a0 := a[0]
 	for j, bv := range b0 {
-		ci[j] = a0 * bv
+		d[j] = a0 * bv
 	}
 	p := 1
 	for ; p+1 < k; p += 2 {
 		r0 := B.Data[p*B.Stride+j0 : p*B.Stride+j0+w]
 		r1 := B.Data[(p+1)*B.Stride+j0 : (p+1)*B.Stride+j0+w]
+		r1 = r1[:len(r0)]
+		d = ci[:len(r0)]
 		av0, av1 := a[p], a[p+1]
-		for j := range ci {
-			ci[j] += av0*r0[j] + av1*r1[j]
+		for j := range r0 {
+			d[j] += av0*r0[j] + av1*r1[j]
 		}
 	}
 	for ; p < k; p++ {
 		rp := B.Data[p*B.Stride+j0 : p*B.Stride+j0+w]
+		d = ci[:len(rp)]
 		av := a[p]
-		for j := range ci {
-			ci[j] += av * rp[j]
+		for j, bv := range rp {
+			d[j] += av * bv
 		}
 	}
 }
+
+// syrkScratch is the pooled per-worker state for Syrk: the thread-local
+// partial product and the transposed staging panel. Pooled as a pointer so
+// Get/Put never box, keeping the warm path allocation-free.
+type syrkScratch struct {
+	local tensor.Matrix
+	tbuf  []float32
+}
+
+var syrkPool = sync.Pool{New: func() any { return new(syrkScratch) }}
 
 // Syrk computes C = A·Aᵀ via the Fig. 7 workflow.
 func (t TallSkinny) Syrk(C, A *tensor.Matrix) {
@@ -118,65 +212,206 @@ func (t TallSkinny) Syrk(C, A *tensor.Matrix) {
 	}
 	bn := t.syrkBlock()
 	nBlocks := (n + bn - 1) / bn
+	if t.Workers == 1 || nBlocks == 1 {
+		// Serial fast path: accumulate straight into C — no thread-local
+		// partial, no merge lock, no goroutines. The staging panel comes
+		// from the pool so a warm call allocates nothing.
+		obsSyrkBlocks.Add(uint64(nBlocks))
+		sc := syrkPool.Get().(*syrkScratch)
+		for b := 0; b < nBlocks; b++ {
+			j0 := b * bn
+			w := min(bn, n-j0)
+			sc.tbuf = tensor.PackTransposed(sc.tbuf, A, 0, j0, m, w)
+			syrkBlockKernel(C, sc.tbuf, m, w)
+		}
+		syrkPool.Put(sc)
+		mirrorLower(C)
+		return
+	}
 	var mu sync.Mutex
 	parallelFor(nBlocks, t.Workers, func(b0, b1 int) {
 		obsSyrkBlocks.Add(uint64(b1 - b0))
-		local := tensor.NewMatrix(m, m)
-		var tbuf []float32
+		sc := syrkPool.Get().(*syrkScratch)
+		sc.local.Reuse(m, m)
+		sc.local.Zero()
 		for b := b0; b < b1; b++ {
 			j0 := b * bn
 			w := min(bn, n-j0)
 			// Stage the block transposed: tbuf[p*m+i] = A[i, j0+p].
-			tbuf = tensor.PackTransposed(tbuf, A, 0, j0, m, w)
-			syrkBlockKernel(local, tbuf, m, w)
+			sc.tbuf = tensor.PackTransposed(sc.tbuf, A, 0, j0, m, w)
+			syrkBlockKernel(&sc.local, sc.tbuf, m, w)
 		}
 		// Merge the thread-local partial product into C under a lock,
 		// mirroring the paper's OpenMP-lock merge of C_local into C.
 		mu.Lock()
 		for i := 0; i < m; i++ {
-			dst, src := C.Row(i), local.Row(i)
+			dst, src := C.Row(i), sc.local.Row(i)
 			for j := 0; j <= i; j++ {
 				dst[j] += src[j]
 			}
 		}
 		mu.Unlock()
+		syrkPool.Put(sc)
 	})
-	// Mirror the computed lower triangle.
-	for i := 0; i < m; i++ {
+	mirrorLower(C)
+}
+
+// mirrorLower copies C's computed lower triangle into its upper triangle.
+func mirrorLower(C *tensor.Matrix) {
+	for i := 0; i < C.Rows; i++ {
+		ri := C.Row(i)
 		for j := 0; j < i; j++ {
-			C.Set(j, i, C.At(i, j))
+			C.Data[j*C.Stride+i] = ri[j]
 		}
 	}
 }
 
 // syrkBlockKernel accumulates local[i][j] += Σ_p tbuf[p*m+i]·tbuf[p*m+j]
-// over the lower triangle using 4×4 register blocks.
+// over the lower triangle using 4×4 register blocks. Off-diagonal blocks
+// (j0 < i0) are always full-width and lie entirely inside the lower
+// triangle, so they take the unguarded fully-unrolled kernel; only the one
+// diagonal block per block-row pays the triangle logic.
 func syrkBlockKernel(local *tensor.Matrix, tbuf []float32, m, w int) {
 	const rb = 4
 	for i0 := 0; i0 < m; i0 += rb {
 		ih := min(rb, m-i0)
-		for j0 := 0; j0 <= i0; j0 += rb {
-			jh := min(rb, m-j0)
-			var acc [rb][rb]float32
-			for p := 0; p < w; p++ {
-				row := tbuf[p*m : p*m+m]
-				ai := row[i0 : i0+ih]
-				aj := row[j0 : j0+jh]
-				for x := 0; x < ih; x++ {
-					av := ai[x]
-					for y := 0; y < jh; y++ {
-						acc[x][y] += av * aj[y]
-					}
-				}
+		for j0 := 0; j0 < i0; j0 += rb {
+			syrkBlockOffDiag(local, tbuf, m, w, i0, ih, j0)
+		}
+		syrkBlockDiag(local, tbuf, m, w, i0, ih)
+	}
+}
+
+// syrkBlockOffDiag accumulates the ih×4 off-diagonal register block at
+// (i0, j0). Because j0+4 <= i0, every element satisfies j0+y < i0+x, so the
+// writeback needs no per-element triangle guard.
+func syrkBlockOffDiag(local *tensor.Matrix, tbuf []float32, m, w, i0, ih, j0 int) {
+	if ih == 4 {
+		// 16 scalar accumulators — the register-resident 4×4 tile.
+		var c00, c01, c02, c03 float32
+		var c10, c11, c12, c13 float32
+		var c20, c21, c22, c23 float32
+		var c30, c31, c32, c33 float32
+		for p := 0; p < w; p++ {
+			row := tbuf[p*m : p*m+m]
+			rj := row[j0 : j0+4]
+			b0, b1, b2, b3 := rj[0], rj[1], rj[2], rj[3]
+			ri := row[i0 : i0+4]
+			v0, v1, v2, v3 := ri[0], ri[1], ri[2], ri[3]
+			c00 += v0 * b0
+			c01 += v0 * b1
+			c02 += v0 * b2
+			c03 += v0 * b3
+			c10 += v1 * b0
+			c11 += v1 * b1
+			c12 += v1 * b2
+			c13 += v1 * b3
+			c20 += v2 * b0
+			c21 += v2 * b1
+			c22 += v2 * b2
+			c23 += v2 * b3
+			c30 += v3 * b0
+			c31 += v3 * b1
+			c32 += v3 * b2
+			c33 += v3 * b3
+		}
+		d0 := local.Row(i0)[j0 : j0+4]
+		d0[0] += c00
+		d0[1] += c01
+		d0[2] += c02
+		d0[3] += c03
+		d1 := local.Row(i0 + 1)[j0 : j0+4]
+		d1[0] += c10
+		d1[1] += c11
+		d1[2] += c12
+		d1[3] += c13
+		d2 := local.Row(i0 + 2)[j0 : j0+4]
+		d2[0] += c20
+		d2[1] += c21
+		d2[2] += c22
+		d2[3] += c23
+		d3 := local.Row(i0 + 3)[j0 : j0+4]
+		d3[0] += c30
+		d3[1] += c31
+		d3[2] += c32
+		d3[3] += c33
+		return
+	}
+	// Remainder block row (m % 4 rows tall), still unguarded on writeback.
+	var acc [4][4]float32
+	for p := 0; p < w; p++ {
+		row := tbuf[p*m : p*m+m]
+		rj := row[j0 : j0+4]
+		ri := row[i0 : i0+ih]
+		for x, av := range ri {
+			acc[x][0] += av * rj[0]
+			acc[x][1] += av * rj[1]
+			acc[x][2] += av * rj[2]
+			acc[x][3] += av * rj[3]
+		}
+	}
+	for x := 0; x < ih; x++ {
+		dst := local.Row(i0 + x)[j0 : j0+4]
+		dst[0] += acc[x][0]
+		dst[1] += acc[x][1]
+		dst[2] += acc[x][2]
+		dst[3] += acc[x][3]
+	}
+}
+
+// syrkBlockDiag accumulates the lower triangle of the ih×ih diagonal block
+// at (i0, i0). Only the 10 lower-triangle products are computed — the old
+// kernel burned the full 16 and discarded 6 on writeback.
+func syrkBlockDiag(local *tensor.Matrix, tbuf []float32, m, w, i0, ih int) {
+	if ih == 4 {
+		var c00 float32
+		var c10, c11 float32
+		var c20, c21, c22 float32
+		var c30, c31, c32, c33 float32
+		for p := 0; p < w; p++ {
+			ri := tbuf[p*m+i0 : p*m+i0+4]
+			v0, v1, v2, v3 := ri[0], ri[1], ri[2], ri[3]
+			c00 += v0 * v0
+			c10 += v1 * v0
+			c11 += v1 * v1
+			c20 += v2 * v0
+			c21 += v2 * v1
+			c22 += v2 * v2
+			c30 += v3 * v0
+			c31 += v3 * v1
+			c32 += v3 * v2
+			c33 += v3 * v3
+		}
+		d0 := local.Row(i0)
+		d0[i0] += c00
+		d1 := local.Row(i0 + 1)
+		d1[i0] += c10
+		d1[i0+1] += c11
+		d2 := local.Row(i0 + 2)
+		d2[i0] += c20
+		d2[i0+1] += c21
+		d2[i0+2] += c22
+		d3 := local.Row(i0 + 3)
+		d3[i0] += c30
+		d3[i0+1] += c31
+		d3[i0+2] += c32
+		d3[i0+3] += c33
+		return
+	}
+	// Remainder diagonal block (m % 4 rows).
+	var acc [4][4]float32
+	for p := 0; p < w; p++ {
+		ri := tbuf[p*m+i0 : p*m+i0+ih]
+		for x, av := range ri {
+			for y := 0; y <= x; y++ {
+				acc[x][y] += av * ri[y]
 			}
-			for x := 0; x < ih; x++ {
-				dst := local.Row(i0 + x)
-				for y := 0; y < jh; y++ {
-					if j0+y <= i0+x {
-						dst[j0+y] += acc[x][y]
-					}
-				}
-			}
+		}
+	}
+	for x := 0; x < ih; x++ {
+		dst := local.Row(i0 + x)
+		for y := 0; y <= x; y++ {
+			dst[i0+y] += acc[x][y]
 		}
 	}
 }

@@ -1,0 +1,155 @@
+package blas
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fcma/internal/mic"
+	"fcma/internal/tensor"
+)
+
+// tinyTuneOptions keeps Autotune fast enough for the unit-test tier.
+func tinyTuneOptions() TuneOptions {
+	return TuneOptions{
+		Geometry:   mic.XeonE5_2670(),
+		Voxels:     16,
+		TimePoints: 8,
+		Brain:      1024,
+		Epochs:     4,
+		SyrkRows:   16,
+		SyrkCols:   512,
+		Repeats:    1,
+	}
+}
+
+func TestAutotuneRoundTrip(t *testing.T) {
+	res, err := Autotune(tinyTuneOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuning.Version != TuningVersion {
+		t.Fatalf("version %d, want %d", res.Tuning.Version, TuningVersion)
+	}
+	if res.Tuning.ColBlock <= 0 || res.Tuning.SyrkBlock <= 0 || res.Tuning.VoxBlock <= 0 {
+		t.Fatalf("non-positive tuned blocks: %+v", res.Tuning)
+	}
+	if len(res.Gemm) == 0 || len(res.Syrk) == 0 || len(res.Vox) == 0 {
+		t.Fatal("missing candidate timings")
+	}
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	if err := res.Tuning.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTuning(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ColBlock != res.Tuning.ColBlock || got.SyrkBlock != res.Tuning.SyrkBlock ||
+		got.VoxBlock != res.Tuning.VoxBlock || got.Machine != res.Tuning.Machine {
+		t.Fatalf("round trip mismatch: wrote %+v, read %+v", res.Tuning, got)
+	}
+}
+
+// A tuned kernel must compute the same results as the default kernel: gemm
+// bit-identically (the per-element k-accumulation order is independent of
+// ColBlock), syrk within float32 regrouping tolerance (SyrkBlock changes
+// how the long-dimension sum is staged).
+func TestTunedKernelMatchesDefault(t *testing.T) {
+	tuning := Tuning{Version: TuningVersion, ColBlock: 512, SyrkBlock: 32, VoxBlock: 4}
+	rng := rand.New(rand.NewSource(11))
+	A := randomMatrix(rng, 30, 12)
+	B := randomMatrix(rng, 12, 3000)
+	Cdef := tensor.NewMatrix(30, 3000)
+	Ctun := tensor.NewMatrix(30, 3000)
+	TallSkinny{Workers: 1}.Gemm(Cdef, A, B)
+	tuning.Kernel(1).Gemm(Ctun, A, B)
+	if !Ctun.Equal(Cdef) {
+		t.Fatal("tuned gemm must be bit-identical to default")
+	}
+
+	SA := randomMatrix(rng, 24, 700)
+	Sdef := tensor.NewMatrix(24, 24)
+	Stun := tensor.NewMatrix(24, 24)
+	TallSkinny{Workers: 1}.Syrk(Sdef, SA)
+	tuning.Kernel(1).Syrk(Stun, SA)
+	if !Stun.EqualApprox(Sdef, 1e-4) {
+		t.Fatalf("tuned syrk diverges: max diff %g", Stun.MaxAbsDiff(Sdef))
+	}
+}
+
+func TestTuningValidate(t *testing.T) {
+	if err := (Tuning{}).Validate(); err != nil {
+		t.Fatalf("zero tuning must validate: %v", err)
+	}
+	if err := (Tuning{Version: TuningVersion, ColBlock: 4096}).Validate(); err != nil {
+		t.Fatalf("sane tuning must validate: %v", err)
+	}
+	for name, bad := range map[string]Tuning{
+		"future version": {Version: TuningVersion + 1},
+		"negative block": {ColBlock: -1},
+		"absurd block":   {SyrkBlock: maxTunedBlock + 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestLoadTuningRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadTuning(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("absent file must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := (Tuning{Version: TuningVersion}).WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with an out-of-schema version via the struct round trip.
+	if err := writeRawTuning(bad, `{"version": 99}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTuning(bad); err == nil {
+		t.Fatal("wrong schema version must error")
+	}
+	if err := writeRawTuning(bad, `{not json`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTuning(bad); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}
+
+func TestTuningZeroValueKernelUsesDefaults(t *testing.T) {
+	k := Tuning{}.Kernel(3)
+	if k.Workers != 3 || k.colBlock() != DefaultColBlock || k.syrkBlock() != DefaultSyrkBlock {
+		t.Fatalf("zero tuning kernel: %+v", k)
+	}
+}
+
+func TestMergeCandidates(t *testing.T) {
+	got := mergeCandidates([]int{512, 96, 4096}, 96)
+	want := []int{96, 512, 4096}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPickWinnerPrefersSmallestOnTie(t *testing.T) {
+	cands := []TuneCandidate{{Value: 96, Best: time.Millisecond}, {Value: 512, Best: time.Millisecond}}
+	if got := pickWinner(cands); got != 96 {
+		t.Fatalf("tie should pick 96, got %d", got)
+	}
+}
+
+// writeRawTuning writes raw bytes for corruption tests.
+func writeRawTuning(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -41,6 +41,10 @@ type Config struct {
 	BatchKernels bool
 	// SVMParams configures the stage-3 solver.
 	SVMParams svm.Params
+	// Tuning carries machine-measured block sizes (see blas.Autotune).
+	// The zero value means compiled defaults. Set it through WithTuning
+	// so kernel fields pick the blocks up too.
+	Tuning blas.Tuning
 	// Name labels the configuration in reports.
 	Name string
 	// Obs receives stage timings and task/voxel counters (see DESIGN.md
@@ -81,6 +85,24 @@ func Optimized() Config {
 		Merged:       true,
 		BatchKernels: true,
 	}
+}
+
+// WithTuning returns a copy of the config with autotuned block sizes
+// applied: the correlation pipeline's ColBlock/VoxBlock, the batched
+// kernel precompute's SyrkBlock, and — when the configured kernels are
+// tall-skinny — their internal blocking. A zero tuning is a no-op, so
+// callers can thread an optional tuning through unconditionally.
+func (c Config) WithTuning(t blas.Tuning) Config {
+	c.Tuning = t
+	if g, ok := c.Gemm.(blas.TallSkinny); ok {
+		g.ColBlock, g.SyrkBlock = t.ColBlock, t.SyrkBlock
+		c.Gemm = g
+	}
+	if s, ok := c.Syrk.(blas.TallSkinny); ok {
+		s.ColBlock, s.SyrkBlock = t.ColBlock, t.SyrkBlock
+		c.Syrk = s
+	}
+	return c
 }
 
 func (c Config) validate() error {
@@ -161,10 +183,12 @@ func (w *Worker) ProcessContext(ctx context.Context, t Task) ([]VoxelScore, erro
 	defer taskSpan.End()
 	// Stages 1+2.
 	p := &corr.Pipeline{
-		Gemm:    w.cfg.Gemm,
-		Workers: w.cfg.Workers,
-		Merged:  w.cfg.Merged,
-		Obs:     w.cfg.Obs,
+		Gemm:     w.cfg.Gemm,
+		Workers:  w.cfg.Workers,
+		Merged:   w.cfg.Merged,
+		ColBlock: w.cfg.Tuning.ColBlock,
+		VoxBlock: w.cfg.Tuning.VoxBlock,
+		Obs:      w.cfg.Obs,
 	}
 	buf, err := p.RunContext(ctx, w.stack, t.V0, t.V)
 	if err != nil {
@@ -195,7 +219,11 @@ func (w *Worker) ProcessContext(ctx context.Context, t Task) ([]VoxelScore, erro
 		syrkTimer := reg.Stage("core/syrk").Start()
 		sctx, syrkSpan := trace.StartSpan(ctx, "core/syrk")
 		syrkSpan.SetInt("kernels", t.V)
-		err := blas.BatchSyrkContext(sctx, kernels, As, blas.DefaultSyrkBlock, w.cfg.Workers)
+		syrkBlock := w.cfg.Tuning.SyrkBlock
+		if syrkBlock <= 0 {
+			syrkBlock = blas.DefaultSyrkBlock
+		}
+		err := blas.BatchSyrkContext(sctx, kernels, As, syrkBlock, w.cfg.Workers)
 		syrkSpan.End()
 		syrkTimer.Stop()
 		if err != nil {

@@ -206,3 +206,50 @@ func TestConfigPresets(t *testing.T) {
 		t.Fatal("optimized trainer wrong type")
 	}
 }
+
+// A tuned worker must re-block the kernels and pipeline without changing
+// any score: tuning moves cache blocking, never math.
+func TestWithTuningAppliesBlocksAndPreservesScores(t *testing.T) {
+	_, st := testStack(t, 24, 3, 6)
+	tuning := blas.Tuning{Version: blas.TuningVersion, ColBlock: 512, SyrkBlock: 32, VoxBlock: 4}
+	cfg := Optimized().WithTuning(tuning)
+	if g, ok := cfg.Gemm.(blas.TallSkinny); !ok || g.ColBlock != 512 || g.SyrkBlock != 32 {
+		t.Fatalf("tuning not applied to gemm kernel: %+v", cfg.Gemm)
+	}
+	if s, ok := cfg.Syrk.(blas.TallSkinny); !ok || s.SyrkBlock != 32 {
+		t.Fatalf("tuning not applied to syrk kernel: %+v", cfg.Syrk)
+	}
+	if cfg.Tuning != tuning {
+		t.Fatalf("tuning not recorded: %+v", cfg.Tuning)
+	}
+
+	wDef, err := NewWorker(Optimized(), st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wTun, err := NewWorker(cfg, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := wDef.Process(Task{V0: 0, V: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tun, err := wTun.Process(Task{V0: 0, V: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range def {
+		if def[i] != tun[i] {
+			t.Fatalf("voxel %d: tuned score %+v != default %+v", i, tun[i], def[i])
+		}
+	}
+}
+
+func TestWithTuningZeroValueIsNoOp(t *testing.T) {
+	cfg := Optimized().WithTuning(blas.Tuning{})
+	g := cfg.Gemm.(blas.TallSkinny)
+	if g.ColBlock != 0 || g.SyrkBlock != 0 {
+		t.Fatalf("zero tuning must leave kernel blocks zero: %+v", g)
+	}
+}

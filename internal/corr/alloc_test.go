@@ -1,0 +1,102 @@
+package corr
+
+import (
+	"context"
+	"testing"
+
+	"fcma/internal/tensor"
+)
+
+// A warm merged pipeline must not allocate per run when serial: every
+// scratch block is pooled, the instruments are cached, and the serial
+// driver spawns no goroutines. This pin is the contract fcma-serve's
+// steady state depends on — any new per-item allocation in the hot path
+// fails it.
+func TestMergedRunIntoAllocsPerRunZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	d := testDataset(t)
+	st, err := BuildEpochStack(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Workers: 1, Merged: true, ColBlock: 16, VoxBlock: 4}
+	V := 8
+	buf := tensor.NewMatrix(V*st.M(), st.N)
+	ctx := context.Background()
+	if err := p.RunInto(ctx, st, 0, V, buf); err != nil { // warm pools + instruments
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		if err := p.RunInto(ctx, st, 0, V, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("warm merged RunInto allocates %v per run, want 0", n)
+	}
+}
+
+// The separated path shares the same pooled scratch; pin it too.
+func TestSeparatedRunIntoAllocsPerRunZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	d := testDataset(t)
+	st, err := BuildEpochStack(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Workers: 1}
+	V := 8
+	buf := tensor.NewMatrix(V*st.M(), st.N)
+	ctx := context.Background()
+	if err := p.RunInto(ctx, st, 0, V, buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		if err := p.RunInto(ctx, st, 0, V, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("warm separated RunInto allocates %v per run, want 0", n)
+	}
+}
+
+// RunInto must be exactly RunContext minus the buffer allocation.
+func TestRunIntoMatchesRunContext(t *testing.T) {
+	d := testDataset(t)
+	st, err := BuildEpochStack(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, merged := range []bool{false, true} {
+		p := &Pipeline{Workers: 2, Merged: merged, ColBlock: 13, VoxBlock: 3}
+		want, err := p.RunContext(context.Background(), st, 4, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tensor.NewMatrix(9*st.M(), st.N)
+		if err := p.RunInto(context.Background(), st, 4, 9, got); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("merged=%v: RunInto diverges from RunContext (max diff %g)", merged, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+func TestRunIntoRejectsWrongShape(t *testing.T) {
+	d := testDataset(t)
+	st, err := BuildEpochStack(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pipeline{Workers: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong buffer shape")
+		}
+	}()
+	_ = p.RunInto(context.Background(), st, 0, 4, tensor.NewMatrix(3, st.N))
+}

@@ -2,8 +2,8 @@ package corr
 
 import (
 	"context"
-	"math"
 	"runtime"
+	"sync"
 
 	"fcma/internal/blas"
 	"fcma/internal/norm"
@@ -18,11 +18,16 @@ import (
 // transform and z-score within subject, and emit the voxel-grouped
 // interleaved buffer of Fig. 4 (voxel v's M correlation vectors are rows
 // [v·M, (v+1)·M) of the output).
+//
+// Pipelines are used by pointer and must not be copied after first use
+// (they cache their observability instruments behind a sync.Once).
 type Pipeline struct {
 	// Gemm is the matrix kernel for the correlation products; nil selects
 	// the paper's tall-skinny kernel.
 	Gemm blas.Sgemm
-	// Workers bounds goroutine parallelism; 0 means GOMAXPROCS.
+	// Workers bounds goroutine parallelism; 0 means GOMAXPROCS. Workers=1
+	// takes a serial fast path with no goroutines and no per-item heap
+	// traffic (see RunInto).
 	Workers int
 	// Merged selects the fused stage-1+2 variant (paper §4.3): each
 	// correlation block is normalized while cache resident instead of in
@@ -32,14 +37,32 @@ type Pipeline struct {
 	// blas.DefaultColBlock.
 	ColBlock int
 	// VoxBlock is the number of assigned voxels processed together per
-	// merged block (the B voxels of Fig. 5); 0 means 8. Larger blocks
-	// amortize the stream over the wide operand; smaller blocks keep the
-	// working set cache resident.
+	// merged block (the B voxels of Fig. 5); 0 means DefaultVoxBlock.
+	// Larger blocks amortize the stream over the wide operand; smaller
+	// blocks keep the working set cache resident.
 	VoxBlock int
 	// Obs receives stage timings and block counters (see DESIGN.md §10):
 	// stage_corr/*_seconds histograms plus corr_gemm_calls_total and
 	// corr_norm_blocks_total. Nil records to obs.Default().
 	Obs *obs.Registry
+
+	// instOnce/inst cache the resolved instruments: registry lookups
+	// build "stage_<name>_seconds" strings, which would otherwise put an
+	// allocation in every hot-path call.
+	instOnce sync.Once
+	inst     pipelineInst
+}
+
+// DefaultVoxBlock is the merged variant's default voxel-block height.
+const DefaultVoxBlock = 8
+
+// pipelineInst is the pipeline's resolved instrument set.
+type pipelineInst struct {
+	gemmCalls  *obs.Counter
+	normBlocks *obs.Counter
+	correlate  *obs.Histogram
+	normalize  *obs.Histogram
+	merged     *obs.Histogram
 }
 
 // obsReg resolves the metrics registry (nil field → process default).
@@ -50,11 +73,30 @@ func (p *Pipeline) obsReg() *obs.Registry {
 	return p.Obs
 }
 
+// instruments resolves and caches the pipeline's instruments.
+func (p *Pipeline) instruments() *pipelineInst {
+	p.instOnce.Do(func() {
+		reg := p.obsReg()
+		p.inst = pipelineInst{
+			gemmCalls:  reg.Counter("corr_gemm_calls_total"),
+			normBlocks: reg.Counter("corr_norm_blocks_total"),
+			correlate:  reg.Stage("corr/correlate"),
+			normalize:  reg.Stage("corr/normalize"),
+			merged:     reg.Stage("corr/merged"),
+		}
+	})
+	return &p.inst
+}
+
+// defaultGemm is the boxed default kernel, built once so resolving it per
+// run does not re-box the TallSkinny value into the interface.
+var defaultGemm blas.Sgemm = blas.TallSkinny{Workers: 1}
+
 func (p *Pipeline) gemm() blas.Sgemm {
 	if p.Gemm == nil {
 		// Worker parallelism is at the voxel/block level here, so the
 		// kernel itself runs single-threaded.
-		return blas.TallSkinny{Workers: 1}
+		return defaultGemm
 	}
 	return p.Gemm
 }
@@ -65,6 +107,20 @@ func (p *Pipeline) workers() int {
 	}
 	return p.Workers
 }
+
+// corrScratch is the pooled per-work-item state shared by every pipeline
+// path: the gather block, the merged local block, manual view headers
+// (a .View() call would allocate), and the normalization buffers. Pooled
+// as a pointer so Get/Put never box.
+type corrScratch struct {
+	A     tensor.Matrix
+	local tensor.Matrix
+	bview tensor.Matrix
+	cview tensor.Matrix
+	norm  norm.Scratch
+}
+
+var corrPool = sync.Pool{New: func() any { return new(corrScratch) }}
 
 // Run computes the normalized correlation buffer for assigned voxels
 // [v0, v0+V): a (V·M)×N matrix in voxel-grouped interleaved layout.
@@ -84,54 +140,96 @@ func (p *Pipeline) Run(st *EpochStack, v0, V int) *tensor.Matrix {
 // and returns ctx.Err(); a panic in any worker comes back as a
 // *safe.PipelineError.
 func (p *Pipeline) RunContext(ctx context.Context, st *EpochStack, v0, V int) (*tensor.Matrix, error) {
-	if p.Merged {
-		return p.runMerged(ctx, st, v0, V)
-	}
-	buf, err := p.computeCorrelations(ctx, st, v0, V)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.normalizeSeparated(ctx, st, buf, V); err != nil {
+	buf := tensor.NewMatrix(V*st.M(), st.N)
+	if err := p.RunInto(ctx, st, v0, V, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
 }
 
+// RunInto is RunContext writing into a caller-provided buffer — the
+// steady-state entry point: a caller that recycles buf across tasks pays
+// zero allocations per merged run when Workers is 1 (every scratch block
+// comes from a pool, and the serial path spawns no goroutines and builds
+// no closures; pinned by alloc_test.go).
+//
+// buf must be a compact (V·M())×N matrix; contents are overwritten.
+func (p *Pipeline) RunInto(ctx context.Context, st *EpochStack, v0, V int, buf *tensor.Matrix) error {
+	if buf.Rows != V*st.M() || buf.Cols != st.N || buf.Stride != buf.Cols {
+		panic("corr: RunInto buffer must be a compact (V*M)xN matrix")
+	}
+	if p.Merged {
+		return p.runMerged(ctx, st, v0, V, buf)
+	}
+	if err := p.computeCorrelations(ctx, st, v0, V, buf); err != nil {
+		return err
+	}
+	return p.normalizeSeparated(ctx, st, buf, V)
+}
+
 // computeCorrelations is the pure stage-1 computation (exported for tests
 // and instrumentation via ComputeCorrelations).
-func (p *Pipeline) computeCorrelations(ctx context.Context, st *EpochStack, v0, V int) (*tensor.Matrix, error) {
-	M, N := st.M(), st.N
-	buf := tensor.NewMatrix(V*M, N)
+//
+// Each stage below branches between a parallel driver and an inline serial
+// loop; the serial branches call item methods directly so no closure is
+// ever constructed on the single-worker path (closures handed to
+// parallelEpochs escape to the heap, and the steady-state alloc pin in
+// alloc_test.go requires zero).
+func (p *Pipeline) computeCorrelations(ctx context.Context, st *EpochStack, v0, V int, buf *tensor.Matrix) error {
+	M := st.M()
 	g := p.gemm()
-	reg := p.obsReg()
-	gemmCalls := reg.Counter("corr_gemm_calls_total")
-	timer := reg.Stage("corr/correlate").Start()
+	inst := p.instruments()
+	timer := inst.correlate.Start()
 	sctx, span := trace.StartSpan(ctx, "corr/correlate")
 	span.SetInt("v0", v0)
 	span.SetInt("voxels", V)
 	span.SetInt("epochs", M)
-	err := parallelEpochs(sctx, "corr/correlate", M, p.workers(), func(_ context.Context, e int) {
-		A := tensor.NewMatrix(V, st.T)
-		st.GatherAssigned(e, v0, V, A)
-		// Interleave epoch e's V×N product into every M-th row starting
-		// at row e — the cblas ldc trick from §3.2.
-		view := &tensor.Matrix{Rows: V, Cols: N, Stride: M * buf.Stride, Data: buf.Data[e*buf.Stride:]}
-		g.Gemm(view, A, st.Norm[e])
-		gemmCalls.Inc()
-	})
+	var err error
+	if p.workers() > 1 && M > 1 {
+		err = parallelEpochs(sctx, "corr/correlate", M, p.workers(), func(_ context.Context, e int) {
+			p.correlateEpoch(st, buf, g, inst, v0, V, e)
+		})
+	} else {
+		err = p.serialCorrelate(sctx, st, buf, g, inst, v0, V)
+	}
 	span.End()
 	timer.Stop()
-	if err != nil {
-		return nil, err
+	return err
+}
+
+// correlateEpoch computes epoch e's V×N correlation strip into buf.
+func (p *Pipeline) correlateEpoch(st *EpochStack, buf *tensor.Matrix, g blas.Sgemm, inst *pipelineInst, v0, V, e int) {
+	sc := corrPool.Get().(*corrScratch)
+	sc.A.Reuse(V, st.T)
+	st.GatherAssigned(e, v0, V, &sc.A)
+	// Interleave epoch e's V×N product into every M-th row starting at
+	// row e — the cblas ldc trick from §3.2.
+	sc.cview = tensor.Matrix{Rows: V, Cols: st.N, Stride: st.M() * buf.Stride, Data: buf.Data[e*buf.Stride:]}
+	g.Gemm(&sc.cview, &sc.A, st.Norm[e])
+	inst.gemmCalls.Inc()
+	corrPool.Put(sc)
+}
+
+func (p *Pipeline) serialCorrelate(ctx context.Context, st *EpochStack, buf *tensor.Matrix, g blas.Sgemm, inst *pipelineInst, v0, V int) (err error) {
+	defer func() {
+		if pe := safe.Recovered("corr/correlate", v0, V, recover()); pe != nil {
+			err = pe
+		}
+	}()
+	for e := 0; e < st.M(); e++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		p.correlateEpoch(st, buf, g, inst, v0, V, e)
 	}
-	return buf, nil
+	return nil
 }
 
 // ComputeCorrelations exposes stage 1 alone: raw Pearson correlations in
 // interleaved layout, before any normalization.
 func (p *Pipeline) ComputeCorrelations(st *EpochStack, v0, V int) *tensor.Matrix {
-	buf, err := p.computeCorrelations(context.Background(), st, v0, V)
-	if err != nil {
+	buf := tensor.NewMatrix(V*st.M(), st.N)
+	if err := p.computeCorrelations(context.Background(), st, v0, V, buf); err != nil {
 		panic(err)
 	}
 	return buf
@@ -140,21 +238,46 @@ func (p *Pipeline) ComputeCorrelations(st *EpochStack, v0, V int) *tensor.Matrix
 // normalizeSeparated is the unfused stage 2: a second full pass over the
 // correlation buffer applying Fisher + within-subject z-scoring.
 func (p *Pipeline) normalizeSeparated(ctx context.Context, st *EpochStack, buf *tensor.Matrix, V int) error {
-	M, N, E := st.M(), st.N, st.E
-	reg := p.obsReg()
-	normBlocks := reg.Counter("corr_norm_blocks_total")
-	timer := reg.Stage("corr/normalize").Start()
+	inst := p.instruments()
+	timer := inst.normalize.Start()
 	defer timer.Stop()
 	sctx, span := trace.StartSpan(ctx, "corr/normalize")
 	span.SetInt("voxels", V)
 	defer span.End()
-	return parallelEpochs(sctx, "corr/normalize", V, p.workers(), func(_ context.Context, v int) {
-		for s := 0; s < st.Subjects; s++ {
-			block := buf.Data[(v*M+s*E)*buf.Stride : (v*M+s*E+E-1)*buf.Stride+N]
-			normBlockStrided(block, E, N, buf.Stride)
-			normBlocks.Inc()
+	if p.workers() > 1 && V > 1 {
+		return parallelEpochs(sctx, "corr/normalize", V, p.workers(), func(_ context.Context, v int) {
+			p.normalizeVoxel(st, buf, inst, v)
+		})
+	}
+	return p.serialNormalize(sctx, st, buf, inst, V)
+}
+
+// normalizeVoxel applies Fisher + within-subject z-scoring to voxel v's
+// M rows of the separated buffer.
+func (p *Pipeline) normalizeVoxel(st *EpochStack, buf *tensor.Matrix, inst *pipelineInst, v int) {
+	M, N, E := st.M(), st.N, st.E
+	sc := corrPool.Get().(*corrScratch)
+	for s := 0; s < st.Subjects; s++ {
+		block := buf.Data[(v*M+s*E)*buf.Stride : (v*M+s*E+E-1)*buf.Stride+N]
+		sc.norm.FisherThenZScoreStrided(block, E, N, buf.Stride)
+		inst.normBlocks.Inc()
+	}
+	corrPool.Put(sc)
+}
+
+func (p *Pipeline) serialNormalize(ctx context.Context, st *EpochStack, buf *tensor.Matrix, inst *pipelineInst, V int) (err error) {
+	defer func() {
+		if pe := safe.Recovered("corr/normalize", 0, V, recover()); pe != nil {
+			err = pe
 		}
-	})
+	}()
+	for v := 0; v < V; v++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		p.normalizeVoxel(st, buf, inst, v)
+	}
+	return nil
 }
 
 // runMerged fuses stages 1 and 2: correlations for a block of voxels are
@@ -163,25 +286,22 @@ func (p *Pipeline) normalizeSeparated(ctx context.Context, st *EpochStack, buf *
 // cache resident, then written to the output buffer exactly once. The
 // wide operand is streamed once per voxel *block*, not per voxel (Fig. 5's
 // B voxels per thread).
-func (p *Pipeline) runMerged(ctx context.Context, st *EpochStack, v0, V int) (*tensor.Matrix, error) {
-	M, N, E, T := st.M(), st.N, st.E, st.T
-	buf := tensor.NewMatrix(V*M, N)
+func (p *Pipeline) runMerged(ctx context.Context, st *EpochStack, v0, V int, buf *tensor.Matrix) error {
+	N := st.N
 	cb := p.ColBlock
 	if cb <= 0 {
 		cb = blas.DefaultColBlock
 	}
 	vb := p.VoxBlock
 	if vb <= 0 {
-		vb = 8
+		vb = DefaultVoxBlock
 	}
 	if vb > V {
 		vb = V
 	}
 	g := p.gemm()
-	reg := p.obsReg()
-	gemmCalls := reg.Counter("corr_gemm_calls_total")
-	normBlocks := reg.Counter("corr_norm_blocks_total")
-	timer := reg.Stage("corr/merged").Start()
+	inst := p.instruments()
+	timer := inst.merged.Start()
 	defer timer.Stop()
 	sctx, span := trace.StartSpan(ctx, "corr/merged")
 	span.SetInt("v0", v0)
@@ -192,81 +312,68 @@ func (p *Pipeline) runMerged(ctx context.Context, st *EpochStack, v0, V int) (*t
 	// Work items are (voxel block, column block) pairs; each normalization
 	// population (one subject's E epochs of one voxel) lives entirely
 	// inside one item, so items are independent.
-	err := parallelEpochs(sctx, "corr/merged", vBlocks*nBlocks, p.workers(), func(_ context.Context, item int) {
-		vblk := item / nBlocks
-		b := item % nBlocks
-		vs := vblk * vb
-		vh := min(vb, V-vs)
-		j0 := b * cb
-		w := min(cb, N-j0)
-		// local holds vh×E rows of width w, grouped by voxel: row
-		// v·E+e is voxel v's epoch-e correlations within this subject.
-		local := tensor.NewMatrix(vh*E, w)
-		A := tensor.NewMatrix(vh, T)
-		for s := 0; s < st.Subjects; s++ {
-			for ei := 0; ei < E; ei++ {
-				e := s*E + ei
-				st.GatherAssigned(e, v0+vs, vh, A)
-				Bview := st.Norm[e].View(0, j0, T, w)
-				// Interleave this epoch's vh×w product into every E-th
-				// row of the scratch block.
-				cView := &tensor.Matrix{Rows: vh, Cols: w, Stride: E * local.Stride, Data: local.Data[ei*local.Stride:]}
-				g.Gemm(cView, A, Bview)
-				gemmCalls.Inc()
-			}
-			// Normalize each voxel's E×w sub-block in cache, then write
-			// it out once.
-			for v := 0; v < vh; v++ {
-				norm.FisherThenZScore(local.Data[v*E*local.Stride:(v*E+E-1)*local.Stride+w], E, w)
-				normBlocks.Inc()
-				for ei := 0; ei < E; ei++ {
-					dst := buf.Data[((vs+v)*M+s*E+ei)*buf.Stride+j0:]
-					copy(dst[:w], local.Row(v*E+ei))
-				}
-			}
-		}
-	})
-	if err != nil {
-		return nil, err
+	n := vBlocks * nBlocks
+	if p.workers() > 1 && n > 1 {
+		return parallelEpochs(sctx, "corr/merged", n, p.workers(), func(_ context.Context, item int) {
+			sc := corrPool.Get().(*corrScratch)
+			p.mergedItem(st, buf, g, inst, sc, v0, V, vb, cb, nBlocks, item)
+			corrPool.Put(sc)
+		})
 	}
-	return buf, nil
+	return p.serialMerged(sctx, st, buf, g, inst, v0, V, vb, cb, nBlocks, n)
 }
 
-// normBlockStrided applies Fisher + z-scoring to an E×N block whose rows
-// are stride apart in data (the separated pass works on the full-width
-// buffer in place).
-//
-//lint:allow f32purity float64 moment accumulation (E[X²]−E[X]²) needs the headroom; scale/shift re-enter float32
-func normBlockStrided(data []float32, rows, cols, stride int) {
-	sum := make([]float64, cols)
-	sumSq := make([]float64, cols)
-	for i := 0; i < rows; i++ {
-		row := data[i*stride : i*stride+cols]
-		for j, v := range row {
-			z := norm.FisherZ(v)
-			row[j] = z
-			f := float64(z)
-			sum[j] += f
-			sumSq[j] += f * f
+func (p *Pipeline) serialMerged(ctx context.Context, st *EpochStack, buf *tensor.Matrix, g blas.Sgemm, inst *pipelineInst, v0, V, vb, cb, nBlocks, n int) (err error) {
+	defer func() {
+		if pe := safe.Recovered("corr/merged", v0, V, recover()); pe != nil {
+			err = pe
 		}
-	}
-	n := float64(rows)
-	scale := make([]float32, cols)
-	shift := make([]float32, cols)
-	for j := range sum {
-		mean := sum[j] / n
-		variance := sumSq[j]/n - mean*mean
-		if variance <= 0 {
-			continue
+	}()
+	sc := corrPool.Get().(*corrScratch)
+	defer corrPool.Put(sc)
+	for item := 0; item < n; item++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
 		}
-		inv := 1 / math.Sqrt(variance)
-		scale[j] = float32(inv)
-		shift[j] = float32(mean * inv)
+		p.mergedItem(st, buf, g, inst, sc, v0, V, vb, cb, nBlocks, item)
 	}
-	for i := 0; i < rows; i++ {
-		row := data[i*stride : i*stride+cols]
-		for j, v := range row {
-			row[j] = v*scale[j] - shift[j]
+	return nil
+}
+
+// mergedItem computes one (voxel block × column block) unit of the merged
+// pipeline into buf using the pooled scratch sc.
+func (p *Pipeline) mergedItem(st *EpochStack, buf *tensor.Matrix, g blas.Sgemm, inst *pipelineInst, sc *corrScratch, v0, V, vb, cb, nBlocks, item int) {
+	M, N, E, T := st.M(), st.N, st.E, st.T
+	vblk := item / nBlocks
+	b := item % nBlocks
+	vs := vblk * vb
+	vh := min(vb, V-vs)
+	j0 := b * cb
+	w := min(cb, N-j0)
+	// local holds vh×E rows of width w, grouped by voxel: row v·E+e is
+	// voxel v's epoch-e correlations within this subject.
+	sc.local.Reuse(vh*E, w)
+	sc.A.Reuse(vh, T)
+	for s := 0; s < st.Subjects; s++ {
+		for ei := 0; ei < E; ei++ {
+			e := s*E + ei
+			st.GatherAssigned(e, v0+vs, vh, &sc.A)
+			sc.bview = tensor.Matrix{Rows: T, Cols: w, Stride: st.Norm[e].Stride, Data: st.Norm[e].Data[j0:]}
+			// Interleave this epoch's vh×w product into every E-th row
+			// of the scratch block.
+			sc.cview = tensor.Matrix{Rows: vh, Cols: w, Stride: E * sc.local.Stride, Data: sc.local.Data[ei*sc.local.Stride:]}
+			g.Gemm(&sc.cview, &sc.A, &sc.bview)
+			inst.gemmCalls.Inc()
+		}
+		// Normalize each voxel's E×w sub-block in cache, then write it
+		// out once.
+		for v := 0; v < vh; v++ {
+			sc.norm.FisherThenZScoreStrided(sc.local.Data[v*E*sc.local.Stride:], E, w, sc.local.Stride)
+			inst.normBlocks.Inc()
+			for ei := 0; ei < E; ei++ {
+				dst := buf.Data[((vs+v)*M+s*E+ei)*buf.Stride+j0:]
+				copy(dst[:w], sc.local.Row(v*E+ei))
+			}
 		}
 	}
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package corr
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package corr
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// its shadow-memory bookkeeping allocates, so the alloc pins are skipped.
+const raceEnabled = true

@@ -1,0 +1,114 @@
+package mic
+
+// Kernel blocking hints derived from the machine geometry. These are the
+// candidate sets the blas autotuner measures (ROADMAP "cache-autotuned
+// float32 kernels"): pure arithmetic over the modeled cache sizes — no
+// clocks, no measurement — so the same Config always yields the same
+// candidates. The tuner, not the model, decides the winner.
+
+// colBlockQuantum keeps gemm column blocks line- and lane-aligned: 256
+// float32 values is 1KB, sixteen 64-byte lines, a whole number of vector
+// registers on every modeled machine.
+const colBlockQuantum = 256
+
+// GemmColBlockCandidates returns candidate column-block widths (in float32
+// elements) for the tall-skinny gemm C[m×n] = A[m×k]·B[k×n] with tiny
+// inner dimension k. A block's working set is the k B-row segments being
+// streamed, the pair of C accumulator strips the register kernel walks,
+// and two strips of slack for the A panel and the prefetch streams,
+// ≈ 4·(k+4)·width bytes; candidates size that footprint to L1, half L2,
+// and L2 — the paper's §4.2 design point (4096 columns on the coprocessor,
+// 12 time points against a 512KB L2) falls out of the half-L2 fit exactly.
+func (c Config) GemmColBlockCandidates(k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	rows := k + 4
+	fit := func(bytes int) int {
+		w := bytes / (4 * rows)
+		w -= w % colBlockQuantum
+		if w < colBlockQuantum {
+			w = colBlockQuantum
+		}
+		return w
+	}
+	return dedupSorted([]int{
+		fit(c.L1Size),
+		fit(c.L2Size / 2),
+		fit(c.L2Size),
+	})
+}
+
+// SyrkBlockCandidates returns candidate long-dimension block widths for
+// the tall-skinny syrk C[m×m] = A[m×n]·Aᵀ. Each block stages a transposed
+// w×m panel (4·w·m bytes) next to the m×m accumulator (4·m² bytes);
+// candidates size panel+accumulator to L1, half L2, and L2, rounded to the
+// machine's vector width (the paper's 96 is an integral multiple of the
+// coprocessor's 16 lanes).
+func (c Config) SyrkBlockCandidates(m int) []int {
+	if m < 1 {
+		m = 1
+	}
+	lanes := c.VectorLanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	fit := func(bytes int) int {
+		w := (bytes - 4*m*m) / (4 * m)
+		w -= w % lanes
+		if w < lanes {
+			w = lanes
+		}
+		return w
+	}
+	return dedupSorted([]int{
+		fit(c.L1Size),
+		fit(c.L2Size / 2),
+		fit(c.L2Size),
+	})
+}
+
+// MergedVoxBlockCandidates returns candidate voxel-block heights for the
+// merged correlation pipeline (Fig. 5's B voxels per thread). A merged
+// work item's scratch block holds voxBlock·epochs rows of colBlock float32
+// columns; candidates keep that block at half L2, L2, and 2×L2 so the
+// fused normalization runs over cache-resident rows while larger blocks
+// amortize the wide-operand stream over more voxels.
+func (c Config) MergedVoxBlockCandidates(epochs, colBlock int) []int {
+	if epochs < 1 {
+		epochs = 1
+	}
+	if colBlock < 1 {
+		colBlock = 1
+	}
+	fit := func(bytes int) int {
+		v := bytes / (4 * epochs * colBlock)
+		v -= v % 2
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	return dedupSorted([]int{
+		fit(c.L2Size / 2),
+		fit(c.L2Size),
+		fit(2 * c.L2Size),
+	})
+}
+
+// dedupSorted sorts candidates ascending and removes duplicates (adjacent
+// cache fits often collapse to the same rounded block size).
+func dedupSorted(xs []int) []int {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package mic
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestGemmColBlockCandidates(t *testing.T) {
+	for _, cfg := range []Config{XeonPhi5110P(), XeonE5_2670(), XeonPhiKNL()} {
+		got := cfg.GemmColBlockCandidates(12)
+		if len(got) == 0 {
+			t.Fatalf("%s: no candidates", cfg.Name)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("%s: candidates not sorted: %v", cfg.Name, got)
+		}
+		for i, w := range got {
+			if w < colBlockQuantum || w%colBlockQuantum != 0 {
+				t.Fatalf("%s: candidate %d = %d not a positive multiple of %d", cfg.Name, i, w, colBlockQuantum)
+			}
+			if i > 0 && got[i-1] == w {
+				t.Fatalf("%s: duplicate candidate %d: %v", cfg.Name, w, got)
+			}
+		}
+	}
+}
+
+func TestGemmColBlockCandidatesPhiCoversPaperDesignPoint(t *testing.T) {
+	// §4.2: 4096 columns on the coprocessor (512KB L2, 12 time points).
+	// The half-L2 fit must land within one quantum of the paper's choice.
+	got := XeonPhi5110P().GemmColBlockCandidates(12)
+	found := false
+	for _, w := range got {
+		if w >= 4096-colBlockQuantum && w <= 4096+colBlockQuantum {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("coprocessor candidates %v do not bracket the paper's 4096", got)
+	}
+}
+
+func TestSyrkBlockCandidates(t *testing.T) {
+	for _, cfg := range []Config{XeonPhi5110P(), XeonE5_2670(), XeonPhiKNL()} {
+		got := cfg.SyrkBlockCandidates(48)
+		if len(got) == 0 {
+			t.Fatalf("%s: no candidates", cfg.Name)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("%s: candidates not sorted: %v", cfg.Name, got)
+		}
+		for _, w := range got {
+			if w < cfg.VectorLanes || w%cfg.VectorLanes != 0 {
+				t.Fatalf("%s: candidate %d not a positive multiple of %d lanes", cfg.Name, w, cfg.VectorLanes)
+			}
+		}
+	}
+}
+
+func TestSyrkBlockCandidatesTinyCacheFloorsAtLanes(t *testing.T) {
+	cfg := XeonPhi5110P()
+	// A huge m makes every cache fit negative; candidates floor at the
+	// vector width instead of going nonpositive.
+	got := cfg.SyrkBlockCandidates(4096)
+	for _, w := range got {
+		if w != cfg.VectorLanes {
+			t.Fatalf("candidates %v should floor at %d lanes", got, cfg.VectorLanes)
+		}
+	}
+}
+
+func TestMergedVoxBlockCandidates(t *testing.T) {
+	for _, cfg := range []Config{XeonPhi5110P(), XeonE5_2670(), XeonPhiKNL()} {
+		got := cfg.MergedVoxBlockCandidates(12, 4096)
+		if len(got) == 0 {
+			t.Fatalf("%s: no candidates", cfg.Name)
+		}
+		for _, v := range got {
+			if v < 2 || v%2 != 0 {
+				t.Fatalf("%s: candidate %d not a positive multiple of 2", cfg.Name, v)
+			}
+		}
+	}
+}
+
+func TestCandidatesAreDeterministic(t *testing.T) {
+	cfg := XeonE5_2670()
+	a := cfg.GemmColBlockCandidates(12)
+	b := cfg.GemmColBlockCandidates(12)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("candidate generation must be deterministic")
+		}
+	}
+}
+
+func TestDegenerateArgsDoNotPanic(t *testing.T) {
+	cfg := XeonE5_2670()
+	cfg.GemmColBlockCandidates(0)
+	cfg.SyrkBlockCandidates(0)
+	cfg.MergedVoxBlockCandidates(0, 0)
+}

@@ -1,0 +1,90 @@
+package norm
+
+import "math"
+
+// Scratch carries the per-column moment and scaling buffers the fused
+// normalization needs, so a hot caller (the merged correlation pipeline)
+// can reuse them across blocks instead of allocating four slices per call.
+// The zero value is ready to use; buffers grow to the widest block seen.
+//
+//lint:allow f32purity float64 moment accumulation (E[X²]−E[X]²) needs the headroom; scale/shift re-enter float32
+type Scratch struct {
+	sum, sumSq   []float64
+	scale, shift []float32
+}
+
+// grow sizes the buffers for cols columns, reusing capacity when possible.
+//
+//lint:allow f32purity float64 moment accumulators per the paper's §4.3
+func (s *Scratch) grow(cols int) {
+	if cap(s.sum) < cols {
+		s.sum = make([]float64, cols)
+		s.sumSq = make([]float64, cols)
+		s.scale = make([]float32, cols)
+		s.shift = make([]float32, cols)
+		return
+	}
+	s.sum = s.sum[:cols]
+	s.sumSq = s.sumSq[:cols]
+	s.scale = s.scale[:cols]
+	s.shift = s.shift[:cols]
+	for j := range s.sum {
+		s.sum[j], s.sumSq[j] = 0, 0
+	}
+}
+
+// FisherThenZScore is the package-level FisherThenZScore using the
+// scratch's buffers: Fisher-transform then column-z-score a compact
+// rows×cols block in place, allocation-free once the scratch is warm.
+func (s *Scratch) FisherThenZScore(data []float32, rows, cols int) {
+	s.FisherThenZScoreStrided(data, rows, cols, cols)
+}
+
+// FisherThenZScoreStrided is FisherThenZScore over a block whose rows are
+// stride elements apart in data (stride >= cols), the in-place layout of
+// the merged pipeline's interleaved scratch blocks.
+//
+//lint:allow f32purity float64 moment accumulation per the paper's §4.3; scale/shift re-enter float32
+func (s *Scratch) FisherThenZScoreStrided(data []float32, rows, cols, stride int) {
+	if rows == 0 || cols == 0 {
+		return
+	}
+	if stride < cols {
+		panic("norm: stride shorter than cols")
+	}
+	if len(data) < (rows-1)*stride+cols {
+		panic("norm: block shorter than rows*stride")
+	}
+	s.grow(cols)
+	sum, sumSq := s.sum, s.sumSq
+	for i := 0; i < rows; i++ {
+		row := data[i*stride : i*stride+cols]
+		for j, v := range row {
+			z := FisherZ(v)
+			row[j] = z
+			f := float64(z)
+			sum[j] += f
+			sumSq[j] += f * f
+		}
+	}
+	n := float64(rows)
+	scale, shift := s.scale, s.shift
+	for j := range sum {
+		mean := sum[j] / n
+		variance := sumSq[j]/n - mean*mean
+		if variance <= 0 {
+			// Explicit reset: the buffers are reused across blocks.
+			scale[j], shift[j] = 0, 0
+			continue
+		}
+		inv := 1 / math.Sqrt(variance)
+		scale[j] = float32(inv)
+		shift[j] = float32(mean * inv)
+	}
+	for i := 0; i < rows; i++ {
+		row := data[i*stride : i*stride+cols]
+		for j, v := range row {
+			row[j] = v*scale[j] - shift[j]
+		}
+	}
+}

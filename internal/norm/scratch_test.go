@@ -1,0 +1,100 @@
+package norm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomBlock(rng *rand.Rand, n int) []float32 {
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = rng.Float32()*2 - 1
+	}
+	return xs
+}
+
+func TestScratchMatchesPackageFunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(32)
+		a := randomBlock(rng, rows*cols)
+		b := append([]float32(nil), a...)
+		FisherThenZScore(a, rows, cols)
+		var s Scratch
+		s.FisherThenZScore(b, rows, cols)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: scratch result diverges at %d: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestScratchStridedMatchesCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows, cols, stride := 6, 10, 17
+	strided := randomBlock(rng, (rows-1)*stride+cols)
+	compact := make([]float32, rows*cols)
+	for i := 0; i < rows; i++ {
+		copy(compact[i*cols:(i+1)*cols], strided[i*stride:i*stride+cols])
+	}
+	FisherThenZScore(compact, rows, cols)
+	var s Scratch
+	s.FisherThenZScoreStrided(strided, rows, cols, stride)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if compact[i*cols+j] != strided[i*stride+j] {
+				t.Fatalf("(%d,%d): strided %v vs compact %v", i, j, strided[i*stride+j], compact[i*cols+j])
+			}
+		}
+	}
+}
+
+// A reused scratch must not leak the previous block's scale/shift into a
+// zero-variance column (the fresh-allocation version got zeros for free).
+func TestScratchReuseResetsZeroVarianceColumns(t *testing.T) {
+	var s Scratch
+	rng := rand.New(rand.NewSource(5))
+	s.FisherThenZScore(randomBlock(rng, 4*8), 4, 8)
+	// Constant columns: zero variance after Fisher, so output must be 0.
+	flat := make([]float32, 4*8)
+	for i := range flat {
+		flat[i] = 0.5
+	}
+	s.FisherThenZScore(flat, 4, 8)
+	for i, v := range flat {
+		if v != 0 {
+			t.Fatalf("zero-variance column leaked stale scaling at %d: %v", i, v)
+		}
+	}
+}
+
+func TestScratchAllocsPerRunZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := randomBlock(rng, 12*256)
+	var s Scratch
+	s.FisherThenZScore(data, 12, 256) // warm
+	if n := testing.AllocsPerRun(20, func() { s.FisherThenZScoreStrided(data, 12, 256, 256) }); n != 0 {
+		t.Fatalf("warm scratch allocates %v per run, want 0", n)
+	}
+}
+
+func TestScratchStrideValidation(t *testing.T) {
+	var s Scratch
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"stride<cols", func() { s.FisherThenZScoreStrided(make([]float32, 64), 2, 8, 4) }},
+		{"short data", func() { s.FisherThenZScoreStrided(make([]float32, 10), 2, 8, 8) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}

@@ -113,6 +113,7 @@ func (s *Service) attempt(ctx context.Context, job *Job, spec JobSpec) error {
 	if spec.Engine == "baseline" {
 		cfg = core.Baseline()
 	}
+	cfg = cfg.WithTuning(s.opts.Tuning)
 	cfg.Workers = s.opts.Workers
 	cfg.Obs = s.reg
 	worker, err := core.NewWorker(cfg, stack, folds)

@@ -80,6 +80,24 @@ func (m *Matrix) View(i, j, r, c int) *Matrix {
 	}
 }
 
+// Reuse reshapes m in place into a compact r×c matrix (Stride == Cols),
+// reusing the backing slice when its capacity suffices and reallocating
+// otherwise. Element contents are unspecified after the call — callers
+// must fully overwrite (or Zero) the matrix before reading it. It is the
+// building block of the kernel scratch pools: a pooled matrix Reuse()d to
+// the current work item's shape costs nothing once the pool is warm.
+func (m *Matrix) Reuse(r, c int) {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", r, c))
+	}
+	need := r * c
+	if cap(m.Data) < need {
+		m.Data = make([]float32, need)
+	}
+	m.Data = m.Data[:need]
+	m.Rows, m.Cols, m.Stride = r, c, c
+}
+
 // Clone returns a deep copy of m with a compact (Stride == Cols) layout.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)

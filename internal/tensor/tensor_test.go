@@ -303,3 +303,32 @@ func TestEqualShapeMismatch(t *testing.T) {
 		t.Fatal("different shapes compare approx equal")
 	}
 }
+
+func TestReuseReshapesInPlace(t *testing.T) {
+	m := NewMatrix(4, 6)
+	data := &m.Data[0]
+	m.Reuse(3, 8)
+	if m.Rows != 3 || m.Cols != 8 || m.Stride != 8 || len(m.Data) != 24 {
+		t.Fatalf("reuse shape: %dx%d stride %d len %d", m.Rows, m.Cols, m.Stride, len(m.Data))
+	}
+	if &m.Data[0] != data {
+		t.Fatal("reuse within capacity must keep the backing slice")
+	}
+	m.Reuse(10, 10)
+	if m.Rows != 10 || m.Cols != 10 || len(m.Data) != 100 {
+		t.Fatalf("reuse grow: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Reuse(0, 5)
+	if m.Rows != 0 || m.Cols != 5 || len(m.Data) != 0 {
+		t.Fatalf("reuse empty: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+}
+
+func TestReuseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 2).Reuse(-1, 2)
+}

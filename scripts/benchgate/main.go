@@ -1,0 +1,70 @@
+// Command benchgate compares a freshly measured BENCH_*.json summary
+// against the committed baseline and fails when wall-clock time regresses
+// past an allowed ratio. It is the teeth of `make bench-smoke`: the
+// committed numbers in bench/ are a floor the tree must not fall through.
+//
+// The gate is deliberately loose (default 2× plus a fixed slack) because
+// CI machines are noisy and shared; it catches accidental algorithmic
+// regressions (a kernel falling off its fast path, an O(n²) slip), not
+// single-digit-percent drift. Comparisons are scale-aware: if the two
+// summaries measured different problem scales the gate notes that and
+// passes, rather than comparing incomparable runs.
+//
+// Usage:
+//
+//	benchgate -baseline bench/BENCH_fcma-bench.json -fresh out/BENCH_fcma-bench.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fcma/internal/obs"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline BENCH_*.json")
+	freshPath := flag.String("fresh", "", "freshly measured BENCH_*.json")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when fresh elapsed exceeds baseline elapsed times this ratio")
+	slack := flag.Duration("slack", time.Second, "fixed grace added to the allowed elapsed time (absorbs noise on sub-second baselines)")
+	flag.Parse()
+	if *baselinePath == "" || *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -fresh are required")
+		os.Exit(2)
+	}
+	if *maxRatio <= 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: -max-ratio must be positive")
+		os.Exit(2)
+	}
+
+	base, err := obs.ReadBenchFile(*baselinePath)
+	fail(err)
+	fresh, err := obs.ReadBenchFile(*freshPath)
+	fail(err)
+
+	if base.Name != fresh.Name {
+		fail(fmt.Errorf("comparing different benchmarks: baseline %q vs fresh %q", base.Name, fresh.Name))
+	}
+	if bs, fs := base.Params["scale"], fresh.Params["scale"]; bs != fs {
+		fmt.Printf("benchgate: %s: scale %q vs baseline %q — not comparable, skipping\n", fresh.Name, fs, bs)
+		return
+	}
+
+	allowed := base.ElapsedSeconds**maxRatio + slack.Seconds()
+	if fresh.ElapsedSeconds > allowed {
+		fmt.Fprintf(os.Stderr, "benchgate: %s REGRESSED: %.3fs vs baseline %.3fs (limit %.3fs = %.1fx + %s)\n",
+			fresh.Name, fresh.ElapsedSeconds, base.ElapsedSeconds, allowed, *maxRatio, *slack)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %s ok: %.3fs vs baseline %.3fs (limit %.3fs)\n",
+		fresh.Name, fresh.ElapsedSeconds, base.ElapsedSeconds, allowed)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
