@@ -94,7 +94,7 @@ chaos-soak:
 # socket, real SIGTERM. Asserts submit/poll/result over the wire, a clean
 # exit-0 drain, and journal removal.
 serve-smoke:
-	./scripts/serve-smoke.sh
+	SERVE_SMOKE_OUT=$(SERVEDIR) ./scripts/serve-smoke.sh
 
 # Short native-fuzz pass over the untrusted-input parsers (NIfTI headers
 # and epoch files). FUZZTIME bounds each target's run.

@@ -157,7 +157,7 @@ func main() {
 			fail(fmt.Errorf("-resume needs -journal"))
 		}
 		if *journal != "" {
-			jn, err = cluster.OpenJournalFS(plan.FS(chaos.OS()), *journal)
+			jn, err = cluster.OpenJournalObservedFS(plan.FS(chaos.OS()), *journal, obs.Default())
 			fail(err)
 			switch {
 			case jn.Done() > 0:

@@ -33,6 +33,7 @@ import (
 	"fcma/internal/blas"
 	"fcma/internal/chaos"
 	"fcma/internal/obs"
+	"fcma/internal/obs/trace"
 	"fcma/internal/safe"
 	"fcma/internal/serve"
 )
@@ -61,6 +62,7 @@ func main() {
 	chaosSchedDelay := flag.Float64("chaos-sched-delay", 0, "probability a chunk boundary is delayed")
 	logFormat := flag.String("log-format", "text", `status log format: "text" or "json"`)
 	flightOut := flag.String("flight-out", "", "write flight-recorder crash dumps to this file instead of stderr (created only if a dump fires)")
+	traceOut := flag.String("trace-out", "", "write a Chrome-trace JSON timeline of every request and job (HTTP, WAL, kernel spans) here on drain")
 	flag.Parse()
 
 	logger := obs.BootstrapCLI("fcma-serve", *logFormat, *flightOut)
@@ -96,6 +98,10 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New(0)
+	}
 	svc, err := serve.New(serve.Options{
 		Dir:         *dir,
 		QueueCap:    *queueCap,
@@ -109,6 +115,7 @@ func main() {
 		JobTimeout:  *jobTimeout,
 		JobRetries:  *jobRetries,
 		Obs:         reg,
+		Trace:       tracer,
 		Chaos:       plan,
 		FS:          fsys,
 		Log:         logger,
@@ -117,8 +124,9 @@ func main() {
 
 	// One server carries both planes: the job API and the observability
 	// endpoints (readiness comes from the service, so /readyz flips the
-	// moment a drain starts).
-	mux := obs.NewMux(reg.Snapshot, svc.Readiness())
+	// moment a drain starts). /metrics serves the service's merged view —
+	// registry plus queue gauges plus absorbed per-job pipeline metrics.
+	mux := obs.NewMux(svc.MetricsSnapshot, svc.Readiness())
 	mux.Handle("/api/v1/", svc.Handler())
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	ln, err := net.Listen("tcp", *listen)
@@ -165,7 +173,21 @@ func main() {
 		logger.Error("http shutdown failed", "err", err)
 		os.Exit(1)
 	}
+	if *traceOut != "" {
+		writeTrace(logger, *traceOut, tracer.Drain())
+	}
 	logger.Info("drained clean; exiting")
+}
+
+// writeTrace renders the drained span set as Chrome-trace JSON — one
+// Perfetto timeline covering every request root, job span, WAL append,
+// and kernel span the server recorded.
+func writeTrace(logger *slog.Logger, path string, spans []trace.Span) {
+	f, err := os.Create(path)
+	fail(err)
+	fail(trace.WriteChrome(f, spans))
+	fail(f.Close())
+	logger.Info("wrote trace", "path", path, "spans", len(spans))
 }
 
 // parseKillChunks parses the comma-separated cumulative chunk counts of

@@ -59,8 +59,16 @@ func OpenJournal(path string) (*Journal, error) {
 // chaos tests can inject torn writes, ENOSPC, and slow fsync into every
 // durability decision the journal makes.
 func OpenJournalFS(fsys chaos.FS, path string) (*Journal, error) {
+	return OpenJournalObservedFS(fsys, path, nil)
+}
+
+// OpenJournalObservedFS is OpenJournalFS with WAL-level instrumentation:
+// append/fsync latency histograms, byte/record counters, and replay
+// duration + records-replayed recorded into reg under the log="cluster"
+// label. A nil reg records nothing.
+func OpenJournalObservedFS(fsys chaos.FS, path string, reg *obs.Registry) (*Journal, error) {
 	j := &Journal{completed: make(map[int]float64)}
-	log, err := wal.Open(fsys, path, journalMagic, journalMaxRecord, j.apply)
+	log, err := wal.OpenObserved(fsys, path, journalMagic, journalMaxRecord, j.apply, reg, "cluster")
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}

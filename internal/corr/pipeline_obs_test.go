@@ -121,7 +121,7 @@ func TestGemmCallCounterMatchesPrediction(t *testing.T) {
 	}
 
 	// Stage timers recorded under the right names.
-	for reg, stage := range map[*obs.Registry]string{sepReg: "stage_corr/correlate_seconds", merReg: "stage_corr/merged_seconds"} {
+	for reg, stage := range map[*obs.Registry]string{sepReg: "stage_corr_correlate_seconds", merReg: "stage_corr_merged_seconds"} {
 		snap := reg.Snapshot()
 		h, ok := snap.Hists[stage]
 		if !ok || h.Count == 0 {

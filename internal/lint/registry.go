@@ -16,5 +16,6 @@ func All() []*Analyzer {
 		DeferUnlock,
 		FsyncRename,
 		HTTPTimeouts,
+		ObsNames,
 	}
 }

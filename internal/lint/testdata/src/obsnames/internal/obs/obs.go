@@ -1,0 +1,44 @@
+// Package obs mirrors the real registry's instrument-creation surface so
+// the obsnames fixture exercises name checking through real method
+// resolution.
+package obs
+
+// Label is one key=value dimension on a labeled series.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonic count.
+type Counter struct{ v uint64 }
+
+// Gauge is a value that goes up and down.
+type Gauge struct{ v float64 }
+
+// Histogram is a bucketed latency/size distribution.
+type Histogram struct{ n uint64 }
+
+// Registry hands out named instruments.
+type Registry struct{}
+
+// Counter returns the named counter.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// CounterWith returns the labeled counter series.
+func (r *Registry) CounterWith(name string, labels ...Label) *Counter { return &Counter{} }
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// GaugeWith returns the labeled gauge series.
+func (r *Registry) GaugeWith(name string, labels ...Label) *Gauge { return &Gauge{} }
+
+// Histogram returns the named histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram { return &Histogram{} }
+
+// HistogramWith returns the labeled histogram series.
+func (r *Registry) HistogramWith(name string, bounds []float64, labels ...Label) *Histogram {
+	return &Histogram{}
+}
+
+// Stage returns the stage_<name>_seconds histogram, sanitizing "/".
+func (r *Registry) Stage(name string) *Histogram { return &Histogram{} }

@@ -1,0 +1,46 @@
+// Package pipeline exercises the metric naming conventions: snake_case,
+// subsystem prefixes, and per-kind suffixes, checked at every
+// instrument-creation call.
+package pipeline
+
+import "example.test/internal/obs"
+
+const suffixed = "pipeline_flushes" + "_total"
+
+// good creates conventionally named instruments — no findings.
+func good(reg *obs.Registry) {
+	reg.Counter("pipeline_tasks_total")
+	reg.CounterWith("pipeline_jobs_total", obs.Label{Key: "tenant", Value: "a"})
+	reg.Counter(suffixed) // constant folding still resolves the name
+	reg.Gauge("pipeline_queue_depth")
+	reg.GaugeWith("pipeline_inflight", obs.Label{Key: "route", Value: "/x"})
+	reg.Histogram("pipeline_wait_seconds", nil)
+	reg.Histogram("pipeline_chunk_bytes", nil)
+	reg.HistogramWith("pipeline_rpc_seconds", nil, obs.Label{Key: "peer", Value: "m"})
+	reg.Stage("corr/merged") // Stage sanitizes "/" itself
+	reg.Stage("svm_cv")
+}
+
+// bad violates one convention per call.
+func bad(reg *obs.Registry) {
+	reg.Counter("pipeline_tasks")             // want "is a counter and must end in _total"
+	reg.CounterWith("PipelineJobs_total")     // want "not lowercase snake_case"
+	reg.Counter("pipeline-tasks_total")       // want "not lowercase snake_case"
+	reg.Gauge("pipeline_done_total")          // want "is a gauge and must not end in _total"
+	reg.Gauge("depth")                        // want "lacks a subsystem prefix"
+	reg.Histogram("pipeline_wait", nil)       // want "must carry a unit suffix"
+	reg.HistogramWith("pipeline_rpc_ms", nil) // want "must carry a unit suffix"
+	reg.Stage("Corr/Merged")                  // want "not lowercase snake_case"
+	reg.Counter("_pipeline_tasks_total")      // want "must start with a lowercase letter"
+	reg.Histogram("corr/merged_seconds", nil) // want "not lowercase snake_case"
+}
+
+// dynamic names cannot be checked at compile time and pass through.
+func dynamic(reg *obs.Registry, state string) {
+	reg.Counter("pipeline_jobs_" + state + "_total")
+}
+
+// allowed documents a deliberate exception.
+func allowed(reg *obs.Registry) {
+	reg.Counter("legacy.dotted.name") //lint:allow obsnames pre-rename compatibility series kept one release
+}

@@ -18,6 +18,7 @@ package obs
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -256,7 +257,9 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 }
 
 // Stage returns the latency histogram "stage_<name>_seconds", the
-// conventional home of a pipeline stage's timing breakdown.
+// conventional home of a pipeline stage's timing breakdown. Stage names
+// may use "/" as a hierarchy separator ("corr/merged"); it is rewritten
+// to "_" so the metric name stays legal Prometheus.
 func (r *Registry) Stage(name string) *Histogram {
-	return r.Histogram("stage_"+name+"_seconds", nil)
+	return r.Histogram("stage_"+strings.ReplaceAll(name, "/", "_")+"_seconds", nil)
 }

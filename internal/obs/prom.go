@@ -7,7 +7,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"sort"
 	"strconv"
 	"time"
 )
@@ -24,9 +23,32 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	return writeProm(w, s)
 }
 
+// writeProm renders a snapshot, grouping labeled series (canonical keys
+// `family{k="v"}`, see SeriesName) under one # TYPE line per family.
+// Series are ordered by (family, label body) via sortSeriesKeys, so each
+// family is one contiguous block — deterministic output for tests and
+// clean diffing of scrapes.
 func writeProm(w io.Writer, s Snapshot) error {
-	for _, name := range s.CounterNames() {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+	typed := "" // family the last # TYPE line announced
+	announce := func(family, kind string) error {
+		if family == typed {
+			return nil
+		}
+		typed = family
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		return err
+	}
+	cnames := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		cnames = append(cnames, name)
+	}
+	sortSeriesKeys(cnames)
+	for _, name := range cnames {
+		family, _, _ := splitSeries(name)
+		if err := announce(family, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
@@ -34,9 +56,13 @@ func writeProm(w io.Writer, s Snapshot) error {
 	for name := range s.Gauges {
 		gnames = append(gnames, name)
 	}
-	sort.Strings(gnames)
+	sortSeriesKeys(gnames)
 	for _, name := range gnames {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name]); err != nil {
+		family, _, _ := splitSeries(name)
+		if err := announce(family, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", name, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
@@ -44,23 +70,39 @@ func writeProm(w io.Writer, s Snapshot) error {
 	for name := range s.Hists {
 		hnames = append(hnames, name)
 	}
-	sort.Strings(hnames)
+	sortSeriesKeys(hnames)
 	for _, name := range hnames {
 		h := s.Hists[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		family, labels, labeled := splitSeries(name)
+		if err := announce(family, "histogram"); err != nil {
 			return err
+		}
+		// Histogram sub-series put the family's labels first and le last:
+		// fam_bucket{tenant="a",le="0.5"}. An unlabeled family keeps the
+		// bare fam_sum / fam_count forms.
+		bucket := func(le string) string {
+			if labeled {
+				return fmt.Sprintf("%s_bucket{%s,le=%q}", family, labels, le)
+			}
+			return fmt.Sprintf("%s_bucket{le=%q}", family, le)
+		}
+		sub := func(suffix string) string {
+			if labeled {
+				return family + suffix + "{" + labels + "}"
+			}
+			return family + suffix
 		}
 		var cum uint64
 		for i, bound := range h.Bounds {
 			if i < len(h.Counts) {
 				cum += h.Counts[i]
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", bucket(formatBound(bound)), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
-			name, h.Count, name, h.Sum, name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n%s %g\n%s %d\n",
+			bucket("+Inf"), h.Count, sub("_sum"), h.Sum, sub("_count"), h.Count); err != nil {
 			return err
 		}
 	}
@@ -102,6 +144,7 @@ func NewMux(snap func() Snapshot, ready *Readiness) *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = writeBuildInfoProm(w)
+		_ = WriteRuntimeProm(w)
 		_ = snap().WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", handleHealthz)

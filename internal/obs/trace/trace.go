@@ -207,6 +207,18 @@ func (t *Tracer) StartChild(name string, parent SpanContext) *Active {
 	return t.start(name, parent, 0)
 }
 
+// StartTrace begins a root span under a fresh random trace id instead of
+// the tracer's ambient run trace — how a server gives each request/job
+// its own timeline inside one shared tracer. Children parented under the
+// returned span (via WithRemoteParent + StartSpan) inherit the new id.
+// Safe on a nil tracer (returns nil).
+func (t *Tracer) StartTrace(name string) *Active {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, SpanContext{Trace: TraceID(nonzero64())}, 0)
+}
+
 // Context returns the portable reference to the active span (zero when
 // the span is nil).
 func (a *Active) Context() SpanContext {

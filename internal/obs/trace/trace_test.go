@@ -157,6 +157,48 @@ func TestRemoteParent(t *testing.T) {
 	}
 }
 
+// StartTrace gives each request/job its own trace id inside one shared
+// tracer, and children parented under it inherit that id.
+func TestStartTraceFreshID(t *testing.T) {
+	tr := New(0)
+	a := tr.StartTrace("http GET /jobs")
+	b := tr.StartTrace("http GET /jobs")
+	if a.span.Trace == b.span.Trace {
+		t.Fatalf("two StartTrace roots share trace id %v", a.span.Trace)
+	}
+	if a.span.Trace == tr.TraceID() || a.span.Trace == 0 {
+		t.Fatalf("StartTrace id %v not fresh (ambient %v)", a.span.Trace, tr.TraceID())
+	}
+	if a.span.Parent != 0 {
+		t.Fatalf("StartTrace span has parent %v, want root", a.span.Parent)
+	}
+	ctx := WithRemoteParent(context.Background(), tr, a.Context())
+	_, child := StartSpan(ctx, "serve/job")
+	child.End()
+	b.End()
+	a.End()
+	for _, s := range tr.Drain() {
+		if s.Name == "serve/job" {
+			if s.Trace != a.span.Trace || s.Parent != a.span.ID {
+				t.Fatalf("child span %+v not under StartTrace root %v/%v", s, a.span.Trace, a.span.ID)
+			}
+			return
+		}
+	}
+	t.Fatal("child span not drained")
+}
+
+// A nil tracer's StartTrace stays a no-op.
+func TestStartTraceNil(t *testing.T) {
+	var tr *Tracer
+	a := tr.StartTrace("x")
+	a.SetAttr("k", "v")
+	a.End()
+	if a != nil {
+		t.Fatal("nil tracer returned non-nil active span")
+	}
+}
+
 // The disabled path must not allocate: kernels call StartSpan once per
 // block inside hot loops.
 func TestDisabledStartSpanZeroAllocs(t *testing.T) {

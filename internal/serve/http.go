@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"fcma/internal/core"
+	"fcma/internal/obs"
 )
 
 // maxUploadBytes bounds one dataset upload; bigger data belongs on the
@@ -31,17 +32,30 @@ const maxConcurrentUploads = 4
 //	GET    /api/v1/jobs/{id}/result  scores (200; 409 until done; 404)
 //	DELETE /api/v1/jobs/{id}     cancel (202; 409 when terminal)
 //	POST   /api/v1/datasets      upload content-addressed dataset (201)
+//	GET    /api/v1/stats         per-tenant accounting
 //
-// Observability endpoints (/metrics, /healthz, /readyz, pprof) are
-// mounted by the daemon via obs.NewMux on the same server.
+// Every route runs under the obs HTTP middleware: per-route RED metrics,
+// request ids (client X-Request-ID honored, one generated otherwise),
+// per-request trace roots, and structured access logs. Observability
+// endpoints (/metrics, /healthz, /readyz, pprof) are mounted by the
+// daemon via obs.NewMux on the same server.
 func (s *Service) Handler() http.Handler {
+	mw := obs.HTTPMiddleware{Reg: s.reg, Log: s.opts.Log, Tracer: s.tracer}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("POST /api/v1/datasets", s.handleUpload)
+	for _, r := range []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"POST /api/v1/jobs", s.handleSubmit},
+		{"GET /api/v1/jobs", s.handleList},
+		{"GET /api/v1/jobs/{id}", s.handleStatus},
+		{"GET /api/v1/jobs/{id}/result", s.handleResult},
+		{"DELETE /api/v1/jobs/{id}", s.handleCancel},
+		{"POST /api/v1/datasets", s.handleUpload},
+		{"GET /api/v1/stats", s.handleStats},
+	} {
+		mux.Handle(r.pattern, mw.Wrap(r.pattern, r.h))
+	}
 	return mux
 }
 
@@ -57,6 +71,9 @@ type jobStatus struct {
 	// the first attempt resolves the dataset.
 	DoneVoxels  int `json:"done_voxels"`
 	TotalVoxels int `json:"total_voxels"`
+	// TraceID names the job's span timeline in a -trace-out dump; empty
+	// when the server runs untraced.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // statusLocked snapshots a job for the wire (service mutex held).
@@ -65,6 +82,7 @@ func statusLocked(j *Job) jobStatus {
 		ID: j.ID, State: j.State, Tenant: j.Spec.tenant(), Name: j.Spec.Name,
 		Error: j.Err, Attempts: j.Attempts,
 		DoneVoxels: j.progress(), TotalVoxels: j.totalVoxels,
+		TraceID: j.traceID(),
 	}
 }
 
@@ -87,7 +105,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed job spec: "+err.Error())
 		return
 	}
-	id, err := s.Submit(spec)
+	id, err := s.Submit(r.Context(), spec)
 	if err != nil {
 		var aerr *admitError
 		if errors.As(err, &aerr) {
@@ -100,7 +118,18 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	resp := map[string]string{"id": id}
+	// The job's trace outlives this request: point the client at the job
+	// timeline rather than the middleware's request root.
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		if tid := j.traceID(); tid != "" {
+			w.Header().Set(obs.HeaderTraceID, tid)
+			resp["trace_id"] = tid
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -124,7 +153,16 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	st := statusLocked(job)
 	s.mu.Unlock()
+	if st.TraceID != "" {
+		w.Header().Set(obs.HeaderTraceID, st.TraceID)
+	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStats renders per-tenant accounting — the same numbers the
+// labeled /metrics series carry, as one JSON document.
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.tenantSnapshot()})
 }
 
 // resultScore is the wire form of one voxel score.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fcma/internal/core"
+	"fcma/internal/obs/trace"
 )
 
 // State is a job's position in the service's state machine:
@@ -189,6 +190,37 @@ type Job struct {
 	canceling bool
 
 	created time.Time
+
+	// span is the job's open trace root (nil when tracing is off);
+	// traceSC its portable context, under which the executor parents
+	// attempt, WAL, and kernel spans. queueSpan covers submit → executor
+	// pickup.
+	span      *trace.Active
+	queueSpan *trace.Active
+	traceSC   trace.SpanContext
+}
+
+// endSpans closes the job's open spans at its terminal transition,
+// stamping the outcome on the root. Idempotent: spans end once.
+func (j *Job) endSpans(state string) {
+	if j.queueSpan != nil {
+		j.queueSpan.End()
+		j.queueSpan = nil
+	}
+	if j.span != nil {
+		j.span.SetAttr("state", state)
+		j.span.End()
+		j.span = nil
+	}
+}
+
+// traceID renders the job's trace id for status documents ("" when the
+// job was never traced).
+func (j *Job) traceID() string {
+	if !j.traceSC.Valid() {
+		return ""
+	}
+	return j.traceSC.Trace.String()
 }
 
 // progress returns how many voxels have durable scores.

@@ -67,7 +67,7 @@ type stateRecord struct {
 // into a fresh job map.
 func openJournal(fsys chaos.FS, path string, reg *obs.Registry) (*journal, error) {
 	j := &journal{jobs: make(map[string]*Job), reg: reg}
-	log, err := wal.Open(fsys, path, serveMagic, serveMaxRecord, j.apply)
+	log, err := wal.OpenObserved(fsys, path, serveMagic, serveMaxRecord, j.apply, reg, "serve")
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}

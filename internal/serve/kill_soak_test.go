@@ -44,7 +44,7 @@ func runReference(t *testing.T) map[int][]core.VoxelScore {
 	defer s.Close()
 	ids := make([]string, len(soakSpecs))
 	for i, spec := range soakSpecs {
-		if ids[i], err = s.Submit(spec); err != nil {
+		if ids[i], err = s.Submit(context.Background(), spec); err != nil {
 			t.Fatalf("reference submit %d: %v", i, err)
 		}
 	}
@@ -139,7 +139,7 @@ func TestChaosSoakServerKills(t *testing.T) {
 		if !submitted {
 			for i, spec := range soakSpecs {
 				for tries := 0; ; tries++ {
-					ids[i], err = s.Submit(spec)
+					ids[i], err = s.Submit(context.Background(), spec)
 					if err == nil {
 						break
 					}

@@ -10,6 +10,8 @@ import (
 	"fcma/internal/chaos"
 	"fcma/internal/core"
 	"fcma/internal/corr"
+	"fcma/internal/obs"
+	"fcma/internal/obs/trace"
 	"fcma/internal/retry"
 	"fcma/internal/svm"
 )
@@ -40,6 +42,26 @@ func (s *Service) runJob(id string) {
 		s.mu.Unlock()
 		return
 	}
+	// A job replayed from the journal has no trace yet (the submitting
+	// request's span died with the previous incarnation); give resumed
+	// work its own timeline.
+	if !job.traceSC.Valid() && s.tracer != nil {
+		job.span = s.tracer.StartTrace("serve/job")
+		job.span.SetAttr("job", id)
+		job.span.SetAttr("tenant", job.Spec.tenant())
+		job.span.SetAttr("resumed", "true")
+		job.traceSC = job.span.Context()
+	}
+	if job.queueSpan != nil {
+		job.queueSpan.End()
+		job.queueSpan = nil
+	}
+	tenant := job.Spec.tenant()
+	if !job.created.IsZero() {
+		wait := time.Since(job.created).Seconds()
+		s.tenantLocked(tenant).QueueWaitSeconds += wait
+		s.reg.HistogramWith("serve_tenant_queue_wait_seconds", nil, obs.L("tenant", tenant)).Observe(wait)
+	}
 	if err := s.transitionLocked(job, StateRunning, ""); err != nil {
 		s.mu.Unlock()
 		s.opts.Log.Error("serve: cannot mark job running", "job", id, "err", err)
@@ -51,8 +73,11 @@ func (s *Service) runJob(id string) {
 	}
 	// jobCtx spans every attempt (cancel/drain cuts them all); the timeout
 	// is applied per attempt inside the retry op, so a timed-out attempt
-	// still gets its configured retries with a fresh budget each.
-	jobCtx, cancel := context.WithCancel(s.execCtx)
+	// still gets its configured retries with a fresh budget each. The ctx
+	// carries the job's trace root so attempt, WAL, and kernel spans all
+	// land in the job's timeline — not the long-dead submit request's
+	// goroutine context.
+	jobCtx, cancel := context.WithCancel(trace.WithRemoteParent(s.execCtx, s.tracer, job.traceSC))
 	job.cancel = cancel
 	spec := job.Spec
 	s.mu.Unlock()
@@ -68,15 +93,28 @@ func (s *Service) runJob(id string) {
 		Seed:      s.retrySeed(id),
 	}
 	st := s.reg.Stage("serve_job").Start()
+	execStart := time.Now()
 	err := retry.Do(jobCtx, policy, func(ctx context.Context, attempt int) error {
 		s.mu.Lock()
 		job.Attempts = attempt
 		s.mu.Unlock()
 		actx, acancel := context.WithTimeout(ctx, timeout)
 		defer acancel()
-		return s.attempt(actx, job, spec)
+		actx, attemptSpan := trace.StartSpan(actx, "serve/attempt")
+		attemptSpan.SetInt("attempt", attempt)
+		aerr := s.attempt(actx, job, spec)
+		if aerr != nil {
+			attemptSpan.SetAttr("error", aerr.Error())
+		}
+		attemptSpan.End()
+		return aerr
 	})
 	st.Stop()
+	elapsed := time.Since(execStart).Seconds()
+	s.mu.Lock()
+	s.tenantLocked(tenant).ComputeSeconds += elapsed
+	s.mu.Unlock()
+	s.reg.HistogramWith("serve_tenant_job_seconds", nil, obs.L("tenant", tenant)).Observe(elapsed)
 	s.finish(job, err)
 }
 
@@ -93,7 +131,9 @@ func (s *Service) retrySeed(id string) int64 {
 
 // attempt runs one execution pass over the job's voxel chunks, skipping
 // every chunk the journal already holds — the incremental core of both
-// crash resume and retry.
+// crash resume and retry. Pipeline metrics land on a per-attempt registry
+// so the model ledger can read this job's stage times in isolation; the
+// registry is folded into MetricsSnapshot's accumulated view either way.
 func (s *Service) attempt(ctx context.Context, job *Job, spec JobSpec) error {
 	ds, err := s.store.Get(spec)
 	if err != nil {
@@ -109,13 +149,15 @@ func (s *Service) attempt(ctx context.Context, job *Job, spec JobSpec) error {
 		// epochs instead (mirrors the library's online-analysis path).
 		folds = svm.KFolds(stack.M(), min(6, stack.M()/2))
 	}
+	jobReg := obs.NewRegistry()
+	defer s.absorbJobMetrics(jobReg)
 	cfg := core.Optimized()
 	if spec.Engine == "baseline" {
 		cfg = core.Baseline()
 	}
 	cfg = cfg.WithTuning(s.opts.Tuning)
 	cfg.Workers = s.opts.Workers
-	cfg.Obs = s.reg
+	cfg.Obs = jobReg
 	worker, err := core.NewWorker(cfg, stack, folds)
 	if err != nil {
 		return err
@@ -142,7 +184,11 @@ func (s *Service) attempt(ctx context.Context, job *Job, spec JobSpec) error {
 		// Durability before action: the chunk's scores hit stable storage
 		// before the job advances past it, so a crash loses at most the
 		// chunk in flight (same ordering as the cluster master).
-		if err := s.jnl.recordProgress(job.ID, v0, n, scores); err != nil {
+		_, walSpan := trace.StartSpan(ctx, "serve/wal_append")
+		walSpan.SetInt("v0", v0)
+		err = s.jnl.recordProgress(job.ID, v0, n, scores)
+		walSpan.End()
+		if err != nil {
 			if s.isKilled() {
 				return chaos.ErrKilled
 			}
@@ -158,6 +204,7 @@ func (s *Service) attempt(ctx context.Context, job *Job, spec JobSpec) error {
 			return chaos.ErrKilled
 		}
 	}
+	s.recordLedger(job.ID, spec, stack, jobReg)
 	return nil
 }
 

@@ -38,6 +38,7 @@ import (
 	"fcma/internal/blas"
 	"fcma/internal/chaos"
 	"fcma/internal/obs"
+	"fcma/internal/obs/trace"
 	"fcma/internal/safe"
 )
 
@@ -79,6 +80,9 @@ type Options struct {
 	RetrySeed int64
 	// Obs receives the service's metrics; nil uses a fresh registry.
 	Obs *obs.Registry
+	// Trace receives request and job spans; nil disables tracing (the
+	// nil-tracer hot path costs one branch per span site).
+	Trace *trace.Tracer
 	// Chaos, when non-nil, injects scheduling faults and chunk-boundary
 	// kills (soaks); nil runs clean.
 	Chaos *chaos.Plan
@@ -126,17 +130,26 @@ func (o Options) withDefaults() Options {
 
 // Service is a running analysis service instance.
 type Service struct {
-	opts  Options
-	reg   *obs.Registry
-	jnl   *journal
-	store *datasetStore
-	ready obs.Readiness
+	opts   Options
+	reg    *obs.Registry
+	tracer *trace.Tracer
+	jnl    *journal
+	store  *datasetStore
+	ready  obs.Readiness
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
+	tenants  map[string]*tenantStats
 	seq      int
 	draining bool
 	killed   bool
+
+	// pipeMu guards pipeSnap, the accumulated pipeline metrics of every
+	// finished attempt (each attempt runs on its own registry so the
+	// model ledger can read one job's stage times in isolation; see
+	// MetricsSnapshot).
+	pipeMu   sync.Mutex
+	pipeSnap obs.Snapshot
 
 	runq       chan string
 	execWG     sync.WaitGroup
@@ -170,8 +183,9 @@ func New(opts Options) (*Service, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		opts: opts, reg: reg, jnl: jnl, store: store,
+		opts: opts, reg: reg, tracer: opts.Trace, jnl: jnl, store: store,
 		jobs: jnl.jobs, seq: jnl.maxSeq,
+		tenants:    make(map[string]*tenantStats),
 		runq:       make(chan string, 4*opts.QueueCap),
 		execCtx:    ctx,
 		execCancel: cancel,
@@ -221,36 +235,117 @@ func (s *Service) Readiness() *obs.Readiness { return &s.ready }
 // Metrics exposes the service's registry.
 func (s *Service) Metrics() *obs.Registry { return s.reg }
 
+// MetricsSnapshot is the service's full metrics view: the live registry
+// (request, journal, tenant, and model-ledger series) merged with the
+// pipeline metrics accumulated from every finished job attempt, with the
+// queue gauges refreshed per call — wire this (not reg.Snapshot) into
+// obs.NewMux so /metrics shows kernel stage histograms even though each
+// attempt runs on its own registry.
+func (s *Service) MetricsSnapshot() obs.Snapshot {
+	s.mu.Lock()
+	depth := 0
+	var oldest time.Time
+	for _, j := range s.jobs {
+		if j.State != StateAccepted {
+			continue
+		}
+		depth++
+		// Jobs replayed from the journal have no submit time; they count
+		// toward depth but not age.
+		if !j.created.IsZero() && (oldest.IsZero() || j.created.Before(oldest)) {
+			oldest = j.created
+		}
+	}
+	s.mu.Unlock()
+	s.reg.Gauge("serve_queue_depth").Set(float64(depth))
+	age := 0.0
+	if !oldest.IsZero() {
+		age = time.Since(oldest).Seconds()
+	}
+	s.reg.Gauge("serve_queue_age_seconds").Set(age)
+
+	snap := s.reg.Snapshot()
+	s.pipeMu.Lock()
+	snap.Merge(s.pipeSnap)
+	s.pipeMu.Unlock()
+	return snap
+}
+
+// absorbJobMetrics folds one attempt's pipeline registry into the
+// accumulated snapshot served by MetricsSnapshot.
+func (s *Service) absorbJobMetrics(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	s.pipeMu.Lock()
+	s.pipeSnap.Merge(snap)
+	s.pipeMu.Unlock()
+}
+
 // Submit validates, admits, journals, and queues a job, returning its ID.
 // The accept record is durable before Submit returns: a 202 built on the
 // returned ID is a promise the server can keep across a crash. Rejections
 // come back as *admitError (429/503 with Retry-After) or plain errors
 // (400-shaped validation failures).
-func (s *Service) Submit(spec JobSpec) (string, error) {
+//
+// The job's trace root is opened here: when ctx carries a span (the HTTP
+// middleware's request span) the job joins that trace, so one timeline
+// runs request → admission → queue wait → attempts → kernels; otherwise
+// the job gets a fresh trace of its own. The root stays open until the
+// job's terminal transition.
+func (s *Service) Submit(ctx context.Context, spec JobSpec) (string, error) {
 	if err := spec.validate(); err != nil {
 		return "", fmt.Errorf("serve: invalid spec: %w", err)
+	}
+	tenant := spec.tenant()
+	jctx, span := trace.StartSpan(ctx, "serve/job")
+	if span == nil && s.tracer != nil {
+		span = s.tracer.StartTrace("serve/job")
+		jctx = trace.WithRemoteParent(ctx, s.tracer, span.Context())
+	}
+	span.SetAttr("tenant", tenant)
+	reject := func(aerr *admitError) (string, error) {
+		s.tenantLocked(tenant).Rejected++
+		s.reg.Counter("serve_jobs_rejected_total").Inc()
+		s.reg.CounterWith("serve_tenant_jobs_rejected_total", obs.L("tenant", tenant)).Inc()
+		span.SetAttr("rejected", aerr.Reason)
+		span.End()
+		return "", aerr
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || s.killed {
-		return "", &admitError{Status: 503, RetryAfter: 10, Reason: "server is draining"}
+		return reject(&admitError{Status: 503, RetryAfter: 10, Reason: "server is draining"})
 	}
-	if aerr := s.admit(spec); aerr != nil {
-		s.reg.Counter("serve_jobs_rejected_total").Inc()
-		return "", aerr
+	_, admitSpan := trace.StartSpan(jctx, "serve/admit")
+	aerr := s.admit(spec)
+	admitSpan.End()
+	if aerr != nil {
+		return reject(aerr)
 	}
 	s.seq++
 	id := fmt.Sprintf("job-%08d", s.seq)
+	span.SetAttr("job", id)
 	// Never accept work you cannot journal: an append failure (disk full,
 	// injected fault) refuses the job with a retryable 503 instead of
 	// holding state the next incarnation won't know about.
-	if err := s.jnl.recordAccept(id, spec); err != nil {
+	_, walSpan := trace.StartSpan(jctx, "serve/wal_accept")
+	err := s.jnl.recordAccept(id, spec)
+	walSpan.End()
+	if err != nil {
 		s.seq--
-		s.reg.Counter("serve_jobs_rejected_total").Inc()
-		return "", &admitError{Status: 503, RetryAfter: 5, Reason: "cannot journal acceptance"}
+		return reject(&admitError{Status: 503, RetryAfter: 5, Reason: "cannot journal acceptance"})
 	}
-	s.jobs[id] = &Job{ID: id, Spec: spec, State: StateAccepted, created: time.Now()}
+	job := &Job{ID: id, Spec: spec, State: StateAccepted, created: time.Now(), span: span, traceSC: span.Context()}
+	_, job.queueSpan = trace.StartSpan(jctx, "serve/queue_wait")
+	s.jobs[id] = job
+	estBytes := s.estimateBytes(spec)
+	ts := s.tenantLocked(tenant)
+	ts.Submitted++
+	ts.EstimatedBytes += estBytes
 	s.reg.Counter("serve_jobs_accepted_total").Inc()
+	s.reg.CounterWith("serve_tenant_jobs_submitted_total", obs.L("tenant", tenant)).Inc()
+	if estBytes > 0 {
+		s.reg.CounterWith("serve_tenant_estimated_bytes_total", obs.L("tenant", tenant)).Add(uint64(estBytes))
+	}
 	select {
 	case s.runq <- id:
 	default:
@@ -258,9 +353,21 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 		// future capacity change fails a submit rather than deadlocking.
 		delete(s.jobs, id)
 		s.seq--
+		job.endSpans("unqueued")
 		return "", &admitError{Status: 503, RetryAfter: 5, Reason: "run queue full"}
 	}
 	return id, nil
+}
+
+// tenantLocked returns (creating if needed) the tenant's accounting row.
+// Callers hold s.mu.
+func (s *Service) tenantLocked(tenant string) *tenantStats {
+	ts, ok := s.tenants[tenant]
+	if !ok {
+		ts = &tenantStats{}
+		s.tenants[tenant] = ts
+	}
+	return ts
 }
 
 // Cancel requests a job stop. A queued job is canceled immediately; a
@@ -304,6 +411,21 @@ func (s *Service) transitionLocked(job *Job, to State, errMsg string) error {
 	job.State = to
 	job.Err = errMsg
 	s.reg.Counter("serve_jobs_" + string(to) + "_total").Inc()
+	tenant := job.Spec.tenant()
+	switch to {
+	case StateDone:
+		s.tenantLocked(tenant).Completed++
+		s.reg.CounterWith("serve_tenant_jobs_completed_total", obs.L("tenant", tenant)).Inc()
+	case StateFailed:
+		s.tenantLocked(tenant).Failed++
+		s.reg.CounterWith("serve_tenant_jobs_failed_total", obs.L("tenant", tenant)).Inc()
+	case StateCanceled:
+		s.tenantLocked(tenant).Canceled++
+		s.reg.CounterWith("serve_tenant_jobs_canceled_total", obs.L("tenant", tenant)).Inc()
+	}
+	if to.Terminal() {
+		job.endSpans(string(to))
+	}
 	return nil
 }
 

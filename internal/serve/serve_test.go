@@ -265,7 +265,7 @@ func TestRestartResumesJobs(t *testing.T) {
 	}
 	var ids []string
 	for i := 0; i < 2; i++ {
-		id, err := first.Submit(JobSpec{Dataset: hash, Name: fmt.Sprintf("resume-%d", i)})
+		id, err := first.Submit(context.Background(), JobSpec{Dataset: hash, Name: fmt.Sprintf("resume-%d", i)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -286,7 +286,7 @@ func TestRestartResumesJobs(t *testing.T) {
 		}
 	}
 	// New IDs must not collide with replayed ones.
-	id3, err := second.Submit(JobSpec{Dataset: hash})
+	id3, err := second.Submit(context.Background(), JobSpec{Dataset: hash})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestDrainRemovesSettledJournal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := s.Submit(JobSpec{Dataset: hash})
+	id, err := s.Submit(context.Background(), JobSpec{Dataset: hash})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func TestDrainRemovesSettledJournal(t *testing.T) {
 	if ok, reason := s.Readiness().Ready(); ok || reason != "draining" {
 		t.Fatalf("readiness after drain = (%v, %q)", ok, reason)
 	}
-	if _, err := s.Submit(JobSpec{Dataset: hash}); err == nil {
+	if _, err := s.Submit(context.Background(), JobSpec{Dataset: hash}); err == nil {
 		t.Fatal("drained server accepted a job")
 	}
 	if _, err := os.Stat(filepath.Join(dir, "jobs.jnl")); !os.IsNotExist(err) {
@@ -342,7 +342,7 @@ func TestDrainKeepsUnsettledJournal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Submit(JobSpec{Synthetic: "face-scene", Scale: 0.001}); err != nil {
+	if _, err := s.Submit(context.Background(), JobSpec{Synthetic: "face-scene", Scale: 0.001}); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

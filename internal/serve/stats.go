@@ -1,0 +1,46 @@
+package serve
+
+// tenantStats is one tenant's lifetime accounting, maintained under the
+// Service mutex alongside the labeled /metrics series — the same numbers
+// through two doors: Prometheus scrapes get per-tenant labeled counters,
+// GET /api/v1/stats gets this document directly.
+type tenantStats struct {
+	// Submitted counts accepted jobs; Completed/Failed/Canceled their
+	// terminal outcomes; Rejected the admission refusals (429/503).
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Rejected  uint64 `json:"rejected"`
+	// Active is the tenant's current non-terminal job count (computed at
+	// render time, not accumulated).
+	Active int `json:"active"`
+	// ComputeSeconds is total executor wall time spent on the tenant's
+	// jobs (all attempts); QueueWaitSeconds the total submit→pickup wait.
+	ComputeSeconds   float64 `json:"compute_seconds"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	// EstimatedBytes sums the admission-time working-set estimates of the
+	// tenant's accepted jobs (the quantity the memory-budget gate meters).
+	EstimatedBytes int64 `json:"estimated_bytes"`
+}
+
+// tenantSnapshot copies every tenant's accounting, with Active counts
+// computed from the live job table.
+func (s *Service) tenantSnapshot() map[string]tenantStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]tenantStats, len(s.tenants))
+	for tenant, ts := range s.tenants {
+		out[tenant] = *ts
+	}
+	for _, j := range s.jobs {
+		if j.State.Terminal() {
+			continue
+		}
+		t := j.Spec.tenant()
+		row := out[t] // zero row for tenants only known from replay
+		row.Active++
+		out[t] = row
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fcma/internal/obs"
+)
+
+// OpenObserved must book append/fsync latency, byte/record counters at
+// write time, and replay duration + records-replayed at open — all under
+// the log=<name> label.
+func TestOpenObservedMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obs.wal")
+	reg := obs.NewRegistry()
+	l, err := OpenObserved(nil, path, testMagic, 1<<20, func([]byte) error { return nil }, reg, "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("synced"), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("async"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	lbl := obs.L("log", "serve")
+	if got := snap.Counters[obs.SeriesName("wal_records_total", lbl)]; got != 2 {
+		t.Fatalf("wal_records_total = %d, want 2: %v", got, snap.Counters)
+	}
+	// Two frames: 8-byte header + 6 and + 5 payload bytes.
+	if got := snap.Counters[obs.SeriesName("wal_appended_bytes_total", lbl)]; got != 14+13 {
+		t.Fatalf("wal_appended_bytes_total = %d, want 27", got)
+	}
+	if h := snap.Hists[obs.SeriesName("wal_append_seconds", lbl)]; h.Count != 2 {
+		t.Fatalf("wal_append_seconds count = %d, want 2", h.Count)
+	}
+	// Fsyncs: the synced append + Close's final sync (the async append
+	// does not fsync).
+	if h := snap.Hists[obs.SeriesName("wal_fsync_seconds", lbl)]; h.Count != 2 {
+		t.Fatalf("wal_fsync_seconds count = %d, want 2", h.Count)
+	}
+
+	// Re-open replays both records into a fresh registry.
+	reg2 := obs.NewRegistry()
+	l2, err := OpenObserved(nil, path, testMagic, 1<<20, func([]byte) error { return nil }, reg2, "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	snap2 := reg2.Snapshot()
+	if got := snap2.Counters[obs.SeriesName("wal_replayed_records_total", lbl)]; got != 2 {
+		t.Fatalf("wal_replayed_records_total = %d, want 2", got)
+	}
+	if _, ok := snap2.Gauges[obs.SeriesName("wal_replay_seconds", lbl)]; !ok {
+		t.Fatalf("wal_replay_seconds missing: %v", snap2.Gauges)
+	}
+}
+
+// A nil registry must behave exactly like plain Open.
+func TestOpenObservedNilRegistry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain.wal")
+	l, err := OpenObserved(nil, path, testMagic, 1<<20, func([]byte) error { return nil }, nil, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("r"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"time"
 
 	"fcma/internal/chaos"
 )
@@ -53,6 +54,9 @@ type Log struct {
 	// damaged is set when a failed append could not be rewound; every
 	// further append refuses with it rather than writing after garbage.
 	damaged error
+	// m carries the log's instruments when opened via OpenObserved; nil
+	// (plain Open) records nothing.
+	m *walMetrics
 }
 
 // Open opens (or atomically creates) the log at path and replays every
@@ -65,6 +69,10 @@ type Log struct {
 // (the owner's partially replayed apply state must be discarded). A nil
 // fsys uses the real filesystem.
 func Open(fsys chaos.FS, path, magic string, maxRecord uint32, apply func(payload []byte) error) (*Log, error) {
+	return open(fsys, path, magic, maxRecord, apply, nil)
+}
+
+func open(fsys chaos.FS, path, magic string, maxRecord uint32, apply func(payload []byte) error, m *walMetrics) (*Log, error) {
 	if len(magic) != 8 {
 		return nil, fmt.Errorf("wal: magic %q must be exactly 8 bytes", magic)
 	}
@@ -83,7 +91,7 @@ func Open(fsys chaos.FS, path, magic string, maxRecord uint32, apply func(payloa
 	if err != nil {
 		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
 	}
-	l := &Log{fsys: fsys, f: f, path: path, magic: magic, maxRecord: maxRecord}
+	l := &Log{fsys: fsys, f: f, path: path, magic: magic, maxRecord: maxRecord, m: m}
 	if err := l.replay(apply); err != nil {
 		f.Close()
 		return nil, err
@@ -190,6 +198,7 @@ func (l *Log) Append(payload []byte, sync bool) (int, error) {
 	if l.damaged != nil {
 		return 0, l.damaged
 	}
+	start := time.Now()
 	frame := make([]byte, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
@@ -197,12 +206,16 @@ func (l *Log) Append(payload []byte, sync bool) (int, error) {
 	if _, err := l.f.Write(frame); err != nil {
 		return 0, l.rewind(fmt.Errorf("wal: append to %s: %w", l.path, err))
 	}
+	var fsync time.Duration
 	if sync {
+		syncStart := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return 0, l.rewind(fmt.Errorf("wal: sync %s: %w", l.path, err))
 		}
+		fsync = time.Since(syncStart)
 	}
 	l.off += int64(len(frame))
+	l.m.observeAppend(len(frame), time.Since(start), fsync, sync)
 	return len(frame), nil
 }
 
@@ -220,7 +233,14 @@ func (l *Log) rewind(cause error) error {
 }
 
 // Sync flushes the log's data to stable storage.
-func (l *Log) Sync() error { return l.f.Sync() }
+func (l *Log) Sync() error {
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.m.observeSync(time.Since(start))
+	return nil
+}
 
 // Truncated reports whether opening the log had to discard a torn or
 // corrupt tail.
@@ -231,7 +251,7 @@ func (l *Log) Path() string { return l.path }
 
 // Close fsyncs and releases the log file.
 func (l *Log) Close() error {
-	if err := l.f.Sync(); err != nil {
+	if err := l.Sync(); err != nil {
 		l.f.Close()
 		return err
 	}

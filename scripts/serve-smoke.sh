@@ -7,17 +7,28 @@
 # actual signal handler.
 #
 # Requires: go, curl. Exits non-zero on any failure.
+#
+# Set SERVE_SMOKE_OUT to a directory to keep the run's artifacts (server
+# log, /metrics scrape, /api/v1/stats document, Chrome-trace timeline) —
+# CI uploads them from failed runs.
 set -eu
 
 workdir=$(mktemp -d)
 state="$workdir/state"
 addrfile="$workdir/addr"
 log="$workdir/serve.log"
+outdir="${SERVE_SMOKE_OUT:-}"
 pid=""
 
 cleanup() {
     if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
         kill -9 "$pid" 2>/dev/null || true
+    fi
+    if [ -n "$outdir" ]; then
+        mkdir -p "$outdir"
+        for f in serve.log metrics stats.json serve-trace.json submit-headers; do
+            [ -e "$workdir/$f" ] && cp "$workdir/$f" "$outdir/" || true
+        done
     fi
     rm -rf "$workdir"
 }
@@ -34,8 +45,9 @@ echo "serve-smoke: building fcma-serve"
 go build -o "$workdir/fcma-serve" ./cmd/fcma-serve
 
 echo "serve-smoke: starting server"
+traceout="$workdir/serve-trace.json"
 "$workdir/fcma-serve" -listen 127.0.0.1:0 -dir "$state" -addr-file "$addrfile" \
-    -chunk 16 -executors 1 >"$log" 2>&1 &
+    -chunk 16 -executors 1 -trace-out "$traceout" >"$log" 2>&1 &
 pid=$!
 
 # Wait for the bound address to appear.
@@ -54,13 +66,20 @@ echo "serve-smoke: server at $base"
 curl -fsS "$base/healthz" >/dev/null || fail "/healthz not OK"
 curl -fsS "$base/readyz" >/dev/null || fail "/readyz not ready"
 
-# Submit a small synthetic job.
-resp=$(curl -fsS -XPOST "$base/api/v1/jobs" \
-    -d '{"synthetic":"face-scene","scale":0.002,"name":"smoke"}') \
+# Submit a small synthetic job. The response must name the job and its
+# trace, and the headers must echo a request id and the job's trace id.
+hdrs="$workdir/submit-headers"
+resp=$(curl -fsS -D "$hdrs" -XPOST "$base/api/v1/jobs" \
+    -d '{"synthetic":"face-scene","scale":0.002,"name":"smoke","tenant":"smoke"}') \
     || fail "job submission refused"
 id=$(echo "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
 [ -n "$id" ] || fail "submission response had no job id: $resp"
-echo "serve-smoke: submitted $id"
+trace_id=$(echo "$resp" | sed -n 's/.*"trace_id":"\([^"]*\)".*/\1/p')
+[ -n "$trace_id" ] || fail "submission response had no trace_id: $resp"
+grep -qi "^x-request-id:" "$hdrs" || fail "submit response missing X-Request-ID"
+grep -qi "^x-trace-id: $trace_id" "$hdrs" \
+    || fail "submit X-Trace-ID does not match body trace_id $trace_id"
+echo "serve-smoke: submitted $id (trace $trace_id)"
 
 # Poll to completion.
 i=0
@@ -81,9 +100,29 @@ echo "serve-smoke: $id done"
 result=$(curl -fsS "$base/api/v1/jobs/$id/result") || fail "result fetch failed"
 echo "$result" | grep -q '"voxel"' || fail "result has no scores: $result"
 
-# Metrics reflect the run.
-curl -fsS "$base/metrics" | grep -q '^serve_jobs_done_total 1' \
-    || fail "metrics do not show the completed job"
+# Metrics reflect the run: job counters, per-route RED series,
+# per-tenant labels, WAL latency, and the model-vs-measured ledger.
+metrics="$workdir/metrics"
+curl -fsS "$base/metrics" >"$metrics" || fail "metrics scrape failed"
+assert_metric() {
+    grep -q "$1" "$metrics" || fail "metrics missing $1"
+}
+assert_metric '^serve_jobs_done_total 1'
+assert_metric '^http_requests_total{code="2xx",method="POST",route="POST /api/v1/jobs"} 1'
+assert_metric '^http_request_seconds_count{method="POST",route="POST /api/v1/jobs"} 1'
+assert_metric '^serve_tenant_jobs_submitted_total{tenant="smoke"} 1'
+assert_metric '^serve_tenant_jobs_completed_total{tenant="smoke"} 1'
+assert_metric '^serve_tenant_job_seconds_count{tenant="smoke"} 1'
+assert_metric '^wal_fsync_seconds_count{log="serve"}'
+assert_metric '^wal_records_total{log="serve"}'
+assert_metric '^serve_model_drift_ratio{engine="optimized",stage="merged"}'
+assert_metric '^serve_queue_depth '
+assert_metric '^go_goroutines '
+
+# Per-tenant stats mirror the same accounting as one JSON document.
+curl -fsS "$base/api/v1/stats" >"$workdir/stats.json" || fail "stats fetch failed"
+grep -q '"smoke":{"submitted":1,"completed":1' "$workdir/stats.json" \
+    || fail "stats do not show the smoke tenant: $(cat "$workdir/stats.json")"
 
 # SIGTERM drains: exit 0, journal removed (every job terminal).
 kill -TERM "$pid"
@@ -92,5 +131,14 @@ wait "$pid" || rc=$?
 pid=""
 [ "$rc" -eq 0 ] || fail "server exited $rc on SIGTERM, want 0"
 [ ! -e "$state/jobs.jnl" ] || fail "journal survived a settled drain"
+
+# The drain wrote one merged Chrome-trace timeline, and the submitted
+# job's trace runs from the HTTP request root down to kernel spans.
+[ -s "$traceout" ] || fail "no trace file at $traceout"
+for span in "http POST /api/v1/jobs" "serve/job" "serve/attempt" \
+    "serve/wal_append" "core/task"; do
+    grep -q "\"name\": \"$span\"" "$traceout" \
+        || fail "trace file missing span \"$span\""
+done
 
 echo "serve-smoke: PASS"
