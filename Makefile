@@ -6,12 +6,12 @@
 
 GO ?= go
 
-.PHONY: check lint fcmavet vet build test test-race test-short bench bench-smoke bench-gate tune fuzz chaos-soak serve-smoke
+.PHONY: check lint lint-report fcmavet allocgate vet build test test-race test-short bench bench-smoke bench-gate tune fuzz chaos-soak serve-smoke
 
 check: lint build test
 
-# lint is a hard gate: unformatted files, vet findings, or fcmavet
-# contract violations all fail the build.
+# lint is a hard gate: unformatted files, vet findings, fcmavet contract
+# violations, or hot-path heap escapes (allocgate) all fail the build.
 lint:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt: the following files need formatting:" >&2; \
@@ -20,10 +20,26 @@ lint:
 	fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/fcmavet ./...
+	$(GO) run ./scripts/allocgate
 
 # fcmavet alone, for iterating on contract fixes.
 fcmavet:
 	$(GO) run ./cmd/fcmavet ./...
+
+# allocgate alone: hold //lint:hotpath functions to the compiler's
+# escape analysis.
+allocgate:
+	$(GO) run ./scripts/allocgate
+
+# Machine-readable lint artifacts for CI upload: the full fcmavet
+# finding list (with taintflow source→sink paths) as JSON, and the
+# allocgate escape report. Written even on a clean tree so the artifact
+# always exists; the lint gate above is what fails the build.
+LINTDIR ?= lint-out
+lint-report:
+	@mkdir -p $(LINTDIR)
+	-$(GO) run ./cmd/fcmavet -json ./... > $(LINTDIR)/fcmavet.json
+	-$(GO) run ./scripts/allocgate -out $(LINTDIR)/allocgate.txt > /dev/null
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +72,7 @@ bench-smoke:
 	$(GO) run ./cmd/fcma-bench -scale 0.01 -json $(BENCHDIR) table1 table5 table7
 	$(GO) run ./cmd/fcma-run -mode select -synthetic face-scene -scale 0.01 \
 		-bench-out $(BENCHDIR) -trace-out $(BENCHDIR)/trace.json
+	$(GO) run ./scripts/allocgate -out $(BENCHDIR)/allocgate.txt
 	$(MAKE) bench-gate
 
 # Compare the fresh bench-smoke summaries in BENCHDIR against the

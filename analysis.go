@@ -524,7 +524,7 @@ func SelectVoxelsDistributedContext(ctx context.Context, d *Data, cfg Config, wo
 			return nil, e
 		}
 	}
-	remapScores(scores, report)
+	scores = remapScores(scores, report)
 	return core.TopVoxels(scores, 0), nil
 }
 

@@ -1,20 +1,26 @@
-// Command fcmavet runs the repo's custom static-analysis suite: ~9
+// Command fcmavet runs the repo's custom static-analysis suite: the
 // AST+type-based analyzers (internal/lint) that mechanically enforce the
 // contracts earlier PRs established by convention — panic containment via
 // internal/safe, context threading, float32 kernel determinism,
 // nil-is-off observability, MPI wire-protocol completeness, simulator
-// clock discipline, obs-routed logging, and lock hygiene.
+// clock discipline, obs-routed logging, lock hygiene, untrusted-input
+// taint flow, and hot-path allocation discipline.
 //
 // Usage:
 //
-//	fcmavet [-json] [-C dir] [./...]
+//	fcmavet [-json] [-C dir] [-analyzers a,b] [./...]
 //	fcmavet -list
 //
 // The package pattern is informational: fcmavet always analyzes every
 // package of the enclosing module (the invariants are module-wide, and
-// several analyzers need the whole program). Exit status is 0 on a clean
-// tree, 1 when any diagnostic is reported, 2 on load/internal errors.
-// With -json, diagnostics are emitted as a JSON array for CI annotation.
+// several analyzers need the whole program). -analyzers restricts the
+// run to a comma-separated subset of the registry — handy when iterating
+// on one contract; naming an unknown analyzer is an error (exit 2), not
+// a silent no-op. Exit status is 0 on a clean tree, 1 when any
+// diagnostic is reported, 2 on load/internal errors. With -json,
+// diagnostics are emitted as a JSON array for CI annotation; dataflow
+// findings (taintflow) carry their full source→sink path as a "path"
+// array of {file, line, desc} steps.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"fcma/internal/lint"
 )
@@ -32,10 +39,35 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array instead of file:line text")
 		list    = flag.Bool("list", false, "print the analyzer registry with one-line docs and exit")
 		dir     = flag.String("C", ".", "analyze the module containing this directory")
+		subset  = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	)
 	flag.Parse()
 
 	analyzers := lint.All()
+	if *subset != "" {
+		byName := make(map[string]*lint.Analyzer, len(analyzers))
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*subset, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fcmavet: unknown analyzer %q (see fcmavet -list)\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		if len(picked) == 0 {
+			fmt.Fprintln(os.Stderr, "fcmavet: -analyzers named no analyzers")
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
@@ -49,23 +81,38 @@ func main() {
 		os.Exit(2)
 	}
 	diags := prog.Run(analyzers)
-	diags = append(diags, lint.CheckDirectives(prog, analyzers)...)
+	// Directive validation always checks against the full registry: a
+	// subset run must not misreport an allow for an unselected analyzer
+	// as unknown.
+	diags = append(diags, lint.CheckDirectives(prog, lint.All())...)
 	lint.SortDiagnostics(diags)
 
 	if *jsonOut {
+		type jsonStep struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Desc string `json:"desc"`
+		}
 		type jsonDiag struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Col      int    `json:"col"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
+			File     string     `json:"file"`
+			Line     int        `json:"line"`
+			Col      int        `json:"col"`
+			Analyzer string     `json:"analyzer"`
+			Message  string     `json:"message"`
+			Path     []jsonStep `json:"path,omitempty"`
 		}
 		out := make([]jsonDiag, 0, len(diags))
 		for _, d := range diags {
-			out = append(out, jsonDiag{
+			jd := jsonDiag{
 				File: relPath(prog.Dir, d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
 				Analyzer: d.Analyzer, Message: d.Message,
-			})
+			}
+			for _, s := range d.Path {
+				jd.Path = append(jd.Path, jsonStep{
+					File: relPath(prog.Dir, s.Pos.Filename), Line: s.Pos.Line, Desc: s.Desc,
+				})
+			}
+			out = append(out, jd)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -298,7 +298,7 @@ func SelectVoxelsContext(ctx context.Context, d *Data, cfg Config) ([]VoxelScore
 	if err != nil {
 		return nil, err
 	}
-	remapScores(scores, report)
+	scores = remapScores(scores, report)
 	return core.TopVoxels(scores, 0), nil
 }
 
@@ -320,14 +320,23 @@ func sanitizeFor(d *Data, cfg Config) (*Data, *fmri.SanitizeReport, error) {
 }
 
 // remapScores rewrites voxel indices of a DropVoxel run back to the
-// original dataset numbering, in place.
-func remapScores(scores []VoxelScore, report *fmri.SanitizeReport) {
+// original dataset numbering and returns the remapped slice (reusing its
+// backing array). Scores can arrive from worker wire frames or a replayed
+// journal, so an index outside the kept set is treated as corruption and
+// dropped rather than trusted into a panic.
+func remapScores(scores []VoxelScore, report *fmri.SanitizeReport) []VoxelScore {
 	if report == nil || report.Kept == nil {
-		return
+		return scores
 	}
-	for i := range scores {
-		scores[i].Voxel = report.Kept[scores[i].Voxel]
+	out := scores[:0]
+	for _, s := range scores {
+		if s.Voxel < 0 || s.Voxel >= len(report.Kept) {
+			continue
+		}
+		s.Voxel = report.Kept[s.Voxel]
+		out = append(out, s)
 	}
+	return out
 }
 
 func buildWorker(ctx context.Context, d *Data, cfg Config) (*corr.EpochStack, *core.Worker, error) {

@@ -3,6 +3,8 @@ package fcma
 import (
 	"bytes"
 	"testing"
+
+	"fcma/internal/fmri"
 )
 
 func testSpec() Spec {
@@ -609,5 +611,38 @@ func TestStreamingSelectorThroughFacade(t *testing.T) {
 	}
 	if hits < 6 {
 		t.Fatalf("streaming facade selection found %d of 10", hits)
+	}
+}
+
+// TestRemapScoresDropsCorruptIndices pins the fix for a crash found by
+// taintflow: voxel scores arrive from worker wire frames or a replayed
+// journal, so an index outside the sanitize report's kept set must be
+// dropped as corruption, not trusted into a panic against Kept.
+func TestRemapScoresDropsCorruptIndices(t *testing.T) {
+	report := &fmri.SanitizeReport{Kept: []int{0, 2, 5}}
+	scores := []VoxelScore{
+		{Voxel: 0, Accuracy: 0.9},  // valid: maps to original 0
+		{Voxel: -1, Accuracy: 0.8}, // corrupt: negative
+		{Voxel: 2, Accuracy: 0.7},  // valid: maps to original 5
+		{Voxel: 3, Accuracy: 0.6},  // corrupt: past the kept set
+	}
+	got := remapScores(scores, report)
+	want := []VoxelScore{{Voxel: 0, Accuracy: 0.9}, {Voxel: 5, Accuracy: 0.7}}
+	if len(got) != len(want) {
+		t.Fatalf("remapScores kept %d scores, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("score %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Without a DropVoxel report the scores pass through untouched.
+	passthrough := []VoxelScore{{Voxel: 7, Accuracy: 0.5}}
+	if got := remapScores(passthrough, nil); len(got) != 1 || got[0].Voxel != 7 {
+		t.Errorf("nil report changed scores: %v", got)
+	}
+	if got := remapScores(passthrough, &fmri.SanitizeReport{}); len(got) != 1 || got[0].Voxel != 7 {
+		t.Errorf("nil Kept changed scores: %v", got)
 	}
 }

@@ -84,6 +84,8 @@ func (t TallSkinny) Gemm(C, A, B *tensor.Matrix) {
 
 // gemmBlocks computes column blocks [b0, b1) of C = A·B, walking output
 // rows two at a time through the register-blocked strip kernel.
+//
+//lint:hotpath stage-1 gemm inner driver, called once per column block per worker
 func gemmBlocks(C, A, B *tensor.Matrix, b0, b1, nb int) {
 	m, k, n := A.Rows, A.Cols, B.Cols
 	for b := b0; b < b1; b++ {
@@ -111,6 +113,8 @@ func gemmBlocks(C, A, B *tensor.Matrix, b0, b1, nb int) {
 // Wider tiles were measured and rejected: a full 4×4 register tile spills
 // 16 accumulator chains past the scalar register file and runs >2× slower
 // than this shape under the Go compiler.
+//
+//lint:hotpath 2×2 register tile, the gemm flop carrier
 func gemmRowStrip2(c0, c1, a0, a1 []float32, B *tensor.Matrix, j0, w, k int) {
 	if k == 0 {
 		for j := range c0 {
@@ -156,6 +160,8 @@ func gemmRowStrip2(c0, c1, a0, a1 []float32, B *tensor.Matrix, j0, w, k int) {
 // gemmRowStrip computes ci = Σ_p a[p]·B[p, j0:j0+w] with the k accumulation
 // pipelined two rows at a time so the inner loop stays unit-stride over B.
 // It handles the m%4 remainder rows of gemmBlocks.
+//
+//lint:hotpath remainder-row strip kernel
 func gemmRowStrip(ci, a []float32, B *tensor.Matrix, j0, w, k int) {
 	if k == 0 {
 		for j := range ci {
@@ -271,6 +277,8 @@ func mirrorLower(C *tensor.Matrix) {
 // (j0 < i0) are always full-width and lie entirely inside the lower
 // triangle, so they take the unguarded fully-unrolled kernel; only the one
 // diagonal block per block-row pays the triangle logic.
+//
+//lint:hotpath syrk register-block driver, called once per panel per worker
 func syrkBlockKernel(local *tensor.Matrix, tbuf []float32, m, w int) {
 	const rb = 4
 	for i0 := 0; i0 < m; i0 += rb {

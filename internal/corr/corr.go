@@ -69,6 +69,7 @@ func NormalizeEpochRows(dst, src *tensor.Matrix) {
 // root sum of squares; the rss accumulation runs in float64 for headroom.
 //
 //lint:allow f32purity float64 rss accumulation for numerical stability; outputs stay float32
+//lint:hotpath called once per voxel row of every epoch
 func normalizeVector(dst, src []float32) {
 	mean := float32(tensor.Mean(src))
 	var rss float64

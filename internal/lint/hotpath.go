@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Hotpath is one function annotated //lint:hotpath — a declared
+// zero-allocation hot path. The allocfree analyzer checks its body for
+// syntactically allocating constructs; scripts/allocgate holds it to the
+// compiler's escape analysis.
+type Hotpath struct {
+	// Name is the package-qualified function name (pkg.Func or
+	// pkg.(Type).Method).
+	Name string
+	// File is the absolute filename holding the declaration.
+	File string
+	// StartLine/EndLine span the declaration, inclusive.
+	StartLine, EndLine int
+	// Pos locates the declaration for diagnostics.
+	Pos token.Position
+	// Decl is the annotated declaration.
+	Decl *ast.FuncDecl
+	// Pass is the package the declaration belongs to.
+	Pass *Pass
+}
+
+// Hotpaths collects every //lint:hotpath-annotated function declaration
+// in the program, in deterministic (pass, file, position) order.
+func Hotpaths(prog *Program) []Hotpath {
+	var out []Hotpath
+	for _, pass := range prog.Passes {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				annotated := false
+				for _, c := range fd.Doc.List {
+					if hotpathDirective(c.Text) {
+						annotated = true
+						break
+					}
+				}
+				if !annotated {
+					continue
+				}
+				start := prog.Fset.Position(fd.Pos())
+				end := prog.Fset.Position(fd.End())
+				out = append(out, Hotpath{
+					Name:      hotpathName(pass, fd),
+					File:      start.Filename,
+					StartLine: start.Line,
+					EndLine:   end.Line,
+					Pos:       start,
+					Decl:      fd,
+					Pass:      pass,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// hotpathName renders pkg.Func or pkg.(Type).Method.
+func hotpathName(pass *Pass, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		recv := fd.Recv.List[0].Type
+		if star, ok := recv.(*ast.StarExpr); ok {
+			recv = star.X
+		}
+		if idx, ok := recv.(*ast.IndexExpr); ok { // generic receiver
+			recv = idx.X
+		}
+		if id, ok := recv.(*ast.Ident); ok {
+			name = "(" + id.Name + ")." + name
+		}
+	}
+	return pass.Pkg.Name() + "." + name
+}

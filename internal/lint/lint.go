@@ -16,6 +16,19 @@
 //	                                       the whole declaration
 //	//lint:file-allow <analyzer> <reason>  the whole file
 //
+// Two further directives feed the dataflow analyzers instead of
+// suppressing them; both live in a function declaration's doc comment:
+//
+//	//lint:sanitizes <analyzer> <what>  the function neutralizes tainted
+//	                                    arguments (taintflow treats its
+//	                                    arguments as clean afterwards and
+//	                                    its results as trusted)
+//	//lint:hotpath <why>                the function is a zero-allocation
+//	                                    hot path: allocfree checks its
+//	                                    body and scripts/allocgate holds
+//	                                    it to the compiler's escape
+//	                                    analysis
+//
 // A directive that does not parse, or that names an unknown analyzer, is
 // itself a diagnostic (CheckDirectives), so the escape hatch cannot decay
 // into noise.
@@ -67,6 +80,12 @@ func (p *Pass) Fset() *token.FileSet { return p.Prog.Fset }
 // Reportf records a diagnostic at pos unless an allow directive covers
 // it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportPath(pos, nil, format, args...)
+}
+
+// ReportPath records a diagnostic carrying a value-flow path (taintflow's
+// source→sink steps), honoring allow directives like Reportf.
+func (p *Pass) ReportPath(pos token.Pos, path []PathStep, format string, args ...any) {
 	position := p.Prog.Fset.Position(pos)
 	if p.Prog.suppressed(p.analyzer.Name, position) {
 		return
@@ -75,7 +94,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      position,
 		Analyzer: p.analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Path:     path,
 	})
+}
+
+// PathStep is one hop of a dataflow diagnostic's source→sink path.
+type PathStep struct {
+	// Pos locates the hop.
+	Pos token.Position
+	// Desc says what happened there (source read, assignment, call, sink).
+	Desc string
 }
 
 // Diagnostic is one reported finding.
@@ -86,6 +114,10 @@ type Diagnostic struct {
 	Analyzer string
 	// Message describes the contract violation.
 	Message string
+	// Path, when non-nil, is the value-flow trail behind a dataflow
+	// finding, source first, sink last (rendered into -json output so CI
+	// artifacts carry the whole story).
+	Path []PathStep
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -144,6 +176,8 @@ type Directive struct {
 const (
 	allowPrefix     = "//lint:allow"
 	fileAllowPrefix = "//lint:file-allow"
+	sanitizesPrefix = "//lint:sanitizes"
+	hotpathPrefix   = "//lint:hotpath"
 	directivePrefix = "//lint:"
 )
 
@@ -167,6 +201,14 @@ type suppression struct {
 	fileAllows map[string]map[string]bool
 	// spans are line- and declaration-scoped allows.
 	spans []Directive
+}
+
+// Suppressed reports whether an allow directive covers a diagnostic of
+// the named analyzer at pos. Exported for out-of-process gates
+// (scripts/allocgate) that honor the same escape hatch as in-process
+// analyzers.
+func (prog *Program) Suppressed(analyzer string, pos token.Position) bool {
+	return prog.suppressed(analyzer, pos)
 }
 
 // suppressed reports whether an allow directive covers the diagnostic.
@@ -235,11 +277,26 @@ func buildSuppression(fset *token.FileSet, passes []*Pass) *suppression {
 	return s
 }
 
+// funcDocs indexes a file's comment groups that serve as a function
+// declaration's doc comment — the only place //lint:sanitizes and
+// //lint:hotpath may appear.
+func funcDocs(f *ast.File) map[*ast.CommentGroup]*ast.FuncDecl {
+	docs := make(map[*ast.CommentGroup]*ast.FuncDecl)
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			docs[fd.Doc] = fd
+		}
+	}
+	return docs
+}
+
 // CheckDirectives validates every //lint: comment in the program:
 // malformed directives (missing analyzer or reason) and directives naming
 // an analyzer not in the registry are reported, attributed to the
-// "fcmavet" pseudo-analyzer. The escape hatch stays load-bearing only if
-// it cannot silently misfire.
+// "fcmavet" pseudo-analyzer; //lint:sanitizes and //lint:hotpath must
+// additionally sit in a function declaration's doc comment, since they
+// describe that function. The escape hatch stays load-bearing only if it
+// cannot silently misfire.
 func CheckDirectives(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
@@ -251,7 +308,9 @@ func CheckDirectives(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	}
 	for _, pass := range prog.Passes {
 		for _, f := range pass.Files {
+			docs := funcDocs(f)
 			for _, cg := range f.Comments {
+				_, isFuncDoc := docs[cg]
 				for _, c := range cg.List {
 					if !strings.HasPrefix(c.Text, directivePrefix) {
 						continue
@@ -264,8 +323,23 @@ func CheckDirectives(prog *Program, analyzers []*Analyzer) []Diagnostic {
 						analyzer, _, ok = parseDirective(c.Text, fileAllowPrefix)
 					case strings.HasPrefix(c.Text, allowPrefix):
 						analyzer, _, ok = parseDirective(c.Text, allowPrefix)
+					case strings.HasPrefix(c.Text, sanitizesPrefix):
+						analyzer, _, ok = parseDirective(c.Text, sanitizesPrefix)
+						if !ok {
+							report(pos, "malformed lint directive %q: want //lint:sanitizes <analyzer> <what>", c.Text)
+							continue
+						}
+						if !isFuncDoc {
+							report(pos, "//lint:sanitizes must be in a function declaration's doc comment")
+							continue
+						}
+					case hotpathDirective(c.Text):
+						if !isFuncDoc {
+							report(pos, "//lint:hotpath must be in a function declaration's doc comment")
+						}
+						continue
 					default:
-						report(pos, "unknown lint directive %q (want //lint:allow or //lint:file-allow)", firstWord(c.Text))
+						report(pos, "unknown lint directive %q (want //lint:allow, //lint:file-allow, //lint:sanitizes, or //lint:hotpath)", firstWord(c.Text))
 						continue
 					}
 					if !ok {
@@ -281,6 +355,13 @@ func CheckDirectives(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	}
 	SortDiagnostics(diags)
 	return diags
+}
+
+// hotpathDirective reports whether the comment is a //lint:hotpath
+// directive (the trailing rationale is optional).
+func hotpathDirective(text string) bool {
+	rest := strings.TrimPrefix(text, hotpathPrefix)
+	return rest != text && (rest == "" || rest[0] == ' ' || rest[0] == '\t')
 }
 
 func firstWord(s string) string {

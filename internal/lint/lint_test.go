@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/token"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -128,6 +129,10 @@ func TestCheckDirectives(t *testing.T) {
 		"unknown lint directive",
 		"malformed lint directive",
 		"unknown analyzer",
+		"malformed lint directive",
+		"//lint:sanitizes must be in a function declaration's doc comment",
+		"//lint:hotpath must be in a function declaration's doc comment",
+		"unknown analyzer",
 	}
 	if len(diags) != len(wantSubstrings) {
 		t.Fatalf("got %d directive diagnostics, want %d: %v", len(diags), len(wantSubstrings), diags)
@@ -191,6 +196,99 @@ func TestSuppressionScopes(t *testing.T) {
 	for _, d := range diags {
 		if strings.Contains(d.Pos.Filename, "oracle.go") {
 			t.Errorf("file-allow failed to cover %s", d)
+		}
+	}
+}
+
+// TestHotpaths pins the hotpath inventory that both allocfree and the
+// scripts/allocgate compiler pass consume: every annotated function in
+// the allocfree fixture, in declaration order, with sane line spans.
+func TestHotpaths(t *testing.T) {
+	prog, err := Load(fixture("allocfree"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	hps := Hotpaths(prog)
+	var names []string
+	for _, h := range hps {
+		if h.File == "" || h.StartLine <= 0 || h.EndLine < h.StartLine {
+			t.Errorf("hotpath %s has a bad location %s:%d-%d", h.Name, h.File, h.StartLine, h.EndLine)
+		}
+		if h.Decl == nil || h.Pass == nil {
+			t.Errorf("hotpath %s is missing its declaration or pass", h.Name)
+		}
+		names = append(names, h.Name)
+	}
+	want := []string{"kernel.Dot", "kernel.SumGrow", "kernel.Boxed", "kernel.Describe", "kernel.Rekey", "kernel.Traced"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("Hotpaths = %v, want %v", names, want)
+	}
+}
+
+// TestTaintflowAllowInteraction pins the escape hatch: the ServeAllowed
+// handler in the taintflow fixture reaches the same sink as the flagged
+// handlers, but its //lint:allow taintflow line suppresses the report —
+// for taintflow only, not for every analyzer at that position.
+func TestTaintflowAllowInteraction(t *testing.T) {
+	prog, err := Load(fixture("taintflow"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	allowLine := 0
+	var file string
+	for _, pass := range prog.Passes {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "lint:allow taintflow") {
+						pos := prog.Fset.Position(c.Pos())
+						file, allowLine = pos.Filename, pos.Line
+					}
+				}
+			}
+		}
+	}
+	if allowLine == 0 {
+		t.Fatal("taintflow fixture has no //lint:allow taintflow case")
+	}
+	covered := token.Position{Filename: file, Line: allowLine + 1}
+	if !prog.Suppressed("taintflow", covered) {
+		t.Errorf("line after the allow directive is not suppressed for taintflow")
+	}
+	if prog.Suppressed("allocfree", covered) {
+		t.Errorf("allow taintflow must not suppress other analyzers")
+	}
+	for _, d := range prog.Run([]*Analyzer{Taintflow}) {
+		if d.Pos.Filename == file && d.Pos.Line == allowLine+1 {
+			t.Errorf("allowed sink was still reported: %s", d)
+		}
+	}
+}
+
+// TestTaintflowPathSteps asserts the structured source→sink path rides
+// the Diagnostic for machine consumers (fcmavet -json): every taintflow
+// finding must carry at least a source step and a sink step.
+func TestTaintflowPathSteps(t *testing.T) {
+	prog, err := Load(fixture("taintflow"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags := prog.Run([]*Analyzer{Taintflow})
+	if len(diags) == 0 {
+		t.Fatal("taintflow fixture produced no findings")
+	}
+	for _, d := range diags {
+		if len(d.Path) < 2 {
+			t.Errorf("finding %s has %d path steps, want at least source and sink", d, len(d.Path))
+			continue
+		}
+		for _, s := range d.Path {
+			if s.Pos.Filename == "" || s.Pos.Line <= 0 || s.Desc == "" {
+				t.Errorf("finding %s has a malformed path step %+v", d, s)
+			}
+		}
+		if last := d.Path[len(d.Path)-1]; !strings.HasPrefix(last.Desc, "sink: ") {
+			t.Errorf("finding %s does not end at a sink step: %q", d, last.Desc)
 		}
 	}
 }

@@ -17,5 +17,7 @@ func All() []*Analyzer {
 		FsyncRename,
 		HTTPTimeouts,
 		ObsNames,
+		Taintflow,
+		Allocfree,
 	}
 }

@@ -1,0 +1,25 @@
+package lint
+
+// Taintflow reports untrusted input reaching a dangerous operation,
+// printing the full source→sink path. Sources are HTTP request data
+// (*net/http.Request parameters), MPI wire frame payloads (Message.Body
+// in internal/mpi), and raw input bytes read inside the parsing packages
+// (internal/mpi, internal/fmri, internal/nifti). Sinks are filesystem
+// path construction (filepath.Join and the os.Open family), allocation
+// sizes (make), slice/array/string indexing and slice bounds, and
+// strings/bytes.Repeat counts. Flows are cut by validation guards and by
+// functions annotated //lint:sanitizes taintflow; see dataflow.go for
+// the exact rules and DESIGN.md §17 for what is deliberately not
+// tracked.
+var Taintflow = &Analyzer{
+	Name: "taintflow",
+	Doc:  "untrusted input (HTTP, wire frames, raw file bytes) must not reach paths, allocation sizes, or indices unvalidated",
+	Run:  runTaintflow,
+}
+
+func runTaintflow(pass *Pass) {
+	df := pass.Prog.dataflow()
+	for _, f := range df.findings[pass.Path] {
+		pass.ReportPath(f.pos, pathSteps(pass.Prog.Fset, f.steps), "%s", f.msg)
+	}
+}

@@ -1,0 +1,3 @@
+module example.test
+
+go 1.22

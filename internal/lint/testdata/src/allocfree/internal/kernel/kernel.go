@@ -1,0 +1,82 @@
+// Package kernel exercises the allocfree contract: a function annotated
+// //lint:hotpath must not contain syntactically allocating constructs.
+// Unannotated functions allocate freely; cold branches inside a hot
+// function opt out per line with //lint:allow allocfree.
+package kernel
+
+import "fmt"
+
+// Dot is a clean hot kernel: pure arithmetic over preallocated slices.
+//
+//lint:hotpath inner loop of the correlation kernel
+func Dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SumGrow builds its result on the hot path instead of writing into a
+// caller-provided buffer.
+//
+//lint:hotpath called once per voxel pair
+func SumGrow(a []float32) []float32 {
+	out := make([]float32, 0, len(a)) // want "hotpath SumGrow allocates: make"
+	for _, v := range a {
+		out = append(out, v) // want "hotpath SumGrow allocates: append"
+	}
+	return out
+}
+
+// Boxed news a result holder per call.
+//
+//lint:hotpath
+func Boxed(v float32) *float32 {
+	p := new(float32) // want "hotpath Boxed allocates: new"
+	*p = v
+	return p
+}
+
+// Describe builds throwaway composites, strings, and a closure on the
+// hot path: every construct is flagged.
+//
+//lint:hotpath demonstrates the composite and string checks
+func Describe(name string, vals []float32) string {
+	f := func() int { return len(vals) } // want "hotpath Describe allocates: closure literal"
+	lookup := map[string]int{"n": f()}   // want "hotpath Describe allocates: map literal"
+	pair := []int{lookup["n"]}           // want "hotpath Describe allocates: slice literal"
+	label := name + ":"                  // want "hotpath Describe allocates: string concatenation"
+	label += fmt.Sprint(pair[0])         // want "hotpath Describe allocates: string concatenation" "hotpath Describe allocates: fmt.Sprint"
+	return label
+}
+
+// Rekey copies the key through a byte-slice conversion.
+//
+//lint:hotpath
+func Rekey(key string) int {
+	raw := []byte(key) // want "hotpath Rekey allocates: \[\]byte conversion copies"
+	return len(raw)
+}
+
+// Traced keeps its steady-state loop clean; the cold debug branch is
+// excused per line with a reviewed reason.
+//
+//lint:hotpath steady-state path is allocation-free
+func Traced(a []float32, debug bool) float32 {
+	if debug {
+		//lint:allow allocfree cold debug branch, never taken in production
+		a = append([]float32(nil), a...)
+	}
+	var s float32
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Setup allocates freely: not annotated, so not the analyzer's
+// business.
+func Setup(n int) []float32 {
+	return make([]float32, n)
+}

@@ -15,3 +15,30 @@ func Work() int {
 	x++
 	return x
 }
+
+// Checkish carries a sanitizes directive with no <what> clause.
+//
+//lint:sanitizes taintflow
+func Checkish(s string) bool {
+	//lint:sanitizes taintflow a body comment is not a doc comment
+	if s == "" {
+		return false
+	}
+	//lint:hotpath a body comment is not a doc comment either
+	return true
+}
+
+// Mystery names an analyzer the registry has never heard of.
+//
+//lint:sanitizes nosuchanalyzer checks nothing anyone looks for
+func Mystery(s string) bool { return s != "" }
+
+// Valid is a well-formed sanitizer annotation: not reported.
+//
+//lint:sanitizes printban rejects every input, which is certainly safe
+func Valid(s string) bool { return false }
+
+// Hot is a well-formed hotpath annotation: not reported.
+//
+//lint:hotpath kept allocation-free by inspection
+func Hot(x int) int { return x + 1 }

@@ -1,0 +1,43 @@
+// Package fmri mirrors the binary dataset reader: bytes lifted from an
+// untrusted file must be bounds-checked before they index or slice
+// anything.
+package fmri
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// LookupVoxel reads a voxel id from the stream and uses it as an index
+// without checking it against the table.
+func LookupVoxel(r io.Reader, table []float32) (float32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	idx := int(binary.LittleEndian.Uint32(buf[:]))
+	return table[idx], nil // want "untrusted raw input bytes reaches slice index"
+}
+
+// LookupVoxelChecked rejects out-of-range ids before indexing: clean.
+func LookupVoxelChecked(r io.Reader, table []float32) (float32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	idx := int(binary.LittleEndian.Uint32(buf[:]))
+	if idx < 0 || idx >= len(table) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return table[idx], nil
+}
+
+// Window slices the data with a bound read straight from the header.
+func Window(r io.Reader, data []float32) ([]float32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, err
+	}
+	end := int(binary.LittleEndian.Uint32(buf[:]))
+	return data[:end], nil // want "untrusted raw input bytes reaches slice bounds"
+}

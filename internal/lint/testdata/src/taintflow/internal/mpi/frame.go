@@ -1,0 +1,31 @@
+// Package mpi mirrors the wire-frame decode path: a Message.Body read
+// is attacker-controlled (the frame arrived from a remote peer), so
+// sizes lifted from it must be bounded before they reach make.
+package mpi
+
+import "encoding/binary"
+
+// MaxFrameFloats bounds any score slab a peer can ask us to allocate.
+const MaxFrameFloats = 1 << 20
+
+// Message is one wire frame from a peer rank.
+type Message struct {
+	Tag  uint32
+	Body []byte
+}
+
+// DecodeScores trusts the length prefix straight off the wire: a
+// hostile peer chooses the allocation size.
+func DecodeScores(msg Message) []float32 {
+	n := int(binary.LittleEndian.Uint32(msg.Body))
+	return make([]float32, n) // want "untrusted wire frame bytes reaches allocation size"
+}
+
+// DecodeScoresChecked bounds the length prefix before allocating: clean.
+func DecodeScoresChecked(msg Message) ([]float32, bool) {
+	n := int(binary.LittleEndian.Uint32(msg.Body))
+	if n < 0 || n > MaxFrameFloats {
+		return nil, false
+	}
+	return make([]float32, n), true
+}

@@ -1,0 +1,83 @@
+// Package store reproduces the blob-store shape whose path-traversal
+// bug motivated taintflow: a request-supplied ref that reaches
+// filepath.Join unvalidated can climb out of the store directory with
+// ../ segments. ServeVuln is the pre-fix handler and is flagged with
+// the full source→sink path; ServeFixed validates through an annotated
+// sanitizer and is clean.
+package store
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+)
+
+// Store serves content-addressed blobs from a directory.
+type Store struct {
+	dir string
+}
+
+// blobPath maps a ref to its on-disk location. It trusts its argument:
+// callers must validate the ref first, so an unvalidated caller is
+// reported at this join.
+func (s *Store) blobPath(ref string) string {
+	return filepath.Join(s.dir, ref+".bin") // want "untrusted http request data reaches filesystem path construction"
+}
+
+// ServeVuln is the pre-fix handler: the ref goes straight from the
+// query string to the filesystem.
+func (s *Store) ServeVuln(w http.ResponseWriter, r *http.Request) {
+	ref := r.URL.Query().Get("ref")
+	b, err := os.ReadFile(s.blobPath(ref)) // want "untrusted http request data reaches filesystem path construction"
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.Write(b)
+}
+
+// isHash reports whether ref is exactly 64 lowercase hex digits — the
+// only refs the store ever writes, and a form that cannot traverse
+// directories.
+//
+//lint:sanitizes taintflow accepts only 64 lowercase hex digits, which cannot traverse paths
+func isHash(ref string) bool {
+	if len(ref) != 64 {
+		return false
+	}
+	for i := 0; i < len(ref); i++ {
+		c := ref[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ServeFixed is the post-fix handler: the ref is validated before it
+// touches the filesystem, so the same flow is clean.
+func (s *Store) ServeFixed(w http.ResponseWriter, r *http.Request) {
+	ref := r.URL.Query().Get("ref")
+	if !isHash(ref) {
+		http.Error(w, "bad ref", http.StatusBadRequest)
+		return
+	}
+	b, err := os.ReadFile(s.blobPath(ref))
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.Write(b)
+}
+
+// ServeAllowed documents a reviewed exception through the directive.
+func (s *Store) ServeAllowed(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	//lint:allow taintflow test-only endpoint, mounted behind a localhost guard
+	b, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.Write(b)
+}

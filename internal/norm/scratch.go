@@ -6,6 +6,8 @@ import "math"
 // normalization needs, so a hot caller (the merged correlation pipeline)
 // can reuse them across blocks instead of allocating four slices per call.
 // The zero value is ready to use; buffers grow to the widest block seen.
+// The FisherThenZScore entry points are declared hot paths: once the
+// scratch is warm, only grow may allocate, and only on a width increase.
 //
 //lint:allow f32purity float64 moment accumulation (E[X²]−E[X]²) needs the headroom; scale/shift re-enter float32
 type Scratch struct {
@@ -36,6 +38,8 @@ func (s *Scratch) grow(cols int) {
 // FisherThenZScore is the package-level FisherThenZScore using the
 // scratch's buffers: Fisher-transform then column-z-score a compact
 // rows×cols block in place, allocation-free once the scratch is warm.
+//
+//lint:hotpath merged-pipeline normalization entry, called once per block
 func (s *Scratch) FisherThenZScore(data []float32, rows, cols int) {
 	s.FisherThenZScoreStrided(data, rows, cols, cols)
 }
@@ -45,16 +49,20 @@ func (s *Scratch) FisherThenZScore(data []float32, rows, cols int) {
 // the merged pipeline's interleaved scratch blocks.
 //
 //lint:allow f32purity float64 moment accumulation per the paper's §4.3; scale/shift re-enter float32
+//lint:hotpath fused Fisher+z-score sweep over every correlation block
 func (s *Scratch) FisherThenZScoreStrided(data []float32, rows, cols, stride int) {
 	if rows == 0 || cols == 0 {
 		return
 	}
 	if stride < cols {
+		//lint:allow allocfree cold caller-bug panic; the message string boxes once
 		panic("norm: stride shorter than cols")
 	}
 	if len(data) < (rows-1)*stride+cols {
+		//lint:allow allocfree cold caller-bug panic; the message string boxes once
 		panic("norm: block shorter than rows*stride")
 	}
+	//lint:allow allocfree grow inlines here; it allocates only on a width increase
 	s.grow(cols)
 	sum, sumSq := s.sum, s.sumSq
 	for i := 0; i < rows; i++ {

@@ -59,9 +59,12 @@ func NewBenchSummary(name string, elapsed time.Duration, snap Snapshot) BenchSum
 	return s
 }
 
-// WriteFile writes the summary to dir as BENCH_<name>.json (the name is
-// sanitized to a filename-safe slug) and returns the path written.
-func (s BenchSummary) WriteFile(dir string) (string, error) {
+// benchSlug maps a run name (which may come straight out of an untrusted
+// dataset file) to a filename-safe slug: anything outside [A-Za-z0-9_-]
+// becomes '-', so the result cannot traverse directories.
+//
+//lint:sanitizes taintflow replaces every non-alphanumeric rune, so no path separators survive
+func benchSlug(name string) string {
 	slug := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
@@ -69,11 +72,17 @@ func (s BenchSummary) WriteFile(dir string) (string, error) {
 		default:
 			return '-'
 		}
-	}, s.Name)
+	}, name)
 	if slug == "" {
 		slug = "run"
 	}
-	path := filepath.Join(dir, "BENCH_"+slug+".json")
+	return slug
+}
+
+// WriteFile writes the summary to dir as BENCH_<name>.json (the name is
+// sanitized to a filename-safe slug) and returns the path written.
+func (s BenchSummary) WriteFile(dir string) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+benchSlug(s.Name)+".json")
 	if err := s.WritePath(path); err != nil {
 		return "", err
 	}

@@ -99,6 +99,8 @@ type JobSpec struct {
 
 // validate rejects malformed specs at admission, before anything is
 // journaled.
+//
+//lint:sanitizes taintflow every spec field is range- or format-checked
 func (s JobSpec) validate() error {
 	if (s.Synthetic == "") == (s.Dataset == "") {
 		return fmt.Errorf("spec must set exactly one of synthetic or dataset")
@@ -130,6 +132,8 @@ func (s JobSpec) validate() error {
 // only dataset reference the upload endpoint ever issues. Anything else
 // (in particular path fragments like "../jobs.jnl") must never reach the
 // store's filepath.Join.
+//
+//lint:sanitizes taintflow accepts only 64 lowercase hex digits, which cannot traverse paths
 func isContentHash(s string) bool {
 	if len(s) != 64 {
 		return false

@@ -1,0 +1,181 @@
+// Command allocgate is the compiler half of the repo's zero-allocation
+// gate. internal/lint's allocfree analyzer rejects syntactically
+// allocating constructs inside //lint:hotpath functions; allocgate holds
+// the same functions to the compiler's escape analysis, which sees what
+// the AST cannot: values that outlive their frame and move to the heap
+// even though no allocating construct appears on the line.
+//
+// Usage:
+//
+//	allocgate [-C dir] [-out report.txt]
+//
+// allocgate loads the module with internal/lint — sharing the hotpath
+// inventory and the //lint:allow allocfree suppressions with fcmavet —
+// runs `go build -gcflags=-m ./...`, and maps every escape diagnostic
+// ("escapes to heap", "moved to heap") onto the annotated declaration
+// spans. Inlining notes, "leaking param" flow facts, and "does not
+// escape" confirmations are ignored. Exit status is 0 when every hotpath
+// is escape-free (or escapes only on allowed lines), 1 on violations,
+// 2 on load or build errors. The report always goes to stdout and, with
+// -out, to a file for CI to upload.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"fcma/internal/lint"
+)
+
+func main() {
+	var (
+		dir = flag.String("C", ".", "gate the module containing this directory")
+		out = flag.String("out", "", "also write the escape report to this file")
+	)
+	flag.Parse()
+
+	report, violations, err := run(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocgate: %v\n", err)
+		os.Exit(2)
+	}
+	os.Stdout.WriteString(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "allocgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "allocgate: %d violation(s)\n", violations)
+		os.Exit(1)
+	}
+}
+
+// run loads the module, collects compiler escape diagnostics, and
+// renders the gate report. It is the testable whole: the e2e test runs
+// it against a fixture module with a deliberate escape.
+func run(dir string) (report string, violations int, err error) {
+	prog, err := lint.Load(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	hots := lint.Hotpaths(prog)
+	if len(hots) == 0 {
+		return "allocgate: no //lint:hotpath annotations; nothing to gate\n", 0, nil
+	}
+	escs, err := buildEscapes(prog.Dir)
+	if err != nil {
+		return "", 0, err
+	}
+	lines, violations := gate(prog, hots, escs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "allocgate: %d hotpath function(s), %d escape diagnostic(s) module-wide, %d violation(s)\n",
+		len(hots), len(escs), violations)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String(), violations, nil
+}
+
+// escape is one heap-escape diagnostic from `go build -gcflags=-m`.
+type escape struct {
+	file      string // absolute
+	line, col int
+	msg       string
+}
+
+// buildEscapes compiles the module with escape-analysis diagnostics on
+// and parses the heap escapes out of the compiler's stderr. The build
+// cache replays compiler output on cache hits, so repeated runs stay
+// cheap and still see every diagnostic.
+func buildEscapes(moduleDir string) ([]escape, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stdout = io.Discard
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	return parseEscapes(moduleDir, stderr.String()), nil
+}
+
+// diagRE matches one compiler diagnostic: file.go:line[:col]: message.
+var diagRE = regexp.MustCompile(`^(.+\.go):(\d+)(?::(\d+))?: (.*)$`)
+
+// parseEscapes keeps the diagnostics that mean a heap allocation:
+// "... escapes to heap" and "moved to heap: x". Everything else the
+// compiler chats about — inlining decisions, "does not escape"
+// confirmations, "leaking param" flow facts — is dropped.
+func parseEscapes(moduleDir, out string) []escape {
+	var escs []escape
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue // package banner
+		}
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil || !isEscapeMsg(m[4]) {
+			continue
+		}
+		file := filepath.Clean(m[1])
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(moduleDir, file)
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col := 0
+		if m[3] != "" {
+			col, _ = strconv.Atoi(m[3])
+		}
+		escs = append(escs, escape{file: file, line: ln, col: col, msg: m[4]})
+	}
+	return escs
+}
+
+func isEscapeMsg(msg string) bool {
+	if strings.HasPrefix(msg, "moved to heap") {
+		return true
+	}
+	return strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "does not escape")
+}
+
+// gate maps escapes onto hotpath declaration spans. Escapes on lines
+// covered by //lint:allow allocfree are reported as allowed, not
+// violations — the same escape hatch the AST analyzer honors.
+func gate(prog *lint.Program, hots []lint.Hotpath, escs []escape) (lines []string, violations int) {
+	for _, h := range hots {
+		for _, e := range escs {
+			if e.file != h.File || e.line < h.StartLine || e.line > h.EndLine {
+				continue
+			}
+			pos := token.Position{Filename: e.file, Line: e.line, Column: e.col}
+			loc := fmt.Sprintf("%s:%d:%d", relPath(prog.Dir, e.file), e.line, e.col)
+			if prog.Suppressed("allocfree", pos) {
+				lines = append(lines, fmt.Sprintf("allowed   %s: hotpath %s: %s", loc, h.Name, e.msg))
+				continue
+			}
+			violations++
+			lines = append(lines, fmt.Sprintf("VIOLATION %s: hotpath %s: %s", loc, h.Name, e.msg))
+		}
+	}
+	return lines, violations
+}
+
+// relPath renders file paths relative to the module root for stable,
+// readable output.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return file
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGateFlagsDeliberateEscape is the end-to-end acceptance test: the
+// fixture module's annotated Escapes kernel leaks its buffer to the
+// heap, and the gate must fail on it — while the stack-resident kernel
+// and the per-line-allowed escape stay out of the violation list.
+func TestGateFlagsDeliberateEscape(t *testing.T) {
+	report, violations, err := run("testdata/escaper")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if violations == 0 {
+		t.Fatalf("deliberate escape not flagged; report:\n%s", report)
+	}
+	var sawEscapes, sawAllowed bool
+	for _, line := range strings.Split(report, "\n") {
+		switch {
+		case strings.HasPrefix(line, "VIOLATION"):
+			if !strings.Contains(line, "escaper.Escapes") {
+				t.Errorf("violation outside the deliberate kernel: %s", line)
+			}
+			if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+				t.Errorf("violation without an escape diagnostic: %s", line)
+			}
+			sawEscapes = true
+		case strings.HasPrefix(line, "allowed"):
+			if !strings.Contains(line, "escaper.Allowed") {
+				t.Errorf("allowed line outside the excused kernel: %s", line)
+			}
+			sawAllowed = true
+		}
+		if strings.Contains(line, "escaper.Stays") {
+			t.Errorf("stack-resident kernel reported: %s", line)
+		}
+	}
+	if !sawEscapes {
+		t.Errorf("report names no violation in escaper.Escapes:\n%s", report)
+	}
+	if !sawAllowed {
+		t.Errorf("report does not carry the allowed escape in escaper.Allowed:\n%s", report)
+	}
+}
+
+// TestParseEscapes pins the stderr grammar the gate depends on: package
+// banners, inlining chatter, flow facts, and non-escape confirmations
+// are dropped; heap moves and escapes survive with their positions.
+func TestParseEscapes(t *testing.T) {
+	out := strings.Join([]string{
+		"# example.test/internal/kernel",
+		"./kernel.go:10:6: can inline Dot",
+		"./kernel.go:11:12: leaking param: a",
+		"./kernel.go:12:13: make([]float32, n) escapes to heap",
+		"./kernel.go:14:2: moved to heap: acc",
+		"./kernel.go:20:15: []byte(s) does not escape",
+		"not a diagnostic line",
+		"",
+	}, "\n")
+	escs := parseEscapes("/mod", out)
+	if len(escs) != 2 {
+		t.Fatalf("parsed %d escapes, want 2: %+v", len(escs), escs)
+	}
+	if escs[0].file != "/mod/kernel.go" || escs[0].line != 12 || escs[0].col != 13 {
+		t.Errorf("escape 0 position = %+v", escs[0])
+	}
+	if !strings.HasPrefix(escs[1].msg, "moved to heap") || escs[1].line != 14 {
+		t.Errorf("escape 1 = %+v", escs[1])
+	}
+}

@@ -1,0 +1,36 @@
+// Package escaper is the allocgate e2e fixture: one annotated kernel
+// deliberately leaks its buffer to the heap, one stays on the stack,
+// and one escapes only on a line excused with //lint:allow allocfree.
+package escaper
+
+// Escapes returns a variably-sized buffer: the compiler must move the
+// make to the heap, and allocgate must fail on it.
+//
+//lint:hotpath deliberate escape for the e2e test
+func Escapes(n int) []float32 {
+	buf := make([]float32, n)
+	for i := range buf {
+		buf[i] = float32(i)
+	}
+	return buf
+}
+
+// Stays keeps everything on the stack: clean.
+//
+//lint:hotpath
+func Stays(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Allowed escapes only on a reviewed cold line.
+//
+//lint:hotpath steady state is allocation-free
+func Allowed(n int) []float32 {
+	//lint:allow allocfree cold init path, runs once per process
+	buf := make([]float32, n)
+	return buf
+}
